@@ -1,0 +1,146 @@
+// Package aarohi is an online node-failure predictor for large-scale
+// computing systems, reproducing "Aarohi: Making Real-Time Node Failure
+// Prediction Feasible" (Das, Mueller, Rountree — IPDPS 2020).
+//
+// Aarohi turns failure chains (FCs) — sequences of log-phrase templates that
+// an offline Phase-1 trainer has learned to precede node failures — into a
+// generated scanner and LALR(1) parser. The scanner tokenizes each incoming
+// log message in one pass over a combined DFA, discarding everything not
+// FC-related; the parser advances one per-node parse per token with ΔT
+// timeout semantics and flags an impending failure the moment a chain
+// completes, minutes before the node stops responding.
+//
+// # Quick start
+//
+//	chains, _ := aarohi.ReadChains(chainsFile)       // Phase-1 output
+//	inventory, _ := aarohi.ReadTemplates(tplFile)    // phrase templates
+//	p, _ := aarohi.New(chains, inventory, aarohi.Options{})
+//	for line := range logLines {
+//	    out, _ := p.ProcessLine(line)
+//	    if out.Prediction != nil {
+//	        migrate(out.Prediction.Node) // >2 min of lead time, typically
+//	    }
+//	}
+//
+// Phase 1 itself can be run with Train, which mines failure chains from a
+// labeled historical log.
+package aarohi
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lexgen"
+	"repro/internal/parser"
+	"repro/internal/predictor"
+	"repro/internal/trainer"
+)
+
+// Core data-model types.
+type (
+	// PhraseID identifies a distinct phrase template.
+	PhraseID = core.PhraseID
+	// Class labels a phrase: Benign, Unknown, Erroneous or Failed.
+	Class = core.Class
+	// Template is a phrase template with '*' wildcards.
+	Template = core.Template
+	// Token is one scanned log event: phrase, arrival time, node.
+	Token = core.Token
+	// FailureChain is a learned sequence of phrases ending in a node
+	// failure.
+	FailureChain = core.FailureChain
+	// RuleSet is the compiled output of Algorithm 1 (token list, factored
+	// rules, LALR tables).
+	RuleSet = core.RuleSet
+	// TranslateOptions configure chain-to-rule translation.
+	TranslateOptions = core.Options
+)
+
+// Phrase classes.
+const (
+	Benign    = core.Benign
+	Unknown   = core.Unknown
+	Erroneous = core.Erroneous
+	Failed    = core.Failed
+)
+
+// DefaultTimeout is the default ΔT threshold between adjacent chain phrases
+// (4 minutes, per the paper's Fig. 5 analysis).
+const DefaultTimeout = core.DefaultTimeout
+
+// Predictor types.
+type (
+	// Predictor is the cluster-wide online predictor: one generated scanner
+	// plus one parse driver per node.
+	Predictor = predictor.Predictor
+	// Options configure predictor construction.
+	Options = predictor.Options
+	// Output is the result of processing one event.
+	Output = predictor.Output
+	// Prediction is one flagged impending node failure.
+	Prediction = parser.Prediction
+	// ObservedFailure reports the arrival of a terminal failed message.
+	ObservedFailure = predictor.ObservedFailure
+	// Stats aggregates scanner and parser activity counters.
+	Stats = predictor.Stats
+)
+
+// Phase-1 types.
+type (
+	// TrainConfig parameterizes failure-chain mining.
+	TrainConfig = trainer.Config
+	// TrainResult is the Phase-1 output: mined chains plus diagnostics.
+	TrainResult = trainer.Result
+)
+
+// Scanner is the generated tokenizer over a template inventory.
+type Scanner = lexgen.Scanner
+
+// New builds an online predictor from Phase-1 failure chains and the
+// system's template inventory. Chains ending in a Failed-class phrase
+// predict at their last precursor; the terminal phrase is still recognized
+// and reported as an ObservedFailure.
+func New(chains []FailureChain, inventory []Template, opts Options) (*Predictor, error) {
+	return predictor.New(chains, inventory, opts)
+}
+
+// Train mines failure chains from a time-sorted, labeled token stream — the
+// Phase-1 step. Any alternative trainer works as long as it produces
+// coherent FailureChains.
+func Train(tokens []Token, inventory []Template, cfg TrainConfig) (*TrainResult, error) {
+	return trainer.Train(tokens, inventory, cfg)
+}
+
+// TranslateFCs runs Algorithm 1 alone: failure chains → token list + LALR(1)
+// rule set. New calls this internally; it is exposed for inspection and for
+// building custom drivers.
+func TranslateFCs(chains []FailureChain, opts TranslateOptions) (*RuleSet, error) {
+	return core.TranslateFCs(chains, opts)
+}
+
+// NewScanner compiles a template inventory into a standalone scanner.
+func NewScanner(templates []Template) (*Scanner, error) {
+	return lexgen.NewScanner(templates)
+}
+
+// ReadChains deserializes failure chains from JSON.
+func ReadChains(r io.Reader) ([]FailureChain, error) { return core.ReadChains(r) }
+
+// WriteChains serializes failure chains as JSON.
+func WriteChains(w io.Writer, chains []FailureChain) error { return core.WriteChains(w, chains) }
+
+// ReadTemplates deserializes a template inventory from JSON.
+func ReadTemplates(r io.Reader) ([]Template, error) { return core.ReadTemplates(r) }
+
+// WriteTemplates serializes a template inventory as JSON.
+func WriteTemplates(w io.Writer, ts []Template) error { return core.WriteTemplates(w, ts) }
+
+// ParseLine splits a raw log line ("RFC3339-ms node message...") into its
+// parts.
+func ParseLine(line string) (ts time.Time, node, msg string, err error) {
+	return lexgen.ParseLine(line)
+}
+
+// FormatLine renders a log line in the canonical layout.
+func FormatLine(ts time.Time, node, msg string) string { return lexgen.FormatLine(ts, node, msg) }

@@ -1,0 +1,161 @@
+package aarohi_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	aarohi "repro"
+	"repro/internal/loggen"
+)
+
+// tableIIIInventory is the Table III template set plus a benign phrase.
+func tableIIIInventory() []aarohi.Template {
+	return []aarohi.Template{
+		{ID: 174, Pattern: "[Firmware Bug]: powernow_k8: *", Class: aarohi.Erroneous},
+		{ID: 140, Pattern: "DVS: verify_filesystem: *", Class: aarohi.Unknown},
+		{ID: 129, Pattern: "DVS: file_node_down: *", Class: aarohi.Unknown},
+		{ID: 175, Pattern: "Lustre: * cannot find peer *", Class: aarohi.Unknown},
+		{ID: 134, Pattern: "LNet: critical hardware error: *", Class: aarohi.Erroneous},
+		{ID: 127, Pattern: "cb_node_unavailable*", Class: aarohi.Failed},
+		{ID: 500, Pattern: "sshd[*]: Accepted publickey *", Class: aarohi.Benign},
+	}
+}
+
+func tableIIIChain() aarohi.FailureChain {
+	return aarohi.FailureChain{Name: "FC3", Phrases: []aarohi.PhraseID{174, 140, 129, 175, 134, 127}}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p, err := aarohi.New([]aarohi.FailureChain{tableIIIChain()}, tableIIIInventory(), aarohi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2015, 3, 14, 4, 58, 57, 640_000_000, time.UTC)
+	node := "c0-0c2s0n2"
+	lines := []string{
+		aarohi.FormatLine(t0, node, "[Firmware Bug]: powernow_k8: acpi mismatch"),
+		aarohi.FormatLine(t0.Add(8*time.Second), node, "sshd[123]: Accepted publickey for root"),
+		aarohi.FormatLine(t0.Add(9*time.Second), node, "DVS: verify_filesystem: magic 0x6969"),
+		aarohi.FormatLine(t0.Add(90*time.Second), node, "DVS: file_node_down: removing c4-2c0s0n2"),
+		aarohi.FormatLine(t0.Add(114*time.Second), node, "Lustre: 9876 cannot find peer 10.1.2.3"),
+		aarohi.FormatLine(t0.Add(137*time.Second), node, "LNet: critical hardware error: HCA fault"),
+		aarohi.FormatLine(t0.Add(267*time.Second), node, "cb_node_unavailable: "+node),
+	}
+	var pred *aarohi.Prediction
+	var failure *aarohi.ObservedFailure
+	for _, line := range lines {
+		out, err := p.ProcessLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Prediction != nil {
+			pred = out.Prediction
+		}
+		if out.Failure != nil {
+			failure = out.Failure
+		}
+	}
+	if pred == nil {
+		t.Fatal("no prediction")
+	}
+	if pred.ChainName != "FC3" || pred.Node != node {
+		t.Errorf("prediction = %+v", pred)
+	}
+	if failure == nil {
+		t.Fatal("terminal failure not observed")
+	}
+	lead := failure.Time.Sub(pred.MatchedAt)
+	if lead != 130*time.Second {
+		t.Errorf("lead time = %v, want 130s (Table III's final ΔT)", lead)
+	}
+	st := p.Stats()
+	if st.Parser.Matches != 1 || st.Discarded == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPublicAPITrainAndPredict(t *testing.T) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 42, Duration: 5 * time.Hour,
+		Nodes: 10, Failures: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inventory := log.Dialect.Inventory()
+	res, err := aarohi.Train(log.Tokens(), inventory, aarohi.TrainConfig{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) == 0 {
+		t.Fatal("training mined no chains")
+	}
+	p, err := aarohi.New(res.Chains, inventory, aarohi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := map[string]bool{}
+	for _, tok := range log.Tokens() {
+		if out := p.ProcessToken(tok); out.Prediction != nil {
+			predicted[out.Prediction.Node] = true
+		}
+	}
+	hits := 0
+	for _, inj := range log.Failures {
+		if predicted[inj.Node] {
+			hits++
+		}
+	}
+	if hits < len(log.Failures)/2 {
+		t.Errorf("self-trained predictor hit %d/%d failed nodes", hits, len(log.Failures))
+	}
+}
+
+func TestPublicAPITranslateAndIO(t *testing.T) {
+	rs, err := aarohi.TranslateFCs([]aarohi.FailureChain{tableIIIChain()}, aarohi.TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.TokenList) != 6 || len(rs.Rules) != 1 {
+		t.Errorf("rule set: %d tokens, %d rules", len(rs.TokenList), len(rs.Rules))
+	}
+	var buf bytes.Buffer
+	if err := aarohi.WriteChains(&buf, []aarohi.FailureChain{tableIIIChain()}); err != nil {
+		t.Fatal(err)
+	}
+	chains, err := aarohi.ReadChains(&buf)
+	if err != nil || len(chains) != 1 || chains[0].Name != "FC3" {
+		t.Errorf("chain IO round trip: %v %v", chains, err)
+	}
+	buf.Reset()
+	if err := aarohi.WriteTemplates(&buf, tableIIIInventory()); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := aarohi.ReadTemplates(&buf)
+	if err != nil || len(ts) != 7 {
+		t.Errorf("template IO round trip: %d %v", len(ts), err)
+	}
+}
+
+func TestPublicAPIScanner(t *testing.T) {
+	sc, err := aarohi.NewScanner(tableIIIInventory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := sc.Scan("DVS: verify_filesystem: whatever"); !ok || id != 140 {
+		t.Errorf("Scan = (%d,%v)", id, ok)
+	}
+	if _, ok := sc.Scan("pcieport: Replay Timer Timeout"); ok {
+		t.Error("benign message matched")
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	t0 := time.Date(2015, 3, 14, 4, 58, 57, 640_000_000, time.UTC)
+	line := aarohi.FormatLine(t0, "c0-0c2s0n2", "hello world")
+	ts, node, msg, err := aarohi.ParseLine(line)
+	if err != nil || !ts.Equal(t0) || node != "c0-0c2s0n2" || msg != "hello world" {
+		t.Errorf("round trip: %v %q %q %v", ts, node, msg, err)
+	}
+}

@@ -1,0 +1,351 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark exercises the measured quantity of its table/figure; the
+// experiment harness (cmd/experiments) prints the corresponding rows.
+package aarohi_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	aarohi "repro"
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/loggen"
+	"repro/internal/predictor"
+	"repro/internal/trainer"
+)
+
+// --- Table III: tokenize-and-parse one chain message at a time -----------
+
+func BenchmarkTable3MessageProcessing(b *testing.B) {
+	d := loggen.DialectXC30
+	fc := d.Chains()[0]
+	p, err := aarohi.New(d.Chains(), d.Inventory(), aarohi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := experiments.ChainLines(d, fc, "c0-0c2s0n2", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ProcessLine(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table IV: Algorithm 1 translation + LALR table generation -----------
+
+func BenchmarkTable4TranslateFCs(b *testing.B) {
+	chains := loggen.DialectXC30.Chains()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := aarohi.TranslateFCs(chains, aarohi.TranslateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table V: full test-log evaluation per system -------------------------
+
+func BenchmarkTable5Evaluate(b *testing.B) {
+	for _, s := range experiments.Systems {
+		b.Run(s.Name, func(b *testing.B) {
+			log, err := s.GenerateTest()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Evaluate(log, s.Dialect.Chains(), predictor.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table VI: per-chain check, Aarohi vs. the three baselines ------------
+
+func table6Stream(b *testing.B, length int) ([]string, aarohi.FailureChain) {
+	b.Helper()
+	d := loggen.DialectXC30
+	fc := experiments.SyntheticChain(d, fmt.Sprintf("T6-%d", length), length)
+	lines := experiments.ChainLines(d, fc, "c0-0c2s0n2", int64(length))
+	return lines, fc
+}
+
+func BenchmarkTable6Aarohi(b *testing.B) {
+	for _, length := range experiments.Table6Lengths {
+		b.Run(fmt.Sprintf("len%d", length), func(b *testing.B) {
+			lines, fc := table6Stream(b, length)
+			p, err := aarohi.New([]aarohi.FailureChain{fc}, loggen.DialectXC30.Inventory(), aarohi.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reset()
+				for _, line := range lines {
+					if _, err := p.ProcessLine(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable6Desh(b *testing.B) {
+	benchBaselineTable6(b, func(fc aarohi.FailureChain) *baselines.Frontend {
+		inv := loggen.DialectXC30.Inventory()
+		return baselines.NewFrontend(baselines.NewDesh(inv, []aarohi.FailureChain{fc}, 1), inv, true)
+	})
+}
+
+func BenchmarkTable6DeepLog(b *testing.B) {
+	benchBaselineTable6(b, func(fc aarohi.FailureChain) *baselines.Frontend {
+		inv := loggen.DialectXC30.Inventory()
+		return baselines.NewFrontend(baselines.NewDeepLog(inv, []aarohi.FailureChain{fc}, 1), inv, true)
+	})
+}
+
+func BenchmarkTable6CloudSeer(b *testing.B) {
+	benchBaselineTable6(b, func(fc aarohi.FailureChain) *baselines.Frontend {
+		inv := loggen.DialectXC30.Inventory()
+		return baselines.NewFrontend(baselines.NewCloudSeer(inv, []aarohi.FailureChain{fc}), inv, false)
+	})
+}
+
+func benchBaselineTable6(b *testing.B, mk func(aarohi.FailureChain) *baselines.Frontend) {
+	for _, length := range experiments.Table6Lengths {
+		b.Run(fmt.Sprintf("len%d", length), func(b *testing.B) {
+			lines, fc := table6Stream(b, length)
+			fe := mk(fc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fe.Reset()
+				for _, line := range lines {
+					if _, err := fe.ProcessLine(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 5: inter-arrival generation and CDF ------------------------------
+
+func BenchmarkFig5ArrivalAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 7: the full two-phase pipeline (train + predict) ----------------
+
+func BenchmarkFig7Phase1Mining(b *testing.B) {
+	s := experiments.Systems[0]
+	log, err := s.GenerateTraining()
+	if err != nil {
+		b.Fatal(err)
+	}
+	toks := log.Tokens()
+	inv := s.Dialect.Inventory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.Train(toks, inv, trainer.Config{MinSupport: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 8/9: prediction time vs. chain length ---------------------------
+
+func BenchmarkFig8ChainOnly(b *testing.B)  { benchFigStream(b, false) }
+func BenchmarkFig9WithBenign(b *testing.B) { benchFigStream(b, true) }
+
+func benchFigStream(b *testing.B, mixed bool) {
+	d := loggen.DialectXC30
+	for _, length := range []int{5, 18, 50} {
+		b.Run(fmt.Sprintf("len%d", length), func(b *testing.B) {
+			var lines []string
+			var fc aarohi.FailureChain
+			if mixed {
+				fc = experiments.SyntheticChain(d, "F", (length+1)/2)
+				lines = experiments.MixedLines(d, fc, "n1", length, int64(length))
+			} else {
+				fc = experiments.SyntheticChain(d, "F", length)
+				lines = experiments.ChainLines(d, fc, "n1", int64(length))
+			}
+			p, err := aarohi.New([]aarohi.FailureChain{fc}, d.Inventory(), aarohi.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reset()
+				for _, line := range lines {
+					if _, err := p.ProcessLine(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 10/11: long streams ---------------------------------------------
+
+func BenchmarkFig10LongStreams(b *testing.B) {
+	d := loggen.DialectXC30
+	for _, length := range experiments.Fig10Lengths {
+		b.Run(fmt.Sprintf("len%d", length), func(b *testing.B) {
+			fc := experiments.SyntheticChain(d, "F10", length)
+			lines := experiments.ChainLines(d, fc, "n1", int64(length))
+			p, err := aarohi.New([]aarohi.FailureChain{fc}, d.Inventory(), aarohi.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reset()
+				for _, line := range lines {
+					if _, err := p.ProcessLine(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig11Stream7443(b *testing.B) {
+	d := loggen.DialectXC30
+	fc := experiments.SyntheticChain(d, "F11", 60)
+	lines := experiments.MixedLines(d, fc, "n1", 7443, 7)
+	p, err := aarohi.New([]aarohi.FailureChain{fc}, d.Inventory(), aarohi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for _, line := range lines {
+			if _, err := p.ProcessLine(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Fig. 12: scanner filter fraction --------------------------------------
+
+func BenchmarkFig12ScanFilter(b *testing.B) {
+	s := experiments.Systems[0]
+	log, err := s.GenerateTest()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := aarohi.New(s.Dialect.Chains(), s.Dialect.Inventory(), aarohi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := log.Lines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ProcessLine(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 13/14: lead-time evaluation ---------------------------------------
+
+func BenchmarkFig13LeadTimes(b *testing.B) {
+	s := experiments.Systems[0]
+	log, err := s.GenerateTest()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := cluster.Evaluate(log, s.Dialect.Chains(), predictor.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.LeadTimes.N() == 0 {
+			b.Fatal("no lead times")
+		}
+	}
+}
+
+// --- Fig. 15: per-failed-node stream prediction time -----------------------
+
+func BenchmarkFig15NodeStream(b *testing.B) {
+	s := experiments.Systems[0]
+	log, err := s.GenerateTest()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := aarohi.New(s.Dialect.Chains(), s.Dialect.Inventory(), aarohi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := log.FailedNodes()[0]
+	events := log.NodeEvents(node)
+	lines := make([]string, len(events))
+	for i, e := range events {
+		lines[i] = e.Line()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for _, line := range lines {
+			if _, err := p.ProcessLine(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- headline: 18-length chain, the paper's 0.31 ms configuration ----------
+
+func BenchmarkHeadlineChain18(b *testing.B) {
+	d := loggen.DialectXC30
+	fc := experiments.SyntheticChain(d, "FC18", 18)
+	lines := experiments.ChainLines(d, fc, "c0-0c2s0n2", 18)
+	p, err := aarohi.New([]aarohi.FailureChain{fc}, d.Inventory(), aarohi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	iters := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for _, line := range lines {
+			if _, err := p.ProcessLine(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+		iters++
+	}
+	b.StopTimer()
+	if iters > 0 {
+		perChain := time.Since(start) / time.Duration(iters)
+		b.ReportMetric(float64(perChain.Microseconds())/1000.0, "ms/chain")
+	}
+}

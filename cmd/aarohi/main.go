@@ -1,0 +1,151 @@
+// Command aarohi runs the online node-failure predictor over a log stream.
+//
+// Usage:
+//
+//	aarohi -chains chains.json -templates templates.json [-in cluster.log]
+//
+// Predictions and observed failures print as they occur; with -stats, the
+// scanner/parser counters (the Table V / Fig. 12 quantities) print at the
+// end. When the stream contains the terminal failed messages, the achieved
+// lead time is reported per failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	aarohi "repro"
+)
+
+func main() {
+	var (
+		chainsPath = flag.String("chains", "", "failure chains JSON (required)")
+		tplPath    = flag.String("templates", "", "template inventory JSON (required)")
+		inPath     = flag.String("in", "-", "log input path (- for stdin)")
+		timeout    = flag.Duration("timeout", 0, "ΔT timeout override (default 4m)")
+		noFactor   = flag.Bool("no-factoring", false, "disable subchain factoring (ablation)")
+		stats      = flag.Bool("stats", true, "print aggregate counters at EOF")
+		dumpRules  = flag.Bool("dump-rules", false, "print the generated grammar and LALR automaton report, then exit")
+	)
+	flag.Parse()
+	if *chainsPath == "" || *tplPath == "" {
+		fatalf("-chains and -templates are required")
+	}
+
+	chains := readChains(*chainsPath)
+	inventory := readTemplates(*tplPath)
+
+	if *dumpRules {
+		rs, err := aarohi.TranslateFCs(chains, aarohi.TranslateOptions{DisableFactoring: *noFactor})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("Derived rules (Algorithm 1):")
+		fmt.Println(rs.DumpRules())
+		fmt.Println(rs.Tables.Report())
+		return
+	}
+
+	p, err := aarohi.New(chains, inventory, aarohi.Options{
+		Timeout: *timeout, DisableFactoring: *noFactor,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	// Track open predictions to report lead times when failures arrive.
+	lastPrediction := map[string]*aarohi.Prediction{}
+	predictions, failures := 0, 0
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		out, err := p.ProcessLine(sc.Text())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aarohi: line %d: %v\n", lineNo, err)
+			continue
+		}
+		if pr := out.Prediction; pr != nil {
+			predictions++
+			fmt.Printf("PREDICTION %s node=%s chain=%s length=%d\n",
+				pr.MatchedAt.Format(time.RFC3339Nano), pr.Node, pr.ChainName, pr.Length)
+			lastPrediction[pr.Node] = pr
+		}
+		if f := out.Failure; f != nil {
+			failures++
+			if pr, ok := lastPrediction[f.Node]; ok && !pr.MatchedAt.After(f.Time) {
+				fmt.Printf("FAILURE    %s node=%s lead=%s (predicted by %s)\n",
+					f.Time.Format(time.RFC3339Nano), f.Node,
+					f.Time.Sub(pr.MatchedAt).Round(time.Millisecond), pr.ChainName)
+				delete(lastPrediction, f.Node)
+			} else {
+				fmt.Printf("FAILURE    %s node=%s UNPREDICTED\n",
+					f.Time.Format(time.RFC3339Nano), f.Node)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading log: %v", err)
+	}
+
+	if *stats {
+		st := p.Stats()
+		fmt.Printf("\n--- stats ---\n")
+		fmt.Printf("lines scanned:       %d\n", st.LinesScanned)
+		fmt.Printf("tokens (FC-related): %d (%.2f%%)\n", st.Tokens, 100*st.FCRelatedFraction())
+		fmt.Printf("discarded:           %d\n", st.Discarded)
+		fmt.Printf("per-node drivers:    %d\n", st.Nodes)
+		fmt.Printf("consumed/skipped:    %d/%d (interleaved %d)\n",
+			st.Parser.Consumed, st.Parser.Skipped, st.Parser.Interleaved)
+		fmt.Printf("timeout resets:      %d\n", st.Parser.TimeoutResets)
+		fmt.Printf("predictions:         %d\n", predictions)
+		fmt.Printf("observed failures:   %d\n", failures)
+	}
+}
+
+func readChains(path string) []aarohi.FailureChain {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	chains, err := aarohi.ReadChains(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return chains
+}
+
+func readTemplates(path string) []aarohi.Template {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	ts, err := aarohi.ReadTemplates(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return ts
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aarohi: "+format+"\n", args...)
+	os.Exit(1)
+}

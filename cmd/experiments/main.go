@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments -all                # everything, in paper order
+//	experiments -table6 -fig8       # selected experiments
+//
+// Timing experiments report this host's measurements; see DESIGN.md §4 for
+// the documented substitutions (platform profiles, optimization knob).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	help string
+	run  func() (string, error)
+}
+
+func main() {
+	wrapStatic := func(f func() string) func() (string, error) {
+		return func() (string, error) { return f(), nil }
+	}
+	wrapRows := func(f func() (string, error)) func() (string, error) { return f }
+
+	runners := []runner{
+		{"table1", "log variations across Cray generations", wrapStatic(experiments.Table1)},
+		{"table2", "evaluation systems", wrapStatic(experiments.Table2)},
+		{"table3", "log message processing walk-through", wrapStatic(experiments.Table3)},
+		{"table4", "parser grammar derivation (Algorithm 1)", wrapStatic(experiments.Table4)},
+		{"table5", "multiple rule matches", func() (string, error) {
+			_, s, err := experiments.Table5()
+			return s, err
+		}},
+		{"table6", "prediction times vs Desh/DeepLog/CloudSeer", func() (string, error) {
+			_, s, err := experiments.Table6()
+			return s, err
+		}},
+		{"table7", "efficiency formulae", wrapStatic(experiments.Table7)},
+		{"table8", "comparative analysis", wrapStatic(experiments.Table8)},
+		{"table9", "adaptability phrase inventories", wrapStatic(experiments.Table9)},
+		{"fig5", "inter-arrival time CDFs", wrapRows(experiments.Fig5)},
+		{"fig7", "Phase-1 efficiency per system", func() (string, error) {
+			_, s, err := experiments.Fig7()
+			return s, err
+		}},
+		{"fig8", "prediction time vs chain length (FC phrases)", func() (string, error) {
+			_, s, err := experiments.Fig8()
+			return s, err
+		}},
+		{"fig9", "prediction time with benign phrases", func() (string, error) {
+			_, s, err := experiments.Fig9()
+			return s, err
+		}},
+		{"fig10", "prediction time across platforms", wrapRows(experiments.Fig10)},
+		{"fig11", "optimization on/off", wrapRows(experiments.Fig11)},
+		{"fig12", "fraction of FC-related phrases", func() (string, error) {
+			_, s, err := experiments.Fig12()
+			return s, err
+		}},
+		{"fig13", "lead times for 10 failures", wrapRows(experiments.Fig13)},
+		{"fig14", "lead times across systems", func() (string, error) {
+			_, s, err := experiments.Fig14()
+			return s, err
+		}},
+		{"fig15", "prediction times across systems", func() (string, error) {
+			_, s, err := experiments.Fig15()
+			return s, err
+		}},
+		{"ablations", "design-choice ablations (factoring, minimization, terminal, timeout)", wrapRows(experiments.Ablations)},
+		{"ext1", "compute-waste saving: checkpointing vs prediction", wrapRows(experiments.Ext1MitigationBenefit)},
+		{"ext2", "aggregate-stream throughput scaling", wrapRows(experiments.Ext2Throughput)},
+		{"ext3", "dynamic rule update", wrapRows(experiments.Ext3DynamicUpdate)},
+		{"ext4", "fully unsupervised pipeline (raw logs)", wrapRows(experiments.Ext4Unsupervised)},
+		{"obs", "re-derive the paper's observations O1-O6", wrapRows(experiments.Observations)},
+	}
+
+	all := flag.Bool("all", false, "run every experiment in paper order")
+	selected := map[string]*bool{}
+	for _, r := range runners {
+		selected[r.name] = flag.Bool(r.name, false, r.help)
+	}
+	flag.Parse()
+
+	any := *all
+	for _, v := range selected {
+		any = any || *v
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, r := range runners {
+		if !*all && !*selected[r.name] {
+			continue
+		}
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command fctrain runs Phase 1: it mines failure chains from a historical
+// log and writes them as JSON for the online predictor.
+//
+// With a known template inventory:
+//
+//	fctrain -in train.log -templates templates.json -out chains.json
+//
+// Starting from raw logs (no inventory), templates are mined first with the
+// Drain-style miner and classified by keyword heuristics:
+//
+//	fctrain -in train.log -mine-templates -templates-out mined.json -out chains.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	aarohi "repro"
+	"repro/internal/drain"
+	"repro/internal/lexgen"
+)
+
+func main() {
+	var (
+		inPath     = flag.String("in", "-", "training log path (- for stdin)")
+		tplPath    = flag.String("templates", "", "template inventory JSON (omit with -mine-templates)")
+		mine       = flag.Bool("mine-templates", false, "mine the template inventory from the raw log (Drain-style)")
+		tplOut     = flag.String("templates-out", "", "write the (mined or given) inventory JSON here")
+		outPath    = flag.String("out", "-", "output chains JSON path (- for stdout)")
+		minSupport = flag.Int("min-support", 2, "minimum windows per chain")
+		minLen     = flag.Int("min-len", 2, "minimum chain length (phrases incl. terminal)")
+		maxGap     = flag.Duration("max-gap", 4*time.Minute, "ΔT cut between precursors")
+		lookback   = flag.Duration("lookback", 30*time.Minute, "precursor window bound")
+		useLSTM    = flag.Bool("lstm", false, "enable LSTM candidate validation")
+		verbose    = flag.Bool("v", false, "print mining diagnostics to stderr")
+	)
+	flag.Parse()
+	if *tplPath == "" && !*mine {
+		fatalf("either -templates or -mine-templates is required")
+	}
+
+	lines := readLines(*inPath)
+
+	var inventory []aarohi.Template
+	if *mine {
+		miner := drain.New(drain.Config{})
+		for i, line := range lines {
+			_, _, msg, err := lexgen.ParseLine(line)
+			if err != nil {
+				fatalf("line %d: %v", i+1, err)
+			}
+			miner.Learn(msg)
+		}
+		inventory = miner.Templates()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "fctrain: mined %d templates from %d lines\n", len(inventory), len(lines))
+		}
+	} else {
+		tf, err := os.Open(*tplPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		inventory, err = aarohi.ReadTemplates(tf)
+		tf.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *tplOut != "" {
+		f, err := os.Create(*tplOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := aarohi.WriteTemplates(f, inventory); err != nil {
+			fatalf("writing templates: %v", err)
+		}
+		f.Close()
+	}
+
+	scanner, err := aarohi.NewScanner(inventory)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var tokens []aarohi.Token
+	for i, line := range lines {
+		tok, ok, err := scanner.ScanLine(line)
+		if err != nil {
+			fatalf("line %d: %v", i+1, err)
+		}
+		if ok {
+			tokens = append(tokens, tok)
+		}
+	}
+
+	res, err := aarohi.Train(tokens, inventory, aarohi.TrainConfig{
+		MinSupport: *minSupport, MinChainLen: *minLen,
+		MaxGap: *maxGap, Lookback: *lookback, UseLSTM: *useLSTM,
+	})
+	if err != nil {
+		fatalf("training: %v", err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "fctrain: %d lines, %d tokens, %d windows, %d candidates, %d chains\n",
+			len(lines), len(tokens), res.Windows, len(res.Candidates), len(res.Chains))
+		for _, c := range res.Candidates {
+			fmt.Fprintf(os.Stderr, "  candidate len=%d support=%d score=%.2f\n",
+				len(c.Phrases), c.Support, c.Score)
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := aarohi.WriteChains(out, res.Chains); err != nil {
+		fatalf("writing chains: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fctrain: mined %d failure chains from %d windows\n", len(res.Chains), res.Windows)
+}
+
+func readLines(path string) []string {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var lines []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading log: %v", err)
+	}
+	return lines
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fctrain: "+format+"\n", args...)
+	os.Exit(1)
+}

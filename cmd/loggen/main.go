@@ -1,0 +1,134 @@
+// Command loggen generates synthetic Cray-style cluster logs with injected
+// node failures — the reproduction's data substrate.
+//
+// Usage:
+//
+//	loggen -dialect xc30 -nodes 16 -duration 4h -failures 6 -seed 42 \
+//	       -out run.log -truth truth.json -chains chains.json -templates templates.json
+//
+// The raw log goes to -out (stdout by default); -truth records the injected
+// ground truth; -chains and -templates export the dialect's failure chains
+// and template inventory for use with fctrain/aarohi.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+)
+
+func dialects() map[string]*loggen.Dialect {
+	return map[string]*loggen.Dialect{
+		"xc30":      loggen.DialectXC30,
+		"xe6":       loggen.DialectXE6,
+		"xc40":      loggen.DialectXC40,
+		"xc4030":    loggen.DialectXC4030,
+		"xk":        loggen.DialectXK,
+		"bgp":       loggen.DialectBGP,
+		"cassandra": loggen.DialectCassandra,
+		"hadoop":    loggen.DialectHadoop,
+	}
+}
+
+func main() {
+	var (
+		dialectName = flag.String("dialect", "xc30", "system dialect: "+strings.Join(dialectNames(), ", "))
+		nodes       = flag.Int("nodes", 8, "cluster size")
+		duration    = flag.Duration("duration", 2*time.Hour, "log time span")
+		failures    = flag.Int("failures", 2, "node failures to inject")
+		seed        = flag.Int64("seed", 1, "random seed")
+		benignRate  = flag.Float64("benign-rate", 2, "benign messages per node per minute")
+		anomalyRate = flag.Float64("anomaly-rate", 0.05, "fraction of background drawn from anomaly templates")
+		dropProb    = flag.Float64("drop", 0, "probability of dropping an injected chain phrase")
+		outPath     = flag.String("out", "-", "raw log output path (- for stdout)")
+		truthPath   = flag.String("truth", "", "write injected ground truth JSON here")
+		chainsPath  = flag.String("chains", "", "write the dialect's failure chains JSON here")
+		tplPath     = flag.String("templates", "", "write the dialect's template inventory JSON here")
+	)
+	flag.Parse()
+
+	d, ok := dialects()[*dialectName]
+	if !ok {
+		fatalf("unknown dialect %q (have: %s)", *dialectName, strings.Join(dialectNames(), ", "))
+	}
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: d, Seed: *seed, Duration: *duration, Nodes: *nodes,
+		Failures: *failures, BenignPerMinute: *benignRate,
+		AnomalyRate: *anomalyRate, DropProb: *dropProb,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := log.WriteTo(out); err != nil {
+		fatalf("writing log: %v", err)
+	}
+
+	if *truthPath != "" {
+		writeJSON(*truthPath, log.Failures)
+	}
+	if *chainsPath != "" {
+		f, err := os.Create(*chainsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := core.WriteChains(f, d.Chains()); err != nil {
+			fatalf("writing chains: %v", err)
+		}
+		f.Close()
+	}
+	if *tplPath != "" {
+		f, err := os.Create(*tplPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := core.WriteTemplates(f, d.Inventory()); err != nil {
+			fatalf("writing templates: %v", err)
+		}
+		f.Close()
+	}
+	fmt.Fprintf(os.Stderr, "loggen: %d events, %d injected failures on %s\n",
+		len(log.Events), len(log.Failures), d.Name)
+}
+
+func dialectNames() []string {
+	var names []string
+	for k := range dialects() {
+		names = append(names, k)
+	}
+	return names
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("encoding %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loggen: "+format+"\n", args...)
+	os.Exit(1)
+}

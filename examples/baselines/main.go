@@ -1,0 +1,83 @@
+// Baselines: a miniature of the paper's Table VI. The same chain streams run
+// through Aarohi and through the three reimplemented comparison systems —
+// Desh (log-key LSTM per entry), DeepLog (log-key + parameter-value LSTM per
+// entry), CloudSeer (per-template automaton matching with a pending-event
+// buffer) — and the per-chain check times are printed side by side.
+//
+// Absolute numbers differ from the paper's host, but the shape holds: Aarohi
+// is orders of magnitude faster, and the gap widens with chain length.
+//
+// Run: go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	aarohi "repro"
+	"repro/internal/baselines"
+	"repro/internal/experiments"
+	"repro/internal/loggen"
+)
+
+func main() {
+	d := loggen.DialectXC30
+	inv := d.Inventory()
+	fmt.Println("chain   Aarohi      Desh        DeepLog     CloudSeer   (ms per chain check)")
+
+	for _, length := range []int{1, 10, 50, 128} {
+		fc := experiments.SyntheticChain(d, fmt.Sprintf("L%d", length), length)
+		lines := experiments.ChainLines(d, fc, "c0-0c2s0n2", int64(length))
+
+		p, err := aarohi.New([]aarohi.FailureChain{fc}, inv, aarohi.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chains := []aarohi.FailureChain{fc}
+		// All systems consume the same raw lines: the LSTM baselines pay a
+		// Spell/Drain-style identification per entry, CloudSeer identifies
+		// messages itself.
+		frontends := []*baselines.Frontend{
+			baselines.NewFrontend(baselines.NewDesh(inv, chains, 1), inv, true),
+			baselines.NewFrontend(baselines.NewDeepLog(inv, chains, 1), inv, true),
+			baselines.NewFrontend(baselines.NewCloudSeer(inv, chains), inv, false),
+		}
+
+		aarohiMs := timeChain(func() {
+			p.Reset()
+			for _, line := range lines {
+				if _, err := p.ProcessLine(line); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("%5d   %-10.4f", length, aarohiMs)
+		for _, fe := range frontends {
+			ms := timeChain(func() {
+				fe.Reset()
+				for _, line := range lines {
+					if _, err := fe.ProcessLine(line); err != nil {
+						log.Fatal(err)
+					}
+				}
+			})
+			fmt.Printf("  %-10.4f", ms)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAarohi's speedup comes from the combined scanner DFA plus O(1) LALR")
+	fmt.Println("parser steps, versus per-entry LSTM forward passes (Desh, DeepLog) and")
+	fmt.Println("per-template backtracking matches with retry buffers (CloudSeer).")
+}
+
+// timeChain returns the mean wall time of f in milliseconds over enough
+// repetitions to be stable.
+func timeChain(f func()) float64 {
+	const reps = 10
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return float64(time.Since(start)) / float64(time.Millisecond) / reps
+}

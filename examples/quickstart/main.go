@@ -1,0 +1,82 @@
+// Quickstart: the paper's Table III walk-through on the public API.
+//
+// Six log messages of failure chain FC3 arrive for node c0-0c2s0n2 with the
+// paper's exact inter-arrival times. Aarohi tokenizes each message, advances
+// the node's parse, flags the impending failure at the last precursor phrase
+// (the LNet hardware error), and observes the actual node failure 130.106
+// seconds later — the lead time during which a proactive action (process
+// migration completes in 3.1 s) can run.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	aarohi "repro"
+)
+
+func main() {
+	// The phrase-template inventory: what Phase 1's log parsing produced.
+	inventory := []aarohi.Template{
+		{ID: 174, Pattern: "[Firmware Bug]: powernow_k8: *", Class: aarohi.Erroneous},
+		{ID: 140, Pattern: "DVS: verify_filesystem: *", Class: aarohi.Unknown},
+		{ID: 129, Pattern: "DVS: file_node_down: *", Class: aarohi.Unknown},
+		{ID: 175, Pattern: "Lustre: * cannot find peer *", Class: aarohi.Unknown},
+		{ID: 134, Pattern: "LNet: critical hardware error: *", Class: aarohi.Erroneous},
+		{ID: 127, Pattern: "cb_node_unavailable: *", Class: aarohi.Failed},
+	}
+	// The learned failure chain (Table III / FC3 of Fig. 3): five precursor
+	// phrases and the terminal failed message.
+	chains := []aarohi.FailureChain{
+		{Name: "FC3", Phrases: []aarohi.PhraseID{174, 140, 129, 175, 134, 127}},
+	}
+
+	p, err := aarohi.New(chains, inventory, aarohi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	node := "c0-0c2s0n2"
+	t0 := time.Date(2015, 3, 14, 4, 58, 57, 640_000_000, time.UTC)
+	stream := []struct {
+		delta time.Duration
+		msg   string
+	}{
+		{0, "[Firmware Bug]: powernow_k8: No compatible ACPI _PSS objects found"},
+		{8323 * time.Millisecond, "DVS: verify_filesystem: file system magic value 0x6969 retrieved from server c4-2c0s0n2 does not match expected value 0x47504653: excluding server"},
+		{80506 * time.Millisecond, "DVS: file_node_down: removing c4-2c0s0n2 from list of available servers for 2 file systems"},
+		{24846 * time.Millisecond, "Lustre: 12345:0:(events.c:543) cannot find peer 10.128.0.5@o2ib"},
+		{22628 * time.Millisecond, "LNet: critical hardware error: MDS detected faulty HCA"},
+		{130106 * time.Millisecond, "cb_node_unavailable: " + node},
+		// A benign message the scanner discards without tokenization.
+		{time.Second, "pcieport 0000:00:03.0: [12] Replay Timer Timeout"},
+	}
+
+	t := t0
+	var predictedAt time.Time
+	for _, ev := range stream {
+		t = t.Add(ev.delta)
+		line := aarohi.FormatLine(t, node, ev.msg)
+		out, err := p.ProcessLine(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  %-60.60s", t.Format("15:04:05.000"), ev.msg)
+		switch {
+		case out.Prediction != nil:
+			predictedAt = out.Prediction.MatchedAt
+			fmt.Printf("  ← PREDICTION: %s will fail (chain %s, %d phrases matched)",
+				out.Prediction.Node, out.Prediction.ChainName, out.Prediction.Length)
+		case out.Failure != nil:
+			fmt.Printf("  ← NODE FAILURE (lead time was %s)", out.Failure.Time.Sub(predictedAt))
+		}
+		fmt.Println()
+	}
+
+	st := p.Stats()
+	fmt.Printf("\n%d lines scanned, %d tokenized (%.0f%% FC-related), %d discarded\n",
+		st.LinesScanned, st.Tokens, 100*st.FCRelatedFraction(), st.Discarded)
+}

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/loggen"
+)
+
+// testEntries converts a generated log into baseline entries.
+func testEntries(log *loggen.Log) []Entry {
+	out := make([]Entry, len(log.Events))
+	for i, e := range log.Events {
+		out[i] = Entry{Time: e.Time, Node: e.Node, Phrase: e.Phrase, Message: e.Message}
+	}
+	return out
+}
+
+func smallLog(t testing.TB, seed int64, failures int) *loggen.Log {
+	t.Helper()
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: seed, Duration: 2 * time.Hour,
+		Nodes: 4, Failures: failures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// runDetector feeds the stream and collects flagged nodes.
+func runDetector(d Detector, entries []Entry) map[string]bool {
+	flagged := map[string]bool{}
+	for _, e := range entries {
+		if p := d.Process(e); p != nil {
+			flagged[p.Node] = true
+		}
+	}
+	return flagged
+}
+
+func TestWildcardMatch(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abcdef", true}, // prefix semantics
+		{"abc", "ab", false},
+		{"a*c", "abbbc", true},
+		{"a*c", "ac", true},
+		{"a*c", "ab", false},
+		{"*", "anything", true},
+		{"", "anything", true},
+		{"a*b*c", "a-x-b-y-c", true},
+		{"a*b*c", "a-x-y-c", false},
+		{"DVS: verify_filesystem: *", "DVS: verify_filesystem: magic 0x6969", true},
+		{"DVS: verify_filesystem: *", "DVS: file_node_down: x", false},
+		{"cb_node_unavailable*", "cb_node_unavailable: c0-0c2s0n2", true},
+		{"*tail", "has tail", true},
+		{"*tail", "no such thing", false},
+	}
+	for _, tt := range tests {
+		if got := wildcardMatch(tt.pattern, tt.s); got != tt.want {
+			t.Errorf("wildcardMatch(%q, %q) = %v, want %v", tt.pattern, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestDetectorsFlagInjectedFailures(t *testing.T) {
+	log := smallLog(t, 42, 2)
+	entries := testEntries(log)
+	chains := log.Dialect.Chains()
+	inv := log.Dialect.Inventory()
+
+	failedNodes := map[string]bool{}
+	for _, f := range log.Failures {
+		failedNodes[f.Node] = true
+	}
+
+	detectors := []Detector{
+		NewDesh(inv, chains, 1),
+		NewDeepLog(inv, chains, 1),
+		NewCloudSeer(inv, chains),
+	}
+	for _, d := range detectors {
+		flagged := runDetector(d, entries)
+		hits := 0
+		for node := range failedNodes {
+			if flagged[node] {
+				hits++
+			}
+		}
+		if hits == 0 {
+			t.Errorf("%s flagged none of the %d failed nodes (flagged: %v)", d.Name(), len(failedNodes), flagged)
+		}
+	}
+}
+
+func TestCloudSeerExactChainCompletes(t *testing.T) {
+	d := loggen.DialectXC30
+	cs := NewCloudSeer(d.Inventory(), d.Chains())
+	chain := d.Chains()[0] // Table III FC1, 6 phrases
+	spec := d.ChainSpecs()[0]
+	t0 := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	var pred *Prediction
+	for i, ev := range spec.Events {
+		tpl, _ := d.Template(ev)
+		msg := tpl.Pattern // pattern text itself matches the template
+		p := cs.Process(Entry{
+			Time: t0.Add(time.Duration(i) * 30 * time.Second), Node: "n1",
+			Phrase: chain.Phrases[i], Message: msg,
+		})
+		if p != nil {
+			pred = p
+		}
+	}
+	if pred == nil || pred.Node != "n1" {
+		t.Fatalf("CloudSeer did not complete the exact chain: %v", pred)
+	}
+}
+
+func TestCloudSeerTimeoutPrunes(t *testing.T) {
+	d := loggen.DialectXC30
+	cs := NewCloudSeer(d.Inventory(), d.Chains())
+	spec := d.ChainSpecs()[0]
+	chain := d.Chains()[0]
+	t0 := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	var pred *Prediction
+	for i, ev := range spec.Events {
+		tpl, _ := d.Template(ev)
+		at := t0.Add(time.Duration(i) * 30 * time.Second)
+		if i == 3 {
+			at = at.Add(20 * time.Minute) // exceeds the 4-minute automaton timeout
+		}
+		if p := cs.Process(Entry{Time: at, Node: "n1", Phrase: chain.Phrases[i], Message: tpl.Pattern}); p != nil {
+			pred = p
+		}
+	}
+	if pred != nil {
+		t.Fatalf("CloudSeer completed across a 20-minute gap: %v", pred)
+	}
+}
+
+func TestDeepLogAnomalyOnUnseenTransition(t *testing.T) {
+	d := loggen.DialectXC30
+	dl := NewDeepLog(d.Inventory(), d.Chains(), 3)
+	// A healthy stream of benign keys must not flag.
+	t0 := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	benign := Entry{Node: "n1", Phrase: 0}
+	for i := 0; i < 50; i++ {
+		benign.Time = t0.Add(time.Duration(i) * 10 * time.Second)
+		if p := dl.Process(benign); p != nil {
+			t.Fatalf("DeepLog flagged a purely benign stream at %d", i)
+		}
+	}
+}
+
+func TestDetectorResetClearsState(t *testing.T) {
+	log := smallLog(t, 7, 1)
+	entries := testEntries(log)
+	chains := log.Dialect.Chains()
+	inv := log.Dialect.Inventory()
+	for _, d := range []Detector{NewDesh(inv, chains, 1), NewDeepLog(inv, chains, 1), NewCloudSeer(inv, chains)} {
+		r1 := runDetector(d, entries)
+		d.Reset()
+		r2 := runDetector(d, entries)
+		if len(r1) != len(r2) {
+			t.Errorf("%s: results differ after Reset: %v vs %v", d.Name(), r1, r2)
+		}
+	}
+}
+
+func BenchmarkDeshPerEntry(b *testing.B)    { benchDetector(b, "desh") }
+func BenchmarkDeepLogPerEntry(b *testing.B) { benchDetector(b, "deeplog") }
+func BenchmarkCloudSeerPerEntry(b *testing.B) {
+	benchDetector(b, "cloudseer")
+}
+
+func benchDetector(b *testing.B, which string) {
+	log := smallLog(b, 42, 2)
+	entries := testEntries(log)
+	chains := log.Dialect.Chains()
+	inv := log.Dialect.Inventory()
+	var d Detector
+	switch which {
+	case "desh":
+		d = NewDesh(inv, chains, 1)
+	case "deeplog":
+		d = NewDeepLog(inv, chains, 1)
+	default:
+		d = NewCloudSeer(inv, chains)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(entries[i%len(entries)])
+	}
+}

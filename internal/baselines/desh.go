@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// Desh reproduces the structure of Desh [25]: a log-key LSTM that, fed the
+// per-node event stream, predicts whether the observed prefix is heading
+// toward a node failure. It pays one LSTM forward step per log entry — the
+// per-entry cost that Table VI contrasts with Aarohi's parser step.
+type Desh struct {
+	model     *nn.Model
+	idx       map[core.PhraseID]int
+	failed    map[int]bool
+	states    map[string]nn.State
+	threshold float64
+}
+
+// DeshHidden is the hidden width of the Desh model (a deliberately smaller
+// model than DeepLog's, matching Desh's lower published per-entry cost).
+const DeshHidden = 64
+
+// NewDesh builds and trains a Desh detector for the given system.
+func NewDesh(inventory []core.Template, chains []core.FailureChain, seed int64) *Desh {
+	idx, failed, vocab := vocabOf(inventory)
+	rng := rand.New(rand.NewSource(seed))
+	m := nn.NewModel(vocab, 16, DeshHidden, rng)
+	trainOnChains(m, chains, idx, 40)
+	return &Desh{
+		model: m, idx: idx, failed: failed,
+		states:    map[string]nn.State{},
+		threshold: 0.5,
+	}
+}
+
+// Name implements Detector.
+func (d *Desh) Name() string { return "Desh" }
+
+// Reset implements Detector.
+func (d *Desh) Reset() { d.states = map[string]nn.State{} }
+
+// Process runs one LSTM step on the node's stream and flags a failure when
+// the model puts more than threshold probability on a failed-message key.
+// Benign keys are filtered before inference, as in Desh's preprocessing.
+func (d *Desh) Process(e Entry) *Prediction {
+	key := d.idx[e.Phrase] // 0 for benign/unknown keys
+	if key == 0 {
+		return nil
+	}
+	st, ok := d.states[e.Node]
+	if !ok {
+		st = d.model.NewState()
+	}
+	st, probs := d.model.StepState(key, st)
+	d.states[e.Node] = st
+	pFail := 0.0
+	for k := range d.failed {
+		pFail += probs[k]
+	}
+	if pFail > d.threshold {
+		// Flagged: reset the node's state so successive failures re-arm.
+		delete(d.states, e.Node)
+		return &Prediction{Node: e.Node, At: e.Time}
+	}
+	return nil
+}

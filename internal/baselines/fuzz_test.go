@@ -1,0 +1,48 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rex"
+)
+
+// FuzzWildcardMatch cross-validates the backtracking glob matcher against
+// the rex DFA engine (translating '*' templates to anchored '.*' patterns
+// with prefix semantics), on arbitrary pattern/input pairs.
+func FuzzWildcardMatch(f *testing.F) {
+	f.Add("a*c", "abbbc")
+	f.Add("DVS: verify filesystem: *", "DVS: verify filesystem: magic")
+	f.Add("*", "")
+	f.Add("a*b*c*d", "a-b-c-d-tail")
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		if len(pattern) > 48 || len(input) > 128 {
+			return
+		}
+		if strings.Count(pattern, "*") > 6 {
+			return
+		}
+		// '\n' is excluded: rex's '.' does not match newlines while the
+		// glob matcher's '*' does — an intentional divergence irrelevant to
+		// single-line log messages.
+		if strings.ContainsRune(pattern, '\n') || strings.ContainsRune(input, '\n') {
+			return
+		}
+		got := wildcardMatch(pattern, input)
+
+		// Oracle: quote literals, '*' → '.*', prefix semantics via longest
+		// prefix match against pattern+".*".
+		parts := strings.Split(pattern, "*")
+		for i, p := range parts {
+			parts[i] = rex.QuoteMeta(p)
+		}
+		re, err := rex.Compile(strings.Join(parts, ".*") + ".*")
+		if err != nil {
+			t.Fatalf("oracle compile failed for %q: %v", pattern, err)
+		}
+		want := re.Match([]byte(input))
+		if got != want {
+			t.Fatalf("wildcardMatch(%q, %q) = %v, rex oracle = %v", pattern, input, got, want)
+		}
+	})
+}

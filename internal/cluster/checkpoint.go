@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// Checkpoint economics. The paper's introduction motivates prediction by
+// the cost of reactive fault tolerance: periodic checkpoint/restart wastes
+// compute on checkpoint I/O, lost work since the last checkpoint, and
+// restart. This model quantifies how much of that waste the predictor's
+// lead time buys back, using the standard first-order analysis (Young/Daly)
+// for the periodic baseline.
+
+// CheckpointModel parameterizes the application and machine.
+type CheckpointModel struct {
+	// CheckpointCost is the time to write one checkpoint (C).
+	CheckpointCost time.Duration
+	// RestartCost is the time to restore and resume after a failure (R).
+	RestartCost time.Duration
+	// MigrationCost is the proactive action completed inside the lead time
+	// (process migration: 3.1 s per Ouyang et al.).
+	MigrationCost time.Duration
+}
+
+// DefaultCheckpointModel reflects a mid-size job on a parallel filesystem.
+var DefaultCheckpointModel = CheckpointModel{
+	CheckpointCost: 4 * time.Minute,
+	RestartCost:    8 * time.Minute,
+	MigrationCost:  ProcessMigration.Cost,
+}
+
+// OptimalInterval returns the Young/Daly first-order optimal checkpoint
+// interval τ ≈ √(2·C·MTBF) for the given mean time between failures.
+func (m CheckpointModel) OptimalInterval(mtbf time.Duration) time.Duration {
+	if mtbf <= 0 {
+		return m.CheckpointCost
+	}
+	tau := math.Sqrt(2 * float64(m.CheckpointCost) * float64(mtbf))
+	return time.Duration(tau)
+}
+
+// WasteBreakdown itemizes lost compute time over an execution window.
+type WasteBreakdown struct {
+	// CheckpointIO is time spent writing periodic checkpoints.
+	CheckpointIO time.Duration
+	// LostWork is recomputation of work since the last checkpoint, per
+	// failure (τ/2 expected), for failures handled reactively.
+	LostWork time.Duration
+	// Restarts is restart cost for reactively handled failures.
+	Restarts time.Duration
+	// Migrations is the proactive-action cost for predicted failures.
+	Migrations time.Duration
+}
+
+// Total sums the waste.
+func (w WasteBreakdown) Total() time.Duration {
+	return w.CheckpointIO + w.LostWork + w.Restarts + w.Migrations
+}
+
+// ReactiveWaste models the no-prediction baseline: periodic checkpoints at
+// the optimal interval, every failure handled by rollback.
+func (m CheckpointModel) ReactiveWaste(window, mtbf time.Duration, failures int) WasteBreakdown {
+	tau := m.OptimalInterval(mtbf)
+	var w WasteBreakdown
+	if tau > 0 {
+		w.CheckpointIO = time.Duration(float64(window) / float64(tau) * float64(m.CheckpointCost))
+	}
+	w.LostWork = time.Duration(failures) * tau / 2
+	w.Restarts = time.Duration(failures) * m.RestartCost
+	return w
+}
+
+// PredictiveWaste models prediction-assisted execution scored from an
+// actual evaluation Report: failures predicted with lead time above the
+// migration cost are migrated proactively (no lost work, no restart);
+// unpredicted or too-late failures fall back to rollback. Periodic
+// checkpointing continues for the fallback path, at the interval optimal
+// for the *residual* failure rate.
+func (m CheckpointModel) PredictiveWaste(window time.Duration, rep *Report) WasteBreakdown {
+	migrated, reactive := 0, 0
+	for _, o := range rep.Outcomes {
+		if o.Predicted && o.Lead > m.MigrationCost {
+			migrated++
+		} else {
+			reactive++
+		}
+	}
+	var w WasteBreakdown
+	w.Migrations = time.Duration(migrated) * m.MigrationCost
+	if reactive == 0 {
+		// Nothing falls through to rollback: one safety checkpoint suffices.
+		w.CheckpointIO = m.CheckpointCost
+		return w
+	}
+	// Residual failure rate: only the reactively handled failures matter
+	// for the checkpoint interval.
+	residualMTBF := window / time.Duration(reactive)
+	tau := m.OptimalInterval(residualMTBF)
+	if tau > 0 {
+		w.CheckpointIO = time.Duration(float64(window) / float64(tau) * float64(m.CheckpointCost))
+	}
+	w.LostWork = time.Duration(reactive) * tau / 2
+	w.Restarts = time.Duration(reactive) * m.RestartCost
+	return w
+}

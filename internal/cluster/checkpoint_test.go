@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/loggen"
+	"repro/internal/predictor"
+)
+
+func TestOptimalInterval(t *testing.T) {
+	m := DefaultCheckpointModel
+	// Young/Daly: τ = √(2·C·MTBF). C = 4 min, MTBF = 8 h → √(2·240·28800) s
+	// ≈ 3718 s ≈ 62 min.
+	tau := m.OptimalInterval(8 * time.Hour)
+	want := math.Sqrt(2 * 240 * 28800)
+	if math.Abs(tau.Seconds()-want) > 1 {
+		t.Errorf("τ = %v, want ≈ %.0f s", tau, want)
+	}
+	// Monotone in MTBF.
+	if m.OptimalInterval(time.Hour) >= m.OptimalInterval(10*time.Hour) {
+		t.Error("τ not monotone in MTBF")
+	}
+	if m.OptimalInterval(0) != m.CheckpointCost {
+		t.Error("degenerate MTBF not handled")
+	}
+}
+
+func TestReactiveWaste(t *testing.T) {
+	m := DefaultCheckpointModel
+	window := 24 * time.Hour
+	mtbf := 8 * time.Hour
+	w := m.ReactiveWaste(window, mtbf, 3)
+	if w.CheckpointIO <= 0 || w.LostWork <= 0 || w.Restarts != 3*m.RestartCost {
+		t.Errorf("waste = %+v", w)
+	}
+	if w.Migrations != 0 {
+		t.Error("reactive baseline has migrations")
+	}
+	// More failures → more waste.
+	if m.ReactiveWaste(window, mtbf, 6).Total() <= w.Total() {
+		t.Error("waste not monotone in failures")
+	}
+}
+
+func TestPredictiveBeatsReactive(t *testing.T) {
+	// A real evaluation: ground-truth chains predict everything with
+	// minutes of lead time, so the predictive schedule should waste far
+	// less than periodic checkpointing.
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 42, Duration: 8 * time.Hour,
+		Nodes: 16, Failures: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(log, log.Dialect.Chains(), predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultCheckpointModel
+	window := 8 * time.Hour
+	mtbf := window / 8
+	reactive := m.ReactiveWaste(window, mtbf, 8)
+	predictive := m.PredictiveWaste(window, rep)
+	if predictive.Total() >= reactive.Total() {
+		t.Errorf("prediction did not reduce waste: %v vs %v", predictive.Total(), reactive.Total())
+	}
+	if predictive.Migrations == 0 {
+		t.Error("no migrations accounted")
+	}
+	// With perfect prediction there is no reactive path at all.
+	if rep.Confusion.FN == 0 && (predictive.LostWork != 0 || predictive.Restarts != 0) {
+		t.Errorf("perfect prediction still has rollback waste: %+v", predictive)
+	}
+}
+
+func TestPredictiveWasteWithMisses(t *testing.T) {
+	// Half the chains unknown → some failures fall back to rollback.
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 9, Duration: 8 * time.Hour,
+		Nodes: 12, Failures: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(log, log.Dialect.Chains()[:3], predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultCheckpointModel
+	w := m.PredictiveWaste(8*time.Hour, rep)
+	if w.Restarts == 0 || w.LostWork == 0 {
+		t.Errorf("missed failures must produce rollback waste: %+v", w)
+	}
+	if w.Total() <= 0 {
+		t.Error("non-positive total")
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/loggen"
+	"repro/internal/predictor"
+)
+
+func TestTopology(t *testing.T) {
+	top := Topology{Cabinets: 2, ChassisPerCab: 3, BladesPerChass: 16, NodesPerBlade: 4}
+	if top.Nodes() != 384 {
+		t.Errorf("Nodes = %d, want 384", top.Nodes())
+	}
+	if top.BladeController(0) != "bc0" || top.BladeController(7) != "bc1" {
+		t.Errorf("blade controllers: %s, %s", top.BladeController(0), top.BladeController(7))
+	}
+	if top.ChassisController(0) != "cc0" || top.ChassisController(64) != "cc1" {
+		t.Errorf("chassis controllers: %s, %s", top.ChassisController(0), top.ChassisController(64))
+	}
+	if DefaultTopology.Nodes() == 0 {
+		t.Error("default topology empty")
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 42, Duration: 4 * time.Hour,
+		Nodes: 10, Failures: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(log, log.Dialect.Chains(), predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(rep.Outcomes))
+	}
+	// Ground-truth chains on clean injections: everything predicted, no
+	// false alarms (paper: "no cases where this method results in false
+	// positives").
+	if rep.Confusion.TP != 6 || rep.Confusion.FN != 0 {
+		t.Errorf("confusion = %+v, want TP=6 FN=0", rep.Confusion)
+	}
+	if len(rep.FalseAlarms) != 0 {
+		t.Errorf("false alarms: %v", rep.FalseAlarms)
+	}
+	if rep.Confusion.TN == 0 {
+		t.Error("no true negatives despite healthy nodes")
+	}
+	// Lead times are minutes-scale; every predicted failure fits process
+	// migration (3.1 s) and quarantine (1 s).
+	if rep.LeadTimes.Mean() < 1 || rep.LeadTimes.Mean() > 5 {
+		t.Errorf("mean lead = %v min, want 1–5", rep.LeadTimes.Mean())
+	}
+	if got := rep.FeasibleCount(ProcessMigration); got != 6 {
+		t.Errorf("process migration feasible for %d/6", got)
+	}
+	if got := rep.FeasibleCount(Quarantine); got != 6 {
+		t.Errorf("quarantine feasible for %d/6", got)
+	}
+	for _, o := range rep.Outcomes {
+		if !o.Predicted {
+			t.Errorf("unpredicted: %s/%s", o.Injected.Node, o.Injected.ChainName)
+		}
+		if o.Lead <= 0 {
+			t.Errorf("non-positive lead for %s", o.Injected.Node)
+		}
+	}
+}
+
+func TestEvaluateWithImperfectChains(t *testing.T) {
+	// Using only half the chains must produce false negatives for failures
+	// of the missing chains, never false positives.
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 9, Duration: 4 * time.Hour,
+		Nodes: 12, Failures: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := log.Dialect.Chains()[:3]
+	rep, err := Evaluate(log, chains, predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Confusion.FN == 0 {
+		t.Error("expected false negatives with half the chains")
+	}
+	if rep.Confusion.TP == 0 {
+		t.Error("expected some true positives")
+	}
+	if rep.Confusion.Recall() >= 100 {
+		t.Errorf("recall = %v, want < 100", rep.Confusion.Recall())
+	}
+}
+
+func TestEvaluateWithReusesPredictor(t *testing.T) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXE6, Seed: 3, Duration: 2 * time.Hour,
+		Nodes: 5, Failures: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := predictor.New(log.Dialect.Chains(), log.Dialect.Inventory(), predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := EvaluateWith(p, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := EvaluateWith(p, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Confusion != r2.Confusion {
+		t.Errorf("re-evaluation differs: %+v vs %+v", r1.Confusion, r2.Confusion)
+	}
+}
+
+func TestTransportDelayInsensitivity(t *testing.T) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 21, Duration: 3 * time.Hour,
+		Nodes: 8, Failures: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := log.Dialect.Chains()
+	base, err := Evaluate(log, chains, predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Transport{Base: 5 * time.Millisecond, Jitter: 40 * time.Millisecond, Seed: 9}
+	delayed := tr.Apply(log)
+	// Events stay sorted and the ground truth is untouched.
+	for i := 1; i < len(delayed.Events); i++ {
+		if delayed.Events[i].Time.Before(delayed.Events[i-1].Time) {
+			t.Fatal("transported events unsorted")
+		}
+	}
+	if len(delayed.Failures) != len(log.Failures) {
+		t.Fatal("ground truth changed")
+	}
+	rep, err := Evaluate(delayed, chains, predictor.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Confusion.TP != base.Confusion.TP {
+		t.Errorf("transport changed TP: %d vs %d", rep.Confusion.TP, base.Confusion.TP)
+	}
+	// Milliseconds of transport must not move minutes of lead time by more
+	// than the delay bound (plus reordering slack of one event gap).
+	if diff := base.LeadTimes.Mean() - rep.LeadTimes.Mean(); diff > 0.01 || diff < -0.01 {
+		t.Errorf("lead time shifted by %.4f min under ms-scale transport", diff)
+	}
+}
+
+func TestActionCosts(t *testing.T) {
+	if ProcessMigration.Cost >= LiveMigration.Cost {
+		t.Error("process migration should be cheaper than live migration")
+	}
+	if Quarantine.Cost >= ProcessMigration.Cost {
+		t.Error("quarantine should be cheapest")
+	}
+	if len(DefaultActions) < 4 {
+		t.Error("missing default actions")
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lalr"
+)
+
+// tableIVChains returns FC1 and FC5 exactly as in Table IV of the paper.
+func tableIVChains() []FailureChain {
+	return []FailureChain{
+		{Name: "FC1", Phrases: []PhraseID{176, 177, 178, 179, 180, 137}},
+		{Name: "FC5", Phrases: []PhraseID{172, 177, 178, 193, 137}},
+	}
+}
+
+func TestTranslateTableIV(t *testing.T) {
+	rs, err := TranslateFCs(tableIVChains(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token list: unique phrases in order of first appearance.
+	want := []PhraseID{176, 177, 178, 179, 180, 137, 172, 193}
+	if len(rs.TokenList) != len(want) {
+		t.Fatalf("TokenList = %v, want %v", rs.TokenList, want)
+	}
+	for i, p := range want {
+		if rs.TokenList[i] != p {
+			t.Fatalf("TokenList = %v, want %v", rs.TokenList, want)
+		}
+	}
+	// The common subchain (177 178) must be factored into a non-terminal.
+	if len(rs.Subchains) == 0 {
+		t.Fatal("no subchains factored; Table IV derives B → (177 178)")
+	}
+	found := false
+	for _, b := range rs.Subchains {
+		if len(b.Rhs) == 2 && rs.Phrase(b.Rhs[0]) == 177 && rs.Phrase(b.Rhs[1]) == 178 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("factored subchains %v do not include (177 178)", rs.Subchains)
+	}
+	// Both chains parse to their own tags.
+	for i, fc := range rs.Chains {
+		syms := make([]lalr.Symbol, len(fc.Phrases))
+		for j, p := range fc.Phrases {
+			s, ok := rs.Term(p)
+			if !ok {
+				t.Fatalf("phrase %d not in token list", p)
+			}
+			syms[j] = s
+		}
+		tag, ok := rs.Tables.Parse(syms)
+		if !ok || tag != i {
+			t.Errorf("chain %s parse = (%d,%v), want (%d,true)", fc.Name, tag, ok, i)
+		}
+	}
+}
+
+func TestTranslateNoFactoring(t *testing.T) {
+	rs, err := TranslateFCs(tableIVChains(), Options{DisableFactoring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Subchains) != 0 {
+		t.Errorf("factoring disabled but got subchains %v", rs.Subchains)
+	}
+	for i, r := range rs.Rules {
+		if len(r.Rhs) != len(rs.Chains[i].Phrases) {
+			t.Errorf("rule %d factored despite DisableFactoring", i)
+		}
+	}
+	// Language must be identical to the factored form.
+	for i, fc := range rs.Chains {
+		syms := phrasesToSyms(t, rs, fc.Phrases)
+		if tag, ok := rs.Tables.Parse(syms); !ok || tag != i {
+			t.Errorf("chain %s parse = (%d,%v)", fc.Name, tag, ok)
+		}
+	}
+}
+
+func phrasesToSyms(t *testing.T, rs *RuleSet, ps []PhraseID) []lalr.Symbol {
+	t.Helper()
+	syms := make([]lalr.Symbol, len(ps))
+	for i, p := range ps {
+		s, ok := rs.Term(p)
+		if !ok {
+			t.Fatalf("phrase %d missing", p)
+		}
+		syms[i] = s
+	}
+	return syms
+}
+
+func TestTranslateValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		chains []FailureChain
+	}{
+		{"empty set", nil},
+		{"unnamed", []FailureChain{{Phrases: []PhraseID{1}}}},
+		{"empty chain", []FailureChain{{Name: "FC1"}}},
+		{"dup name", []FailureChain{
+			{Name: "FC1", Phrases: []PhraseID{1, 2}},
+			{Name: "FC1", Phrases: []PhraseID{3, 4}},
+		}},
+		{"dup sequence", []FailureChain{
+			{Name: "FC1", Phrases: []PhraseID{1, 2}},
+			{Name: "FC2", Phrases: []PhraseID{1, 2}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := TranslateFCs(tc.chains, Options{}); err == nil {
+			t.Errorf("%s: TranslateFCs succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestChainTimeout(t *testing.T) {
+	chains := []FailureChain{
+		{Name: "FC1", Phrases: []PhraseID{1, 2}, Timeout: 90 * time.Second},
+		{Name: "FC2", Phrases: []PhraseID{3, 4}},
+	}
+	rs, err := TranslateFCs(chains, Options{Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.ChainTimeout(0); got != 90*time.Second {
+		t.Errorf("ChainTimeout(0) = %v, want 90s", got)
+	}
+	if got := rs.ChainTimeout(1); got != 2*time.Minute {
+		t.Errorf("ChainTimeout(1) = %v, want 2m", got)
+	}
+	if got := rs.ChainTimeout(99); got != 2*time.Minute {
+		t.Errorf("ChainTimeout(out of range) = %v, want default", got)
+	}
+	rs2, err := TranslateFCs(chains, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs2.ChainTimeout(1); got != DefaultTimeout {
+		t.Errorf("default ChainTimeout = %v, want %v", got, DefaultTimeout)
+	}
+}
+
+func TestRelevantAndTerm(t *testing.T) {
+	rs, err := TranslateFCs(tableIVChains(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Relevant(177) {
+		t.Error("177 should be relevant")
+	}
+	if rs.Relevant(999) {
+		t.Error("999 should not be relevant")
+	}
+	if _, ok := rs.Term(999); ok {
+		t.Error("Term(999) should fail")
+	}
+	if p := rs.Phrase(0); p != -1 {
+		t.Errorf("Phrase(EOF) = %d, want -1", p)
+	}
+	if p := rs.Phrase(lalr.Symbol(9999)); p != -1 {
+		t.Errorf("Phrase(out of range) = %d, want -1", p)
+	}
+	// Round trip.
+	s, _ := rs.Term(176)
+	if rs.Phrase(s) != 176 {
+		t.Error("Term/Phrase round trip failed")
+	}
+}
+
+func TestDumpRules(t *testing.T) {
+	rs, err := TranslateFCs(tableIVChains(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := rs.DumpRules()
+	for _, want := range []string{"FC1", "FC5", "B1", "p177", "p178"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("DumpRules missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestPrefixChains(t *testing.T) {
+	chains := []FailureChain{
+		{Name: "A", Phrases: []PhraseID{1, 2}},
+		{Name: "B", Phrases: []PhraseID{1, 2, 3}},
+		{Name: "C", Phrases: []PhraseID{4, 5}},
+	}
+	got := PrefixChains(chains)
+	if len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Errorf("PrefixChains = %v, want [[0 1]]", got)
+	}
+	if got := PrefixChains(chains[2:]); len(got) != 0 {
+		t.Errorf("PrefixChains(no prefixes) = %v", got)
+	}
+}
+
+func TestChainsJSONRoundTrip(t *testing.T) {
+	chains := tableIVChains()
+	chains[0].Timeout = 3 * time.Minute
+	var buf bytes.Buffer
+	if err := WriteChains(&buf, chains); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChains(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(chains) {
+		t.Fatalf("round trip count = %d, want %d", len(got), len(chains))
+	}
+	for i := range got {
+		if got[i].Name != chains[i].Name || got[i].Timeout != chains[i].Timeout ||
+			len(got[i].Phrases) != len(chains[i].Phrases) {
+			t.Errorf("chain %d mismatch: %+v vs %+v", i, got[i], chains[i])
+		}
+	}
+	if _, err := ReadChains(strings.NewReader("not json")); err == nil {
+		t.Error("ReadChains(garbage) succeeded")
+	}
+}
+
+func TestTemplatesJSONRoundTrip(t *testing.T) {
+	ts := []Template{
+		{ID: 140, Pattern: "DVS: verify filesystem: *", Class: Unknown},
+		{ID: 127, Pattern: "cb_node_unavailable*", Class: Failed},
+	}
+	var buf bytes.Buffer
+	if err := WriteTemplates(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTemplates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ts[0] || got[1] != ts[1] {
+		t.Errorf("round trip = %+v, want %+v", got, ts)
+	}
+	if _, err := ReadTemplates(strings.NewReader("{")); err == nil {
+		t.Error("ReadTemplates(garbage) succeeded")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{Benign, "B"}, {Unknown, "U"}, {Erroneous, "E"}, {Failed, "F"}, {Class(99), "?"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}
+
+// Property: for random chain sets, translation succeeds and every original
+// chain parses to its own tag, factored or not — the factoring preserves
+// each rule's language exactly.
+func TestTranslatePreservesChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 150; iter++ {
+		n := 1 + rng.Intn(6)
+		chains := make([]FailureChain, 0, n)
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			l := 2 + rng.Intn(10)
+			ps := make([]PhraseID, l)
+			for j := range ps {
+				ps[j] = PhraseID(100 + rng.Intn(12))
+			}
+			key := seqKey(ps)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			chains = append(chains, FailureChain{Name: chainName(len(chains)), Phrases: ps})
+		}
+		if len(chains) == 0 {
+			continue
+		}
+		for _, factoring := range []bool{false, true} {
+			rs, err := TranslateFCs(chains, Options{DisableFactoring: !factoring})
+			if err != nil {
+				t.Fatalf("iter %d factoring=%v: %v", iter, factoring, err)
+			}
+			for i, fc := range chains {
+				syms := phrasesToSyms(t, rs, fc.Phrases)
+				tag, ok := rs.Tables.Parse(syms)
+				if !ok {
+					t.Fatalf("iter %d factoring=%v: chain %d rejected (chains=%v)\nrules:\n%s",
+						iter, factoring, i, chains, rs.DumpRules())
+				}
+				// With factoring, distinct chains can become mergeable
+				// (crossovers); the tag must still identify *a* chain whose
+				// sequence equals the input — for non-crossover inputs that
+				// is chain i itself.
+				if tag != i && seqKey(chains[tag].Phrases) != seqKey(fc.Phrases) {
+					t.Fatalf("iter %d factoring=%v: chain %d parsed with tag %d", iter, factoring, i, tag)
+				}
+			}
+		}
+	}
+}
+
+func chainName(i int) string {
+	return "FC" + string(rune('A'+i))
+}
+
+// Property: a random non-chain sequence (differing from every chain) is
+// rejected by the unfactored grammar.
+func TestTranslateRejectsNonChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	chains := []FailureChain{
+		{Name: "FC1", Phrases: []PhraseID{1, 2, 3, 4}},
+		{Name: "FC2", Phrases: []PhraseID{2, 3, 5}},
+		{Name: "FC3", Phrases: []PhraseID{1, 5, 5, 2, 4}},
+	}
+	rs, err := TranslateFCs(chains, Options{DisableFactoring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isChain := map[string]bool{}
+	for _, fc := range chains {
+		isChain[seqKey(fc.Phrases)] = true
+	}
+	for iter := 0; iter < 500; iter++ {
+		l := 1 + rng.Intn(7)
+		ps := make([]PhraseID, l)
+		for j := range ps {
+			ps[j] = PhraseID(1 + rng.Intn(5))
+		}
+		if isChain[seqKey(ps)] {
+			continue
+		}
+		syms := make([]lalr.Symbol, l)
+		valid := true
+		for j, p := range ps {
+			s, ok := rs.Term(p)
+			if !ok {
+				valid = false
+				break
+			}
+			syms[j] = s
+		}
+		if !valid {
+			continue
+		}
+		if tag, ok := rs.Tables.Parse(syms); ok {
+			t.Fatalf("non-chain %v accepted with tag %d", ps, tag)
+		}
+	}
+}

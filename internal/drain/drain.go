@@ -1,0 +1,373 @@
+// Package drain mines log templates from raw messages online, in the style
+// of Drain (He et al., ICWS 2017 — the paper's reference [32]): a
+// fixed-depth parse tree routes each message by token count and leading
+// tokens to a leaf holding template groups; a similarity threshold decides
+// whether the message joins an existing group (wildcarding divergent
+// positions) or starts a new one.
+//
+// Aarohi's pipeline assumes a phrase-template inventory exists (Phase 1's
+// log parsing, taken from prior work). This package supplies that step for
+// deployments that start from raw logs: mine templates here, classify them
+// (the keyword heuristic stands in for the paper's "consulting with the
+// system administrators"), then hand the inventory to trainer.Train and
+// predictor.New.
+package drain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes the miner.
+type Config struct {
+	// Depth is the number of leading tokens used for tree routing
+	// (default 3).
+	Depth int
+	// SimilarityThreshold is the minimum fraction of equal tokens for a
+	// message to join a group (default 0.5).
+	SimilarityThreshold float64
+	// MaxChildren bounds the branching per internal node; overflow routes
+	// through a wildcard child (default 100).
+	MaxChildren int
+	// IDBase is the phrase ID assigned to the first mined template
+	// (default 1).
+	IDBase core.PhraseID
+}
+
+func (c *Config) setDefaults() {
+	if c.Depth == 0 {
+		c.Depth = 3
+	}
+	if c.SimilarityThreshold == 0 {
+		c.SimilarityThreshold = 0.5
+	}
+	if c.MaxChildren == 0 {
+		c.MaxChildren = 100
+	}
+	if c.IDBase == 0 {
+		c.IDBase = 1
+	}
+}
+
+// group is one mined template: a token vector where "" marks a wildcard.
+type group struct {
+	id     core.PhraseID
+	tokens []string
+	count  int
+}
+
+// node is one internal tree node.
+type node struct {
+	children map[string]*node
+	groups   []*group
+}
+
+// Miner is an online template miner. The zero value is not usable; call New.
+type Miner struct {
+	cfg    Config
+	roots  map[int]*node // by token count
+	byID   map[core.PhraseID]*group
+	nextID core.PhraseID
+}
+
+// New returns a miner.
+func New(cfg Config) *Miner {
+	cfg.setDefaults()
+	return &Miner{
+		cfg:    cfg,
+		roots:  map[int]*node{},
+		byID:   map[core.PhraseID]*group{},
+		nextID: cfg.IDBase,
+	}
+}
+
+// maskToken masks variable content embedded inside a structured token:
+// bracketed or parenthesized payloads ("sshd[12345]:" → "sshd[*]:") — the
+// regex-style preprocessing every practical Drain deployment applies.
+func maskToken(tok string) string {
+	for _, pair := range [...][2]byte{{'[', ']'}, {'(', ')'}} {
+		i := strings.IndexByte(tok, pair[0])
+		if i < 0 {
+			continue
+		}
+		j := strings.LastIndexByte(tok, pair[1])
+		if j > i+1 {
+			tok = tok[:i+1] + "*" + tok[j:]
+		}
+	}
+	return tok
+}
+
+// wildcardToken reports whether a (masked) token is variable content
+// (numbers, hex, node IDs, paths, key=value fields) that should never
+// participate in routing or matching.
+func wildcardToken(tok string) bool {
+	if tok == "" {
+		return true
+	}
+	digits := 0
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c >= '0' && c <= '9' {
+			digits++
+		}
+	}
+	if digits > 0 && digits*2 >= len(tok) {
+		return true // half-numeric: counters, hex, node names like c0-0c2s0n2
+	}
+	if strings.HasPrefix(tok, "0x") || strings.ContainsAny(tok, "/=") {
+		return true
+	}
+	return false
+}
+
+// tokenize splits a message into canonical tokens: masked, with variable
+// tokens replaced by "" (the wildcard marker).
+func tokenize(message string) []string {
+	fields := strings.Fields(message)
+	for i, tok := range fields {
+		tok = maskToken(tok)
+		if wildcardToken(tok) {
+			tok = ""
+		}
+		fields[i] = tok
+	}
+	return fields
+}
+
+// Learn consumes one message and returns the ID of its template group.
+func (m *Miner) Learn(message string) core.PhraseID {
+	tokens := tokenize(message)
+	leaf := m.route(tokens, true)
+	best, bestSim := m.bestGroup(leaf, tokens)
+	if best != nil && bestSim >= m.cfg.SimilarityThreshold {
+		merge(best, tokens)
+		best.count++
+		return best.id
+	}
+	g := &group{id: m.nextID, tokens: append([]string(nil), tokens...), count: 1}
+	m.nextID++
+	leaf.groups = append(leaf.groups, g)
+	m.byID[g.id] = g
+	return g.id
+}
+
+// Lookup classifies a message against the already-mined templates without
+// learning. Returns false when no group is similar enough.
+func (m *Miner) Lookup(message string) (core.PhraseID, bool) {
+	tokens := tokenize(message)
+	root, ok := m.roots[bucketLen(len(tokens))]
+	if !ok {
+		return 0, false
+	}
+	leaf := routeFrom(root, tokens, m.cfg, false)
+	if leaf == nil {
+		return 0, false
+	}
+	best, sim := m.bestGroup(leaf, tokens)
+	if best == nil || sim < m.cfg.SimilarityThreshold {
+		return 0, false
+	}
+	return best.id, true
+}
+
+// bucketLen coarsens long messages into one bucket so that variable-length
+// tails (stack traces, lists) do not explode the tree.
+func bucketLen(n int) int {
+	if n > 16 {
+		return 17
+	}
+	return n
+}
+
+func (m *Miner) route(tokens []string, create bool) *node {
+	bucket := bucketLen(len(tokens))
+	root, ok := m.roots[bucket]
+	if !ok {
+		if !create {
+			return nil
+		}
+		root = &node{children: map[string]*node{}}
+		m.roots[bucket] = root
+	}
+	return routeFrom(root, tokens, m.cfg, create)
+}
+
+func routeFrom(n *node, tokens []string, cfg Config, create bool) *node {
+	cur := n
+	for d := 0; d < cfg.Depth && d < len(tokens); d++ {
+		key := tokens[d]
+		if key == "" {
+			key = "*"
+		}
+		child, ok := cur.children[key]
+		if !ok {
+			if len(cur.children) >= cfg.MaxChildren {
+				key = "*"
+				child, ok = cur.children[key]
+			}
+			if !ok {
+				if !create {
+					return cur // match against the groups reachable here
+				}
+				child = &node{children: map[string]*node{}}
+				cur.children[key] = child
+			}
+		}
+		cur = child
+	}
+	return cur
+}
+
+// bestGroup finds the most similar group at the leaf.
+func (m *Miner) bestGroup(leaf *node, tokens []string) (*group, float64) {
+	if leaf == nil {
+		return nil, 0
+	}
+	var best *group
+	bestSim := -1.0
+	for _, g := range leaf.groups {
+		sim := similarity(g.tokens, tokens)
+		if sim > bestSim {
+			best, bestSim = g, sim
+		}
+	}
+	return best, bestSim
+}
+
+// similarity is the fraction of positions with equal, non-wildcard tokens
+// (over the longer length, so differing lengths penalize).
+func similarity(a, b []string) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 1
+	}
+	same := 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != "" && a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// merge wildcards the positions where the group and the message diverge.
+func merge(g *group, tokens []string) {
+	for i := range g.tokens {
+		if i >= len(tokens) || g.tokens[i] != tokens[i] {
+			g.tokens[i] = ""
+		}
+	}
+	if len(tokens) != len(g.tokens) {
+		// Length drift: truncate to the common prefix and mark open-ended.
+		if len(tokens) < len(g.tokens) {
+			g.tokens = g.tokens[:len(tokens)]
+		}
+		if len(g.tokens) > 0 {
+			g.tokens[len(g.tokens)-1] = ""
+		}
+	}
+}
+
+// Pattern renders a group as a '*'-wildcard template string.
+func (g *group) pattern() string {
+	var sb strings.Builder
+	for i, tok := range g.tokens {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if tok == "" {
+			sb.WriteByte('*')
+		} else {
+			sb.WriteString(tok)
+		}
+	}
+	// Open-ended: messages may carry variable tails.
+	if len(g.tokens) == 0 {
+		return "*"
+	}
+	return sb.String() + "*"
+}
+
+// Templates returns the mined inventory, classified by ClassifyTemplate and
+// ordered by descending support (ties by ID).
+func (m *Miner) Templates() []core.Template {
+	groups := make([]*group, 0, len(m.byID))
+	for _, g := range m.byID {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].count != groups[j].count {
+			return groups[i].count > groups[j].count
+		}
+		return groups[i].id < groups[j].id
+	})
+	out := make([]core.Template, len(groups))
+	for i, g := range groups {
+		pat := g.pattern()
+		out[i] = core.Template{ID: g.id, Pattern: pat, Class: ClassifyTemplate(pat)}
+	}
+	return out
+}
+
+// NumTemplates returns the number of mined groups.
+func (m *Miner) NumTemplates() int { return len(m.byID) }
+
+// Support returns how many messages joined the given template.
+func (m *Miner) Support(id core.PhraseID) int {
+	if g, ok := m.byID[id]; ok {
+		return g.count
+	}
+	return 0
+}
+
+// failedKeywords mark terminal node-shutdown messages; errorKeywords mark
+// erroneous phrases; unknownKeywords mark suspicious-but-not-benign ones.
+// This keyword classifier stands in for the paper's administrator
+// consultation when no labeled inventory exists.
+var (
+	failedKeywords = []string{
+		"unavailable", "halted", "node_failed", "marked failed", "shutdown_msg",
+		"exiting:", "seizes", "unresponsive",
+	}
+	errorKeywords = []string{
+		"error", "fatal", "panic", "fault", "failed", "exception", "critical",
+		"uncorrectable", "mce", "lockup", "firmware bug",
+	}
+	unknownKeywords = []string{
+		"warn", "timeout", "timed out", "cannot", "unable", "down", "missing",
+		"retry", "degraded", "out of memory", "kill", "correctable", "not starting",
+	}
+)
+
+// ClassifyTemplate assigns a phrase class from keyword heuristics.
+func ClassifyTemplate(pattern string) core.Class {
+	p := strings.ToLower(pattern)
+	for _, kw := range failedKeywords {
+		if strings.Contains(p, kw) {
+			return core.Failed
+		}
+	}
+	for _, kw := range errorKeywords {
+		if strings.Contains(p, kw) {
+			return core.Erroneous
+		}
+	}
+	for _, kw := range unknownKeywords {
+		if strings.Contains(p, kw) {
+			return core.Unknown
+		}
+	}
+	return core.Benign
+}
+
+// String summarizes the miner for diagnostics.
+func (m *Miner) String() string {
+	return fmt.Sprintf("drain.Miner{templates: %d}", len(m.byID))
+}

@@ -1,0 +1,194 @@
+package drain
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+)
+
+func TestLearnGroupsSimilarMessages(t *testing.T) {
+	m := New(Config{})
+	id1 := m.Learn("DVS: verify_filesystem: magic value 0x6969 mismatch on c4-2c0s0n2")
+	id2 := m.Learn("DVS: verify_filesystem: magic value 0x4750 mismatch on c0-0c1s3n1")
+	id3 := m.Learn("sshd[4242]: Accepted publickey for operator from 10.3.0.4")
+	if id1 != id2 {
+		t.Errorf("similar messages split: %d vs %d", id1, id2)
+	}
+	if id3 == id1 {
+		t.Errorf("dissimilar messages merged")
+	}
+	if m.NumTemplates() != 2 {
+		t.Errorf("templates = %d, want 2", m.NumTemplates())
+	}
+	if m.Support(id1) != 2 || m.Support(id3) != 1 {
+		t.Errorf("supports = %d,%d", m.Support(id1), m.Support(id3))
+	}
+	if m.Support(999) != 0 {
+		t.Error("unknown ID has support")
+	}
+}
+
+func TestLearnedTemplateWildcardsVariables(t *testing.T) {
+	m := New(Config{})
+	m.Learn("job 12345 started on node c0-0c1s2n3")
+	m.Learn("job 99 started on node c1-0c0s0n0")
+	ts := m.Templates()
+	if len(ts) != 1 {
+		t.Fatalf("templates = %v", ts)
+	}
+	pat := ts[0].Pattern
+	if strings.Contains(pat, "12345") || strings.Contains(pat, "c0-0c1s2n3") {
+		t.Errorf("variables not wildcarded: %q", pat)
+	}
+	for _, want := range []string{"job", "started", "on", "node"} {
+		if !strings.Contains(pat, want) {
+			t.Errorf("constant token %q lost: %q", want, pat)
+		}
+	}
+}
+
+func TestLookupWithoutLearning(t *testing.T) {
+	m := New(Config{})
+	id := m.Learn("LNet: critical hardware error: HCA fault detected")
+	// Same token count (Drain routes by message length), divergent tail.
+	got, ok := m.Lookup("LNet: critical hardware error: PSU fault observed")
+	if !ok || got != id {
+		t.Errorf("Lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if _, ok := m.Lookup("completely unrelated message shape"); ok {
+		t.Error("Lookup matched an unseen shape")
+	}
+	if m.NumTemplates() != 1 {
+		t.Error("Lookup must not learn")
+	}
+	if _, ok := m.Lookup(""); ok {
+		t.Error("empty message matched")
+	}
+}
+
+func TestClassifyTemplate(t *testing.T) {
+	tests := []struct {
+		pattern string
+		want    core.Class
+	}{
+		{"cb_node_unavailable *", core.Failed},
+		{"Node System has halted *", core.Failed},
+		{"NameNode: shutdown_msg: *", core.Failed},
+		{"LNet: critical hardware error: *", core.Erroneous},
+		{"Kernel panic - not syncing: *", core.Erroneous},
+		{"Machine Check Exception *", core.Erroneous},
+		{"Lustre: * cannot find peer *", core.Unknown},
+		{"ptlrpc: * request timed out *", core.Unknown},
+		{"Out of memory: Kill process *", core.Unknown},
+		{"sshd[*]: Accepted publickey for *", core.Benign},
+		{"SEDC: cabinet * temperature reading * C", core.Benign},
+	}
+	for _, tt := range tests {
+		if got := ClassifyTemplate(tt.pattern); got != tt.want {
+			t.Errorf("ClassifyTemplate(%q) = %v, want %v", tt.pattern, got, tt.want)
+		}
+	}
+}
+
+// Mining a generated cluster log must recover roughly one template per
+// dialect template actually emitted, and classify the terminal failed
+// message as Failed.
+func TestMineGeneratedLog(t *testing.T) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 42, Duration: 4 * time.Hour,
+		Nodes: 8, Failures: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{})
+	for _, e := range log.Events {
+		m.Learn(e.Message)
+	}
+	emitted := map[core.PhraseID]bool{}
+	for _, e := range log.Events {
+		emitted[e.Phrase] = true
+	}
+	n := m.NumTemplates()
+	if n < len(emitted)/2 || n > len(emitted)*3 {
+		t.Errorf("mined %d templates for %d emitted ground-truth templates", n, len(emitted))
+	}
+	// The terminal failed message must be mined and classified Failed.
+	foundFailed := false
+	for _, tpl := range m.Templates() {
+		if strings.HasPrefix(tpl.Pattern, "cb_node_unavailable") && tpl.Class == core.Failed {
+			foundFailed = true
+		}
+	}
+	if !foundFailed {
+		t.Error("cb_node_unavailable not mined as a Failed template")
+	}
+	// Stability: every message must Lookup to some mined template.
+	missed := 0
+	for _, e := range log.Events {
+		if _, ok := m.Lookup(e.Message); !ok {
+			missed++
+		}
+	}
+	if missed > len(log.Events)/100 {
+		t.Errorf("%d/%d messages fail Lookup after mining", missed, len(log.Events))
+	}
+}
+
+func TestMaxChildrenOverflow(t *testing.T) {
+	m := New(Config{MaxChildren: 2})
+	for i := 0; i < 10; i++ {
+		m.Learn(fmt.Sprintf("module%c: event alpha beta gamma", 'a'+i))
+	}
+	// Must not panic and must still group by similarity through the
+	// wildcard child.
+	if m.NumTemplates() == 0 || m.NumTemplates() > 10 {
+		t.Errorf("templates = %d", m.NumTemplates())
+	}
+}
+
+func TestIDBase(t *testing.T) {
+	m := New(Config{IDBase: 5000})
+	id := m.Learn("alpha beta gamma delta")
+	if id != 5000 {
+		t.Errorf("first ID = %d, want 5000", id)
+	}
+}
+
+func TestTemplatesOrderedBySupport(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 5; i++ {
+		m.Learn("frequent message body with constant words")
+	}
+	m.Learn("rare message body quite different entirely")
+	ts := m.Templates()
+	if len(ts) != 2 {
+		t.Fatalf("templates = %d", len(ts))
+	}
+	if m.Support(ts[0].ID) < m.Support(ts[1].ID) {
+		t.Error("templates not ordered by support")
+	}
+}
+
+func BenchmarkLearn(b *testing.B) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 1, Duration: time.Hour, Nodes: 4, Failures: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([]string, len(log.Events))
+	for i, e := range log.Events {
+		msgs[i] = e.Message
+	}
+	m := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Learn(msgs[i%len(msgs)])
+	}
+}

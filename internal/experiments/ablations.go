@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/lalr"
+	"repro/internal/lexgen"
+	"repro/internal/loggen"
+	"repro/internal/parser"
+	"repro/internal/predictor"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+//
+//  1. subchain factoring (Table IV's P_LALR vs P_FC): grammar size, table
+//     build time, online prediction time;
+//  2. scanner DFA minimization: table size and scan cost;
+//  3. rule terminal handling (predict at last precursor vs at the failed
+//     message): achieved lead time;
+//  4. ΔT timeout sensitivity: recall and false alarms as the threshold
+//     sweeps around the paper's 4-minute guidance.
+func Ablations() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Ablation A1 — Subchain factoring (P_LALR vs P_FC)\n")
+	if err := ablationFactoring(&sb); err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation A2 — Scanner DFA minimization\n")
+	if err := ablationMinimization(&sb); err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation A3 — Predict at last precursor vs at terminal message\n")
+	if err := ablationTerminal(&sb); err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation A4 — ΔT timeout sensitivity\n")
+	if err := ablationTimeout(&sb); err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation A5 — Single-parse (Aarohi) vs multi-instance matching\n")
+	if err := ablationMultiInstance(&sb); err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation A6 — Parser table construction: SLR(1) vs LALR(1) vs LR(1)\n")
+	if err := ablationConstruction(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// ablationConstruction compares the three LR table constructions on the
+// production chain grammar (the paper formalizes its rules as LALR(1);
+// bison's choice). Chain grammars sit in the easiest class, so all three
+// succeed — the interesting columns are state counts and build time.
+func ablationConstruction(sb *strings.Builder) error {
+	d := loggen.DialectXC30
+	sets := []struct {
+		name   string
+		chains []core.FailureChain
+	}{
+		{"XC30 production chains", precursorChains(d.Chains())},
+		{"synthetic len 302", []core.FailureChain{SyntheticChain(d, "L302", 302)}},
+	}
+	var cells [][]string
+	for _, set := range sets {
+		rs, err := core.TranslateFCs(set.chains, core.Options{})
+		if err != nil {
+			return err
+		}
+		for _, m := range []lalr.Method{lalr.MethodSLR, lalr.MethodLALR, lalr.MethodCanonical} {
+			start := time.Now()
+			tables, err := lalr.BuildTablesMethod(rs.Grammar, m)
+			build := time.Since(start)
+			states := "conflict"
+			if err == nil {
+				states = fmt.Sprint(tables.NumStates())
+			}
+			cells = append(cells, []string{set.name, m.String(), states, build.Round(time.Microsecond).String()})
+		}
+	}
+	sb.WriteString(renderTable([]string{"Grammar", "Construction", "States", "Build time"}, cells))
+	sb.WriteString("(chain grammars need no LR(1) power; LALR matches SLR's table size here while covering\n" +
+		" the stronger class — see internal/lalr TestGrammarClassSeparation for a grammar where SLR fails)\n")
+	return nil
+}
+
+// ablationMultiInstance quantifies the paper's §III design argument: Aarohi
+// keeps one parse per node and accepts a theoretical "case 1" false
+// negative (an interleaved chain whose start is swallowed by a stale
+// partial match); the multi-instance alternative is immune but advances
+// every live hypothesis on every token. We measure both on the production
+// test log and on an adversarial interleaved stream.
+func ablationMultiInstance(sb *strings.Builder) error {
+	s := Systems[0]
+	log, err := s.GenerateTest()
+	if err != nil {
+		return err
+	}
+	rs, err := core.TranslateFCs(precursorChains(s.Dialect.Chains()), core.Options{})
+	if err != nil {
+		return err
+	}
+
+	// Group tokens per node to drive the bare drivers.
+	perNode := map[string][]core.Token{}
+	for _, e := range log.Events {
+		if rs.Relevant(e.Phrase) {
+			perNode[e.Node] = append(perNode[e.Node], core.Token{Phrase: e.Phrase, Time: e.Time, Node: e.Node})
+		}
+	}
+
+	type result struct {
+		matches  int
+		consumed int
+		ms       float64
+	}
+	measure := func(multi bool) result {
+		var r result
+		st := TimeIt(5, nil, func() {
+			r = result{}
+			for node, toks := range perNode {
+				if multi {
+					d := parser.NewMulti(rs, node)
+					r.matches += len(d.ParseStream(toks))
+					r.consumed += d.Stats().Consumed
+				} else {
+					d := parser.New(rs, node)
+					r.matches += len(d.ParseStream(toks))
+					r.consumed += d.Stats().Consumed
+				}
+			}
+		})
+		r.ms = st.Mean()
+		return r
+	}
+	single := measure(false)
+	multi := measure(true)
+
+	cells := [][]string{
+		{"production log", "single", fmt.Sprint(single.matches), fmt.Sprint(single.consumed), fmt.Sprintf("%.3f", single.ms)},
+		{"production log", "multi", fmt.Sprint(multi.matches), fmt.Sprint(multi.consumed), fmt.Sprintf("%.3f", multi.ms)},
+	}
+	sb.WriteString(renderTable([]string{"Workload", "Driver", "Matches", "Tokens consumed", "Time (ms)"}, cells))
+	if single.matches == multi.matches {
+		sb.WriteString("(identical matches on the production log: the paper's empirical claim — case 1 does not occur — holds here;\n" +
+			" the multi-instance driver pays its cost for nothing. See internal/parser TestMultiDriverCatchesCase1 for the\n" +
+			" adversarial stream where the drivers diverge.)\n")
+	} else {
+		sb.WriteString(fmt.Sprintf("(drivers diverge on this log: %d vs %d matches — case-1 interleavings present)\n",
+			single.matches, multi.matches))
+	}
+	return nil
+}
+
+// precursorChains strips the terminal failed phrase, mirroring what
+// predictor.New feeds the translator.
+func precursorChains(chains []core.FailureChain) []core.FailureChain {
+	out := make([]core.FailureChain, len(chains))
+	for i, fc := range chains {
+		out[i] = core.FailureChain{Name: fc.Name, Phrases: fc.Phrases[:len(fc.Phrases)-1], Timeout: fc.Timeout}
+	}
+	return out
+}
+
+func ablationFactoring(sb *strings.Builder) error {
+	d := loggen.DialectXC30
+	var cells [][]string
+	for _, chains := range [][]core.FailureChain{
+		d.Chains(),
+		{SyntheticChain(d, "L128a", 128), SyntheticChain(d, "L96", 96)},
+	} {
+		for _, disable := range []bool{false, true} {
+			start := time.Now()
+			rs, err := core.TranslateFCs(chains, core.Options{DisableFactoring: disable})
+			if err != nil {
+				return err
+			}
+			build := time.Since(start)
+			mode := "factored"
+			if disable {
+				mode = "plain"
+			} else if rs.FactoringFellBack {
+				mode = "factored→fallback"
+			}
+			p, err := predictor.New(chains, d.Inventory(), predictor.Options{DisableFactoring: disable})
+			if err != nil {
+				return err
+			}
+			fc := chains[0]
+			lines := ChainLines(d, fc, "n1", 1)
+			st := TimeIt(repsFor(len(lines)), p.Reset, func() {
+				for _, line := range lines {
+					if _, err := p.ProcessLine(line); err != nil {
+						panic(err)
+					}
+				}
+			})
+			cells = append(cells, []string{
+				fmt.Sprintf("%d chains (max len %d)", len(chains), maxChainLen(chains)),
+				mode,
+				fmt.Sprint(len(rs.Subchains)),
+				fmt.Sprint(rs.Tables.NumStates()),
+				build.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.4f", st.Mean()),
+			})
+		}
+	}
+	sb.WriteString(renderTable(
+		[]string{"Chain set", "Mode", "Subchains", "LALR states", "Build time", "Predict (ms)"}, cells))
+	return nil
+}
+
+func maxChainLen(chains []core.FailureChain) int {
+	m := 0
+	for _, fc := range chains {
+		if len(fc.Phrases) > m {
+			m = len(fc.Phrases)
+		}
+	}
+	return m
+}
+
+func ablationMinimization(sb *strings.Builder) error {
+	d := loggen.DialectXC30
+	inv := d.Inventory()
+	var cells [][]string
+	modes := []struct {
+		name string
+		opts lexgen.Options
+	}{
+		{"raw subset DFA", lexgen.Options{SkipMinimization: true, SkipPacking: true}},
+		{"minimized", lexgen.Options{SkipPacking: true}},
+		{"minimized+packed (default)", lexgen.Options{}},
+	}
+	for _, mode := range modes {
+		start := time.Now()
+		sc, err := lexgen.NewScannerOpts(inv, mode.opts)
+		if err != nil {
+			return err
+		}
+		build := time.Since(start)
+		msgs := []string{
+			"DVS: verify_filesystem: magic value 0x6969 mismatch on c4-2c0s0n2",
+			"sshd[4242]: Accepted publickey for operator from 10.3.0.4",
+			"completely unrelated noise line that matches nothing at all here",
+		}
+		st := TimeIt(200, nil, func() {
+			for _, m := range msgs {
+				sc.Scan(m)
+			}
+		})
+		classes := "—"
+		if sc.NumClasses() > 0 {
+			classes = fmt.Sprint(sc.NumClasses())
+		}
+		cells = append(cells, []string{
+			mode.name, fmt.Sprint(sc.NumStates()), classes,
+			fmt.Sprintf("%d KiB", sc.TableBytes()/1024),
+			build.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.5f", st.Mean()),
+		})
+	}
+	sb.WriteString(renderTable([]string{"Mode", "DFA states", "Classes", "Table size", "Build time", "Scan 3 msgs (ms)"}, cells))
+	return nil
+}
+
+func ablationTerminal(sb *strings.Builder) error {
+	s := Systems[0]
+	log, err := s.GenerateTest()
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, keep := range []bool{false, true} {
+		rep, err := cluster.Evaluate(log, s.Dialect.Chains(), predictor.Options{KeepTerminal: keep})
+		if err != nil {
+			return err
+		}
+		mode := "last precursor (Aarohi)"
+		if keep {
+			mode = "terminal message (ablated)"
+		}
+		cells = append(cells, []string{
+			mode,
+			fmt.Sprintf("%.1f", rep.Confusion.Recall()),
+			fmt.Sprintf("%.2f", rep.LeadTimes.Mean()),
+			fmt.Sprint(rep.FeasibleCount(cluster.ProcessMigration)),
+			fmt.Sprint(rep.FeasibleCount(cluster.LiveMigration)),
+		})
+	}
+	sb.WriteString(renderTable(
+		[]string{"Match point", "Recall %", "Avg lead (min)", "Migration feasible", "Live-mig feasible"}, cells))
+	sb.WriteString("(matching the terminal message gives zero lead time: prediction arrives when the node is already dead)\n")
+	return nil
+}
+
+func ablationTimeout(sb *strings.Builder) error {
+	s := Systems[0]
+	log, err := s.GenerateTest()
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, timeout := range []time.Duration{
+		30 * time.Second, time.Minute, 2 * time.Minute, 4 * time.Minute, 16 * time.Minute,
+	} {
+		rep, err := cluster.Evaluate(log, s.Dialect.Chains(), predictor.Options{Timeout: timeout})
+		if err != nil {
+			return err
+		}
+		cells = append(cells, []string{
+			timeout.String(),
+			fmt.Sprintf("%.1f", rep.Confusion.Recall()),
+			fmt.Sprint(rep.Confusion.FP),
+			fmt.Sprint(rep.Stats.Parser.TimeoutResets),
+			fmt.Sprintf("%.2f", rep.LeadTimes.Mean()),
+		})
+	}
+	sb.WriteString(renderTable(
+		[]string{"Timeout", "Recall %", "False alarms", "Timeout resets", "Avg lead (min)"}, cells))
+	sb.WriteString("(too-short timeouts cut real chains — ΔTs between chain phrases reach ~2 min; " +
+		"overly long ones only admit stale context, per the paper's 4-minute guidance)\n")
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// asciiChart renders an (x, y) series as a fixed-size scatter/line chart in
+// plain text, so cmd/experiments output mirrors the paper's figures without
+// leaving the terminal.
+func asciiChart(title, xLabel, yLabel string, xs, ys []float64, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return title + " (no data)\n"
+	}
+	const width = 56
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int(math.Round((xs[i] - minX) / (maxX - minX) * float64(width-1)))
+		r := int(math.Round((ys[i] - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - r
+		if row >= 0 && row < height && c >= 0 && c < width {
+			grid[row][c] = '*'
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", minY)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.3g", (minY+maxY)/2)
+		}
+		sb.WriteString(label + " |" + strings.TrimRight(string(line), " ") + "\n")
+	}
+	sb.WriteString("         +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "          %-10.4g%s%10.4g\n", minX,
+		strings.Repeat(" ", width-20)+centerPad(xLabel, 0), maxX)
+	if yLabel != "" {
+		sb.WriteString("          (y: " + yLabel + ")\n")
+	}
+	return sb.String()
+}
+
+func centerPad(s string, _ int) string { return s }
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,225 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section. Each runner returns a structured result with a
+// Render method that prints rows in the shape the paper reports;
+// cmd/experiments drives them, and the root bench_test.go exposes each as a
+// testing.B benchmark.
+//
+// The four evaluation systems HPC1–HPC4 (Table II) are scaled-down synthetic
+// clusters over the corresponding dialects. Failure counts follow Table V's
+// per-system failed-node counts (23/19/15/20).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+	"repro/internal/metrics"
+)
+
+// System is one evaluation system (a scaled stand-in for Table II's row).
+type System struct {
+	Name     string
+	Dialect  *loggen.Dialect
+	Nodes    int
+	Duration time.Duration
+	Failures int
+	Seed     int64
+	// PaperSpan/PaperSize/PaperScale echo Table II for reporting.
+	PaperSpan, PaperSize, PaperScale string
+}
+
+// Systems are the four evaluation systems.
+var Systems = []System{
+	{"HPC1", loggen.DialectXC30, 28, 8 * time.Hour, 23, 101, "5 months", "150GB", "5576 nodes"},
+	{"HPC2", loggen.DialectXE6, 24, 8 * time.Hour, 19, 102, "6 months", "98GB", "6400 nodes"},
+	{"HPC3", loggen.DialectXC40, 20, 8 * time.Hour, 15, 103, "8 months", "27GB", "1630 nodes"},
+	{"HPC4", loggen.DialectXC4030, 24, 8 * time.Hour, 20, 104, "6 months", "15GB", "1872 nodes"},
+}
+
+// GenerateTest produces the system's test log (seed offset keeps it disjoint
+// from training logs).
+func (s System) GenerateTest() (*loggen.Log, error) {
+	return loggen.Generate(loggen.Config{
+		Dialect: s.Dialect, Seed: s.Seed, Duration: s.Duration,
+		Nodes: s.Nodes, Failures: s.Failures,
+	})
+}
+
+// GenerateTraining produces the system's training log: a different seed and
+// window than the test log, with mild chain-corruption noise so Phase 1
+// lands in the paper's imperfect recall/precision bands (Fig. 7).
+func (s System) GenerateTraining() (*loggen.Log, error) {
+	return loggen.Generate(loggen.Config{
+		Dialect: s.Dialect, Seed: s.Seed + 1000, Duration: s.Duration,
+		Nodes: s.Nodes, Failures: s.Failures * 2, DropProb: 0.06,
+	})
+}
+
+// SyntheticChain builds a failure chain of the given precursor length by
+// cycling through the dialect's non-terminal anomaly phrases, appending the
+// dialect's failed message as terminal. Used for the variable-chain-length
+// experiments (Table VI, Fig. 8–11).
+func SyntheticChain(d *loggen.Dialect, name string, precursors int) core.FailureChain {
+	var anomalies []core.PhraseID
+	var failed core.PhraseID
+	for _, t := range d.Inventory() {
+		switch t.Class {
+		case core.Benign:
+		case core.Failed:
+			if failed == 0 {
+				failed = t.ID
+			}
+		default:
+			anomalies = append(anomalies, t.ID)
+		}
+	}
+	fc := core.FailureChain{Name: name}
+	for i := 0; i < precursors; i++ {
+		fc.Phrases = append(fc.Phrases, anomalies[i%len(anomalies)])
+	}
+	fc.Phrases = append(fc.Phrases, failed)
+	return fc
+}
+
+// ChainLines renders the chain's precursor phrases as raw log lines for one
+// node, with gaps drawn deterministically in the sub-2-minute band.
+func ChainLines(d *loggen.Dialect, fc core.FailureChain, node string, seed int64) []string {
+	log := instantiator(d, seed)
+	t := time.Date(2015, 3, 14, 4, 0, 0, 0, time.UTC)
+	var lines []string
+	for i, p := range fc.Phrases[:len(fc.Phrases)-1] {
+		if i > 0 {
+			t = t.Add(time.Duration(500+((i*7919)%9500)) * time.Millisecond)
+		}
+		lines = append(lines, log.line(p, node, t))
+	}
+	return lines
+}
+
+// MixedLines interleaves benign lines into the chain stream, keeping the
+// total length equal to `total` — the Fig. 9 workload ("log messages that
+// include benign phrases that are not part of any FCs"). Timestamps stay
+// monotonic across the mixed stream.
+func MixedLines(d *loggen.Dialect, fc core.FailureChain, node string, total int, seed int64) []string {
+	chainPhrases := fc.Phrases[:len(fc.Phrases)-1]
+	var benign []core.PhraseID
+	for _, t := range d.Inventory() {
+		if t.Class == core.Benign {
+			benign = append(benign, t.ID)
+		}
+	}
+	// Build the interleaved phrase sequence: chain phrases in order, benign
+	// phrases spread between them.
+	var phrases []core.PhraseID
+	if len(chainPhrases) >= total {
+		phrases = chainPhrases[:total]
+	} else {
+		need := total - len(chainPhrases)
+		ci := 0
+		for i := 0; i < total; i++ {
+			if need > 0 && (i%2 == 1 || ci >= len(chainPhrases)) {
+				phrases = append(phrases, benign[i%len(benign)])
+				need--
+			} else {
+				phrases = append(phrases, chainPhrases[ci])
+				ci++
+			}
+		}
+	}
+	in := instantiator(d, seed+1)
+	t := time.Date(2015, 3, 14, 4, 0, 0, 0, time.UTC)
+	out := make([]string, 0, len(phrases))
+	for i, p := range phrases {
+		if i > 0 {
+			t = t.Add(time.Duration(200+((i*6151)%1800)) * time.Millisecond)
+		}
+		out = append(out, in.line(p, node, t))
+	}
+	return out
+}
+
+// instantiator renders phrases into concrete log lines deterministically.
+type inst struct {
+	d    *loggen.Dialect
+	seed int64
+	n    int
+}
+
+func instantiator(d *loggen.Dialect, seed int64) *inst { return &inst{d: d, seed: seed} }
+
+func (in *inst) line(p core.PhraseID, node string, at time.Time) string {
+	var pattern string
+	for _, t := range in.d.Inventory() {
+		if t.ID == p {
+			pattern = t.Pattern
+			break
+		}
+	}
+	in.n++
+	msg := strings.ReplaceAll(pattern, "*", fmt.Sprintf("val%d-%d %s", in.seed, in.n, node))
+	return at.UTC().Format("2006-01-02T15:04:05.000Z07:00") + " " + node + " " + msg
+}
+
+// TimeIt measures f over reps repetitions, returning per-repetition
+// statistics in milliseconds. setup (optional) runs before each repetition,
+// outside the timed section. One untimed warmup repetition damps cold-cache
+// and first-allocation effects.
+func TimeIt(reps int, setup func(), f func()) *metrics.Stats {
+	if setup != nil {
+		setup()
+	}
+	f()
+	var st metrics.Stats
+	for i := 0; i < reps; i++ {
+		if setup != nil {
+			setup()
+		}
+		start := time.Now()
+		f()
+		st.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+	return &st
+}
+
+// renderTable prints an aligned text table.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package lalr
+
+// Earley is a general context-free recognizer over the same Grammar type.
+// Unlike the LALR tables it handles every CFG (including ambiguous ones), at
+// O(n³) worst-case cost. It exists as a correctness oracle: property tests
+// compare LALR acceptance against Earley membership on random grammars, and
+// it doubles as a fallback for chain sets that defeat LALR(1) (none are
+// known in practice; the translator's factoring fallback already guarantees
+// a conflict-free grammar for distinct chains).
+
+// earleyItem is a dotted production with its origin position.
+type earleyItem struct {
+	prod, dot, origin int
+}
+
+// Recognize reports whether tokens is a sentence of the grammar, by Earley's
+// algorithm over the augmented grammar (production 0: S' → S).
+func (g *Grammar) Recognize(tokens []Symbol) bool {
+	for _, t := range tokens {
+		if t == EOF || int(t) >= g.numTerminals {
+			return false
+		}
+	}
+	n := len(tokens)
+	sets := make([][]earleyItem, n+1)
+	inSet := make([]map[earleyItem]bool, n+1)
+	for i := range inSet {
+		inSet[i] = map[earleyItem]bool{}
+	}
+	add := func(i int, it earleyItem) {
+		if !inSet[i][it] {
+			inSet[i][it] = true
+			sets[i] = append(sets[i], it)
+		}
+	}
+	add(0, earleyItem{prod: 0, dot: 0, origin: 0})
+
+	for i := 0; i <= n; i++ {
+		for k := 0; k < len(sets[i]); k++ {
+			it := sets[i][k]
+			rhs := g.prods[it.prod].Rhs
+			if it.dot < len(rhs) {
+				next := rhs[it.dot]
+				if g.isTerminal(next) {
+					// Scanner.
+					if i < n && tokens[i] == next {
+						add(i+1, earleyItem{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				} else {
+					// Predictor.
+					for _, pi := range g.prodsByLhs[next] {
+						add(i, earleyItem{prod: pi, dot: 0, origin: i})
+					}
+					// Magic completion for nullable nonterminals (Aycock &
+					// Horspool): advance over an already-nullable symbol.
+					if g.nullable[next] {
+						add(i, earleyItem{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				}
+				continue
+			}
+			// Completer: it.prod finished spanning [it.origin, i).
+			lhs := g.prods[it.prod].Lhs
+			for _, parent := range sets[it.origin] {
+				prhs := g.prods[parent.prod].Rhs
+				if parent.dot < len(prhs) && prhs[parent.dot] == lhs {
+					add(i, earleyItem{prod: parent.prod, dot: parent.dot + 1, origin: parent.origin})
+				}
+			}
+		}
+	}
+	for _, it := range sets[n] {
+		if it.prod == 0 && it.dot == len(g.prods[0].Rhs) && it.origin == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package lalr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEarleyExprGrammar(t *testing.T) {
+	g := exprGrammar(t)
+	accept := [][]Symbol{
+		{tokID},
+		{tokID, tokPlus, tokID},
+		{tokLP, tokID, tokPlus, tokID, tokRP, tokStar, tokID},
+	}
+	for _, seq := range accept {
+		if !g.Recognize(seq) {
+			t.Errorf("Recognize(%v) = false, want true", seq)
+		}
+	}
+	reject := [][]Symbol{
+		{},
+		{tokPlus},
+		{tokID, tokID},
+		{tokLP, tokID},
+		{tokID, tokPlus},
+	}
+	for _, seq := range reject {
+		if g.Recognize(seq) {
+			t.Errorf("Recognize(%v) = true, want false", seq)
+		}
+	}
+	// Out-of-range and EOF tokens reject cleanly.
+	if g.Recognize([]Symbol{EOF}) || g.Recognize([]Symbol{Symbol(99)}) {
+		t.Error("invalid symbols accepted")
+	}
+}
+
+func TestEarleyHandlesAmbiguity(t *testing.T) {
+	// S → S S | a is ambiguous (not LALR) but Earley must recognize it.
+	const (
+		tA     Symbol = 1
+		nTerms        = 2
+		nS     Symbol = 2
+	)
+	g, err := New(nTerms, nS, []Production{
+		{Lhs: nS, Rhs: []Symbol{nS, nS}},
+		{Lhs: nS, Rhs: []Symbol{tA}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 6; n++ {
+		seq := make([]Symbol, n)
+		for i := range seq {
+			seq[i] = tA
+		}
+		if !g.Recognize(seq) {
+			t.Errorf("a^%d rejected", n)
+		}
+	}
+	if g.Recognize(nil) {
+		t.Error("empty string accepted by S → SS | a")
+	}
+}
+
+func TestEarleyNullable(t *testing.T) {
+	// S → A A b ; A → ε | a — exercises the nullable-completion path.
+	const (
+		tA Symbol = iota + 1
+		tB
+		nTerms
+		nS Symbol = nTerms + iota - 3
+		nA
+	)
+	g, err := New(int(nTerms), nS, []Production{
+		{Lhs: nS, Rhs: []Symbol{nA, nA, tB}},
+		{Lhs: nA, Rhs: nil},
+		{Lhs: nA, Rhs: []Symbol{tA}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range [][]Symbol{{tB}, {tA, tB}, {tA, tA, tB}} {
+		if !g.Recognize(seq) {
+			t.Errorf("Recognize(%v) = false", seq)
+		}
+	}
+	for _, seq := range [][]Symbol{{}, {tA}, {tA, tA, tA, tB}, {tB, tB}} {
+		if g.Recognize(seq) {
+			t.Errorf("Recognize(%v) = true", seq)
+		}
+	}
+}
+
+// randomGrammar builds a small random grammar with numTerminals terminals
+// (plus EOF) and up to maxNT nonterminals. Every nonterminal gets at least
+// one production.
+func randomGrammar(rng *rand.Rand, numTerminals, maxNT int) (*Grammar, error) {
+	nts := 1 + rng.Intn(maxNT)
+	start := Symbol(numTerminals)
+	var prods []Production
+	for nt := 0; nt < nts; nt++ {
+		count := 1 + rng.Intn(2)
+		for p := 0; p < count; p++ {
+			rhsLen := rng.Intn(4)
+			rhs := make([]Symbol, rhsLen)
+			for i := range rhs {
+				if rng.Intn(3) == 0 {
+					rhs[i] = Symbol(numTerminals + rng.Intn(nts))
+				} else {
+					rhs[i] = Symbol(1 + rng.Intn(numTerminals-1))
+				}
+			}
+			prods = append(prods, Production{Lhs: Symbol(numTerminals + nt), Rhs: rhs})
+		}
+	}
+	return New(numTerminals, start, prods, nil)
+}
+
+// Property: wherever LALR(1) construction succeeds, the generated tables
+// agree with the Earley oracle on random strings, and on sentences generated
+// from the grammar.
+func TestLALRAgreesWithEarley(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	grammars := 0
+	for iter := 0; iter < 400 && grammars < 120; iter++ {
+		g, err := randomGrammar(rng, 4, 3)
+		if err != nil {
+			continue
+		}
+		tables, err := BuildTables(g)
+		if err != nil {
+			continue // not LALR(1): the oracle cannot be cross-checked
+		}
+		grammars++
+		// Random strings.
+		for trial := 0; trial < 40; trial++ {
+			n := rng.Intn(7)
+			seq := make([]Symbol, n)
+			for i := range seq {
+				seq[i] = Symbol(1 + rng.Intn(3))
+			}
+			_, lalrOK := tables.Parse(seq)
+			earleyOK := g.Recognize(seq)
+			if lalrOK != earleyOK {
+				t.Fatalf("grammar:\n%s\nseq %v: lalr=%v earley=%v", g, seq, lalrOK, earleyOK)
+			}
+		}
+		// Generated sentences must be accepted by both (skip grammars whose
+		// start symbol cannot derive any terminal string).
+		userStart := g.prods[0].Rhs[0]
+		minDepth := minDerivationDepth(g)
+		if minDepth[userStart] >= nonProductive {
+			continue
+		}
+		for trial := 0; trial < 10; trial++ {
+			sent := generateWith(g, minDepth, rng, userStart, 6)
+			if len(sent) > 60 {
+				continue
+			}
+			if _, ok := tables.Parse(sent); !ok {
+				t.Fatalf("grammar:\n%s\ngenerated sentence rejected by LALR: %v", g, sent)
+			}
+			if !g.Recognize(sent) {
+				t.Fatalf("grammar:\n%s\ngenerated sentence rejected by Earley: %v", g, sent)
+			}
+		}
+	}
+	if grammars < 30 {
+		t.Fatalf("only %d LALR grammars sampled; generator too restrictive", grammars)
+	}
+}
+
+// Property: FC-style grammars (the production use case) agree with Earley on
+// mixed streams of chain/non-chain sequences.
+func TestFCGrammarAgreesWithEarley(t *testing.T) {
+	g, tables := fcGrammar(t)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(8)
+		seq := make([]Symbol, n)
+		for i := range seq {
+			seq[i] = Symbol(1 + rng.Intn(8))
+		}
+		_, lalrOK := tables.Parse(seq)
+		if earleyOK := g.Recognize(seq); lalrOK != earleyOK {
+			t.Fatalf("seq %v: lalr=%v earley=%v", seq, lalrOK, earleyOK)
+		}
+	}
+}
+
+func BenchmarkEarleyVsMachine(b *testing.B) {
+	g, tables := fcGrammar(b)
+	seq := []Symbol{1, 2, 3, 4, 5, 6}
+	b.Run("earley", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !g.Recognize(seq) {
+				b.Fatal("rejected")
+			}
+		}
+	})
+	b.Run("lalr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := tables.Parse(seq); !ok {
+				b.Fatal("rejected")
+			}
+		}
+	})
+}

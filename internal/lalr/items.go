@@ -1,0 +1,141 @@
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LR(0) canonical collection. States are identified by their kernel item
+// sets; item closures are recomputed on demand during lookahead analysis.
+
+// item is an LR(0) item: the dot sits before Rhs[dot] of production prod.
+type item struct {
+	prod, dot int
+}
+
+func (it item) less(o item) bool {
+	if it.prod != o.prod {
+		return it.prod < o.prod
+	}
+	return it.dot < o.dot
+}
+
+// state is one LR(0) state: its sorted kernel items and the transitions on
+// each symbol.
+type state struct {
+	kernel []item
+	gotos  map[Symbol]int // symbol → target state
+}
+
+// automaton is the LR(0) canonical collection for a grammar.
+type automaton struct {
+	g      *Grammar
+	states []*state
+}
+
+// kernelKey builds a map key for a sorted kernel.
+func kernelKey(kernel []item) string {
+	var sb strings.Builder
+	for _, it := range kernel {
+		fmt.Fprintf(&sb, "%d.%d;", it.prod, it.dot)
+	}
+	return sb.String()
+}
+
+// closure expands kernel into the full LR(0) item set.
+func (g *Grammar) closure(kernel []item) []item {
+	items := append([]item(nil), kernel...)
+	inSet := map[item]bool{}
+	for _, it := range items {
+		inSet[it] = true
+	}
+	addedNT := make([]bool, g.numSymbols)
+	for i := 0; i < len(items); i++ {
+		it := items[i]
+		rhs := g.prods[it.prod].Rhs
+		if it.dot >= len(rhs) {
+			continue
+		}
+		next := rhs[it.dot]
+		if g.isTerminal(next) || addedNT[next] {
+			continue
+		}
+		addedNT[next] = true
+		for _, pi := range g.prodsByLhs[next] {
+			ni := item{prod: pi, dot: 0}
+			if !inSet[ni] {
+				inSet[ni] = true
+				items = append(items, ni)
+			}
+		}
+	}
+	return items
+}
+
+// buildAutomaton constructs the LR(0) canonical collection.
+func buildAutomaton(g *Grammar) *automaton {
+	a := &automaton{g: g}
+	index := map[string]int{}
+
+	intern := func(kernel []item) int {
+		sort.Slice(kernel, func(i, j int) bool { return kernel[i].less(kernel[j]) })
+		key := kernelKey(kernel)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := len(a.states)
+		a.states = append(a.states, &state{kernel: kernel, gotos: map[Symbol]int{}})
+		index[key] = id
+		return id
+	}
+
+	start := intern([]item{{prod: 0, dot: 0}})
+	if start != 0 {
+		panic("lalr: start state is not state 0")
+	}
+
+	for si := 0; si < len(a.states); si++ {
+		st := a.states[si]
+		full := g.closure(st.kernel)
+		// Group items by the symbol after the dot.
+		bySym := map[Symbol][]item{}
+		var order []Symbol
+		for _, it := range full {
+			rhs := g.prods[it.prod].Rhs
+			if it.dot >= len(rhs) {
+				continue
+			}
+			s := rhs[it.dot]
+			if _, ok := bySym[s]; !ok {
+				order = append(order, s)
+			}
+			bySym[s] = append(bySym[s], item{prod: it.prod, dot: it.dot + 1})
+		}
+		// Deterministic order keeps state numbering stable across runs.
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, s := range order {
+			st.gotos[s] = intern(bySym[s])
+		}
+	}
+	return a
+}
+
+// itemString renders an item for diagnostics.
+func (a *automaton) itemString(it item) string {
+	p := a.g.prods[it.prod]
+	var sb strings.Builder
+	sb.WriteString(a.g.Name(p.Lhs))
+	sb.WriteString(" →")
+	for i, s := range p.Rhs {
+		if i == it.dot {
+			sb.WriteString(" •")
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(a.g.Name(s))
+	}
+	if it.dot == len(p.Rhs) {
+		sb.WriteString(" •")
+	}
+	return sb.String()
+}

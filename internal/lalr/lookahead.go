@@ -1,0 +1,217 @@
+package lalr
+
+// LALR(1) lookahead computation (Aho/Sethi/Ullman Algorithm 4.63): for every
+// kernel item, an LR(1) closure seeded with a probe symbol discovers which
+// lookaheads are generated spontaneously at successor kernel items and which
+// propagate; a worklist then iterates propagation to a fixpoint.
+
+// laItem pairs an item with a lookahead set during LR(1) closure.
+type laItem struct {
+	it item
+	la termSet
+}
+
+// unionInto merges src into dst over min(len) words, reporting change. It
+// tolerates dst being wider than src (probe-extended sets).
+func unionInto(dst, src termSet) bool {
+	changed := false
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		if v := dst[i] | src[i]; v != dst[i] {
+			dst[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// closure1 computes the LR(1) closure of the given kernel items with the
+// given lookahead sets (all sets of word width for `width` terminals). The
+// result maps every closure item to its lookahead set.
+func (g *Grammar) closure1(kernel []item, las []termSet, width int) map[item]termSet {
+	out := make(map[item]termSet, len(kernel)*4)
+	work := make([]item, 0, len(kernel)*4)
+	for i, k := range kernel {
+		set := newTermSetWidth(width)
+		unionInto(set, las[i])
+		out[k] = set
+		work = append(work, k)
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		rhs := g.prods[it.prod].Rhs
+		if it.dot >= len(rhs) {
+			continue
+		}
+		next := rhs[it.dot]
+		if g.isTerminal(next) {
+			continue
+		}
+		// FIRST(β · la) where β = rhs[it.dot+1:].
+		ext := newTermSetWidth(width)
+		beta := rhs[it.dot+1:]
+		nullableBeta := true
+		for _, s := range beta {
+			unionInto(ext, g.first[s])
+			if g.isTerminal(s) || !g.nullable[s] {
+				nullableBeta = false
+				break
+			}
+		}
+		if nullableBeta {
+			unionInto(ext, out[it])
+		}
+		for _, pi := range g.prodsByLhs[next] {
+			ni := item{prod: pi, dot: 0}
+			set, ok := out[ni]
+			if !ok {
+				set = newTermSetWidth(width)
+				out[ni] = set
+			}
+			if unionInto(set, ext) && ok {
+				work = append(work, ni)
+			} else if !ok {
+				work = append(work, ni)
+			}
+		}
+	}
+	// A lookahead added to an existing item later must be re-propagated; the
+	// loop above already re-queues on change, but the initial pass could have
+	// consumed an item before its set grew. Iterate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for it, la := range out {
+			rhs := g.prods[it.prod].Rhs
+			if it.dot >= len(rhs) {
+				continue
+			}
+			next := rhs[it.dot]
+			if g.isTerminal(next) {
+				continue
+			}
+			ext := newTermSetWidth(width)
+			beta := rhs[it.dot+1:]
+			nullableBeta := true
+			for _, s := range beta {
+				unionInto(ext, g.first[s])
+				if g.isTerminal(s) || !g.nullable[s] {
+					nullableBeta = false
+					break
+				}
+			}
+			if nullableBeta {
+				unionInto(ext, la)
+			}
+			for _, pi := range g.prodsByLhs[next] {
+				ni := item{prod: pi, dot: 0}
+				set, ok := out[ni]
+				if !ok {
+					set = newTermSetWidth(width)
+					out[ni] = set
+				}
+				if unionInto(set, ext) {
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func newTermSetWidth(width int) termSet {
+	return make(termSet, (width+63)/64)
+}
+
+// computeLookaheads returns, for each state, the LALR(1) lookahead set of
+// each kernel item (indexed in kernel order, width = numTerminals).
+func computeLookaheads(a *automaton) [][]termSet {
+	g := a.g
+	probe := Symbol(g.numTerminals) // pseudo-terminal '#'
+	width := g.numTerminals + 1
+
+	kernLA := make([][]termSet, len(a.states))
+	kidx := make([]map[item]int, len(a.states))
+	for si, st := range a.states {
+		kernLA[si] = make([]termSet, len(st.kernel))
+		kidx[si] = make(map[item]int, len(st.kernel))
+		for ki, k := range st.kernel {
+			kernLA[si][ki] = newTermSet(g.numTerminals)
+			kidx[si][k] = ki
+		}
+	}
+
+	type ref struct{ state, idx int }
+	links := map[ref][]ref{}
+
+	// Spontaneous lookaheads and propagation links.
+	probeSet := newTermSetWidth(width)
+	probeSet.add(probe)
+	for si, st := range a.states {
+		for ki, k := range st.kernel {
+			if k.dot >= len(g.prods[k.prod].Rhs) {
+				continue // reduce item: no outgoing transitions
+			}
+			cl := g.closure1([]item{k}, []termSet{probeSet}, width)
+			src := ref{si, ki}
+			for it, las := range cl {
+				rhs := g.prods[it.prod].Rhs
+				if it.dot >= len(rhs) {
+					continue
+				}
+				x := rhs[it.dot]
+				tgt, ok := st.gotos[x]
+				if !ok {
+					continue
+				}
+				tki, ok := kidx[tgt][item{prod: it.prod, dot: it.dot + 1}]
+				if !ok {
+					continue
+				}
+				dst := ref{tgt, tki}
+				las.each(func(s Symbol) {
+					if s == probe {
+						links[src] = append(links[src], dst)
+					} else {
+						kernLA[tgt][tki].add(s)
+					}
+				})
+			}
+		}
+	}
+
+	// EOF is the lookahead of the augmented start item in state 0.
+	if ki, ok := kidx[0][item{prod: 0, dot: 0}]; ok {
+		kernLA[0][ki].add(EOF)
+	}
+
+	// Propagate to fixpoint.
+	work := make([]ref, 0, len(a.states))
+	inWork := map[ref]bool{}
+	push := func(r ref) {
+		if !inWork[r] {
+			inWork[r] = true
+			work = append(work, r)
+		}
+	}
+	for si := range a.states {
+		for ki := range a.states[si].kernel {
+			push(ref{si, ki})
+		}
+	}
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[r] = false
+		la := kernLA[r.state][r.idx]
+		for _, dst := range links[r] {
+			if kernLA[dst.state][dst.idx].unionWith(la) {
+				push(dst)
+			}
+		}
+	}
+	return kernLA
+}

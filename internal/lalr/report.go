@@ -1,0 +1,82 @@
+package lalr
+
+// Human-readable automaton reports, in the spirit of `bison --report=all`:
+// per-state item sets, shift/goto edges and reduce actions. The cmd/aarohi
+// tool exposes this for the generated failure-chain grammar so operators can
+// inspect what the predictor will actually do.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the grammar, the LR(0) item sets with LALR(1) lookaheads,
+// and the parse actions of every state.
+func (t *Tables) Report() string {
+	g := t.g
+	a := buildAutomaton(g)
+	kernLA := computeLookaheads(a)
+
+	var sb strings.Builder
+	sb.WriteString("Grammar\n\n")
+	sb.WriteString(indent(g.String(), "  "))
+	fmt.Fprintf(&sb, "\n%d terminals, %d nonterminals, %d productions, %d states\n",
+		g.numTerminals, g.numSymbols-g.numTerminals, len(g.prods), len(a.states))
+
+	for si, st := range a.states {
+		fmt.Fprintf(&sb, "\nState %d\n\n", si)
+		// Kernel items with lookaheads.
+		for ki, it := range st.kernel {
+			fmt.Fprintf(&sb, "  %s", a.itemString(it))
+			if it.dot == len(g.prods[it.prod].Rhs) || it.prod == 0 {
+				var las []string
+				kernLA[si][ki].each(func(s Symbol) {
+					las = append(las, g.Name(s))
+				})
+				if len(las) > 0 {
+					fmt.Fprintf(&sb, "   [%s]", strings.Join(las, " "))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		// Actions, grouped and sorted.
+		type edge struct {
+			sym Symbol
+			act string
+		}
+		var edges []edge
+		for term := Symbol(0); int(term) < g.numTerminals; term++ {
+			switch act := t.action[si][term]; act.kind() {
+			case actShift:
+				edges = append(edges, edge{term, fmt.Sprintf("shift, go to state %d", act.operand())})
+			case actReduce:
+				p := g.prods[act.operand()]
+				edges = append(edges, edge{term, fmt.Sprintf("reduce by %s (production %d)", g.Name(p.Lhs), act.operand())})
+			case actAccept:
+				edges = append(edges, edge{term, "accept"})
+			}
+		}
+		for nt := g.numTerminals; nt < g.numSymbols; nt++ {
+			if tgt := t.gotoTab[si][nt-g.numTerminals]; tgt >= 0 {
+				edges = append(edges, edge{Symbol(nt), fmt.Sprintf("go to state %d", tgt)})
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].sym < edges[j].sym })
+		if len(edges) > 0 {
+			sb.WriteByte('\n')
+		}
+		for _, e := range edges {
+			fmt.Fprintf(&sb, "    %-14s %s\n", g.Name(e.sym), e.act)
+		}
+	}
+	return sb.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,58 @@
+package lalr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportRendersStatesAndActions(t *testing.T) {
+	_, tables := fcGrammar(t)
+	rep := tables.Report()
+	for _, want := range []string{
+		"Grammar",
+		"State 0",
+		"shift, go to state",
+		"reduce by",
+		"accept",
+		"$accept",
+		"•",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every state appears.
+	for i := 0; i < tables.NumStates(); i++ {
+		if !strings.Contains(rep, "State "+itoa(i)) {
+			t.Errorf("report missing state %d", i)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestReportExprGrammarLookaheads(t *testing.T) {
+	g := exprGrammar(t)
+	tables, err := BuildTables(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tables.Report()
+	// The reduce lookaheads of E → E + T include ')', '+' and EOF.
+	if !strings.Contains(rep, "[") {
+		t.Error("no lookahead sets rendered")
+	}
+	if !strings.Contains(rep, "reduce by E") {
+		t.Errorf("missing E reductions:\n%s", rep)
+	}
+}

@@ -1,0 +1,267 @@
+package lalr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Action encoding: 2 low bits select the kind, the rest is the operand.
+type actionEntry int32
+
+const (
+	actErr    actionEntry = 0
+	actShift  actionEntry = 1 // operand: target state
+	actReduce actionEntry = 2 // operand: production index (in g.prods)
+	actAccept actionEntry = 3
+)
+
+func encode(kind actionEntry, operand int) actionEntry {
+	return actionEntry(operand)<<2 | kind
+}
+
+func (a actionEntry) kind() actionEntry { return a & 3 }
+func (a actionEntry) operand() int      { return int(a >> 2) }
+
+// Conflict describes an LALR table conflict.
+type Conflict struct {
+	State    int
+	Terminal Symbol
+	Kind     string // "shift/reduce" or "reduce/reduce"
+	Detail   string
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("state %d: %s conflict (%s)", c.State, c.Kind, c.Detail)
+}
+
+// ConflictError aggregates all conflicts found during table construction.
+type ConflictError struct {
+	Conflicts []Conflict
+}
+
+func (e *ConflictError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "lalr: %d conflict(s):", len(e.Conflicts))
+	for _, c := range e.Conflicts {
+		sb.WriteString("\n  ")
+		sb.WriteString(c.String())
+	}
+	return sb.String()
+}
+
+// Tables holds the generated LALR(1) ACTION and GOTO tables.
+type Tables struct {
+	g         *Grammar
+	action    [][]actionEntry // [state][terminal]
+	gotoTab   [][]int32       // [state][symbol - numTerminals]
+	userStart Symbol
+}
+
+// BuildTables runs the full LALR(1) construction and returns the parse
+// tables, or a *ConflictError if the grammar is not LALR(1).
+func BuildTables(g *Grammar) (*Tables, error) {
+	a := buildAutomaton(g)
+	kernLA := computeLookaheads(a)
+
+	numNT := g.numSymbols - g.numTerminals
+	t := &Tables{
+		g:         g,
+		action:    make([][]actionEntry, len(a.states)),
+		gotoTab:   make([][]int32, len(a.states)),
+		userStart: g.prods[0].Rhs[0],
+	}
+	var conflicts []Conflict
+
+	for si, st := range a.states {
+		t.action[si] = make([]actionEntry, g.numTerminals)
+		t.gotoTab[si] = make([]int32, numNT)
+		for i := range t.gotoTab[si] {
+			t.gotoTab[si][i] = -1
+		}
+		for sym, tgt := range st.gotos {
+			if g.isTerminal(sym) {
+				t.action[si][sym] = encode(actShift, tgt)
+			} else {
+				t.gotoTab[si][int(sym)-g.numTerminals] = int32(tgt)
+			}
+		}
+		// Reduce actions come from the LR(1) closure of the kernel with its
+		// final LALR lookaheads (this also covers ε-production items that
+		// only appear in the closure).
+		cl := g.closure1(st.kernel, kernLA[si], g.numTerminals)
+		for it, las := range cl {
+			p := g.prods[it.prod]
+			if it.dot < len(p.Rhs) {
+				continue
+			}
+			prodIdx := it.prod
+			las.each(func(term Symbol) {
+				var entry actionEntry
+				if prodIdx == 0 {
+					entry = encode(actAccept, 0)
+				} else {
+					entry = encode(actReduce, prodIdx)
+				}
+				existing := t.action[si][term]
+				switch existing.kind() {
+				case actErr:
+					t.action[si][term] = entry
+				case actShift:
+					conflicts = append(conflicts, Conflict{
+						State: si, Terminal: term, Kind: "shift/reduce",
+						Detail: fmt.Sprintf("on %s: shift %d vs reduce %s", g.Name(term), existing.operand(), a.itemString(it)),
+					})
+				case actReduce, actAccept:
+					if existing != entry {
+						conflicts = append(conflicts, Conflict{
+							State: si, Terminal: term, Kind: "reduce/reduce",
+							Detail: fmt.Sprintf("on %s: reduce %d vs reduce %d", g.Name(term), existing.operand(), prodIdx),
+						})
+					}
+				}
+			})
+		}
+	}
+	if len(conflicts) > 0 {
+		return nil, &ConflictError{Conflicts: conflicts}
+	}
+	return t, nil
+}
+
+// NumStates returns the state count of the LALR automaton.
+func (t *Tables) NumStates() int { return len(t.action) }
+
+// Grammar returns the grammar the tables were generated from.
+func (t *Tables) Grammar() *Grammar { return t.g }
+
+// CanShift reports whether terminal sym has any action (shift or reduce) in
+// state top — i.e., whether the symbol can continue a parse from that state.
+func (t *Tables) hasAction(state int, sym Symbol) bool {
+	return t.action[state][sym].kind() != actErr
+}
+
+// FeedResult reports the outcome of feeding one token to a Machine.
+type FeedResult uint8
+
+const (
+	// Shifted: the token was consumed; the parse continues.
+	Shifted FeedResult = iota
+	// Rejected: the token cannot continue the parse; the machine state is
+	// unchanged (the caller may skip the token, per Aarohi's semantics).
+	Rejected
+)
+
+// Machine is a stepping LALR(1) parser over a Tables. It is the runtime the
+// Aarohi online driver wraps: tokens are fed one at a time, rejection leaves
+// the state untouched so the driver can implement skip/timeout/reset
+// semantics, and WouldAccept probes whether the input consumed so far forms a
+// complete sentence (a fully matched failure chain).
+type Machine struct {
+	t       *Tables
+	stack   []int32
+	scratch []int32
+}
+
+// NewMachine returns a machine positioned at the start state.
+func NewMachine(t *Tables) *Machine {
+	m := &Machine{t: t}
+	m.Reset()
+	return m
+}
+
+// Reset returns the machine to the start state.
+func (m *Machine) Reset() {
+	m.stack = append(m.stack[:0], 0)
+}
+
+// Depth returns the current parse-stack depth (1 when freshly reset).
+func (m *Machine) Depth() int { return len(m.stack) }
+
+// Feed advances the parse with one terminal. On Rejected the stack is
+// restored to its pre-call state.
+func (m *Machine) Feed(sym Symbol) FeedResult {
+	if sym == EOF || int(sym) >= m.t.g.numTerminals {
+		return Rejected
+	}
+	m.scratch = append(m.scratch[:0], m.stack...)
+	for {
+		top := m.stack[len(m.stack)-1]
+		act := m.t.action[top][sym]
+		switch act.kind() {
+		case actShift:
+			m.stack = append(m.stack, int32(act.operand()))
+			return Shifted
+		case actReduce:
+			p := m.t.g.prods[act.operand()]
+			m.stack = m.stack[:len(m.stack)-len(p.Rhs)]
+			ntop := m.stack[len(m.stack)-1]
+			g := m.t.gotoTab[ntop][int(p.Lhs)-m.t.g.numTerminals]
+			if g < 0 {
+				m.stack = append(m.stack[:0], m.scratch...)
+				return Rejected
+			}
+			m.stack = append(m.stack, g)
+		default: // error or accept-on-non-EOF
+			m.stack = append(m.stack[:0], m.scratch...)
+			return Rejected
+		}
+	}
+}
+
+// CanStart reports whether sym can be the first token of a sentence, i.e.
+// whether feeding it to a fresh machine would shift.
+func (t *Tables) CanStart(sym Symbol) bool {
+	if sym == EOF || int(sym) >= t.g.numTerminals {
+		return false
+	}
+	// Walk reduces from state 0 — for FC grammars state 0 only shifts, but
+	// stay general by simulating on a scratch machine.
+	m := NewMachine(t)
+	return m.Feed(sym) == Shifted
+}
+
+// WouldAccept probes whether feeding EOF now would accept, without modifying
+// the machine. It returns the Tag of the last user production with the
+// grammar's start symbol on its LHS reduced during the probe — for Aarohi
+// grammars this is the matched failure chain — and ok=true on acceptance.
+func (m *Machine) WouldAccept() (tag int, ok bool) {
+	stack := append(m.scratch[:0], m.stack...)
+	defer func() { m.scratch = stack[:0] }()
+	tag = -1
+	for steps := 0; steps < 10000; steps++ {
+		top := stack[len(stack)-1]
+		act := m.t.action[top][EOF]
+		switch act.kind() {
+		case actAccept:
+			return tag, true
+		case actReduce:
+			p := m.t.g.prods[act.operand()]
+			if p.Lhs == m.t.userStart {
+				tag = p.Tag
+			}
+			stack = stack[:len(stack)-len(p.Rhs)]
+			ntop := stack[len(stack)-1]
+			g := m.t.gotoTab[ntop][int(p.Lhs)-m.t.g.numTerminals]
+			if g < 0 {
+				return -1, false
+			}
+			stack = append(stack, g)
+		default:
+			return -1, false
+		}
+	}
+	return -1, false
+}
+
+// Parse is a convenience driver for tests: it feeds every token strictly (no
+// skipping) and reports whether the whole sequence is a sentence of the
+// grammar, along with the accepted top-level production tag.
+func (t *Tables) Parse(tokens []Symbol) (tag int, ok bool) {
+	m := NewMachine(t)
+	for _, tok := range tokens {
+		if m.Feed(tok) != Shifted {
+			return -1, false
+		}
+	}
+	return m.WouldAccept()
+}

@@ -1,0 +1,62 @@
+package lexgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine: ParseLine must never panic and must round-trip every line
+// FormatLine can produce.
+func FuzzParseLine(f *testing.F) {
+	f.Add("2015-03-14T04:58:57.640Z c0-0c2s0n2 DVS: verify_filesystem: x")
+	f.Add("")
+	f.Add(" ")
+	f.Add("notatime node msg")
+	f.Add("2015-03-14T04:58:57.640Z")
+	f.Add("2015-03-14T04:58:57.640Z nodeonly")
+	f.Fuzz(func(t *testing.T, line string) {
+		ts, node, msg, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		if node == "" {
+			t.Fatalf("empty node accepted from %q", line)
+		}
+		if strings.ContainsAny(node, " ") {
+			t.Fatalf("node %q contains spaces", node)
+		}
+		// Round trip at millisecond precision.
+		re := FormatLine(ts, node, msg)
+		ts2, node2, msg2, err := ParseLine(re)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", re, err)
+		}
+		if node2 != node || msg2 != msg || ts2.UnixMilli() != ts.UnixMilli() {
+			t.Fatalf("round trip changed line: %q vs %q", line, re)
+		}
+	})
+}
+
+// FuzzScan: scanning arbitrary bytes against a realistic template set must
+// never panic, and any reported match must be a template ID from the set.
+func FuzzScan(f *testing.F) {
+	templates := tableIIITemplates()
+	sc, err := NewScanner(templates)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := map[int64]bool{}
+	for _, tpl := range templates {
+		valid[int64(tpl.ID)] = true
+	}
+	f.Add("DVS: verify_filesystem: x")
+	f.Add("pcieport replay timeout")
+	f.Add("")
+	f.Add(strings.Repeat("L", 4096))
+	f.Fuzz(func(t *testing.T, msg string) {
+		id, ok := sc.Scan(msg)
+		if ok && !valid[int64(id)] {
+			t.Fatalf("Scan(%q) returned unknown phrase %d", msg, id)
+		}
+	})
+}

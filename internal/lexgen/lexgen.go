@@ -1,0 +1,203 @@
+// Package lexgen generates the Aarohi scanner: it compiles a phrase-template
+// inventory into a single combined DFA (via internal/rex) that classifies
+// each incoming log message in one pass. Messages matching no failure-chain
+// template are discarded without tokenization — the paper's Observation 4
+// notes that under 47% of test phrases are FC-related, so the scanner is the
+// filter that keeps the parser's input small.
+//
+// Templates use the paper's notation (Table III): literal text with '*'
+// wildcards, e.g. "DVS: verify filesystem: *". A template matches a message
+// when it matches a prefix of the message body; variable suffixes (hex
+// values, node IDs, paths) are never inspected further.
+package lexgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rex"
+)
+
+// Scanner is a generated tokenizer over a fixed template inventory.
+type Scanner struct {
+	set *rex.Set
+	ids []core.PhraseID
+}
+
+// Options configure scanner generation.
+type Options struct {
+	// SkipMinimization keeps the raw subset-construction DFA instead of the
+	// minimized one — for the table-size ablation only.
+	SkipMinimization bool
+	// SkipPacking keeps the dense 256-way tables instead of the
+	// equivalence-class packed form — for the table-size ablation only.
+	SkipPacking bool
+}
+
+// NewScanner compiles the templates into one prioritized, minimized DFA.
+// Earlier templates win ties (flex rule-order semantics). Templates with
+// empty patterns are rejected.
+func NewScanner(templates []core.Template) (*Scanner, error) {
+	return NewScannerOpts(templates, Options{})
+}
+
+// NewScannerOpts is NewScanner with explicit options.
+func NewScannerOpts(templates []core.Template, opts Options) (*Scanner, error) {
+	patterns := make([]string, len(templates))
+	ids := make([]core.PhraseID, len(templates))
+	for i, t := range templates {
+		if t.Pattern == "" {
+			return nil, fmt.Errorf("lexgen: template %d (phrase %d) has an empty pattern", i, t.ID)
+		}
+		patterns[i] = templateToPattern(t.Pattern)
+		ids[i] = t.ID
+	}
+	set, err := rex.CompileSet(patterns)
+	if err != nil {
+		return nil, fmt.Errorf("lexgen: compiling templates: %w", err)
+	}
+	if !opts.SkipMinimization {
+		set.Minimize()
+	}
+	if !opts.SkipPacking {
+		set.Pack()
+	}
+	return &Scanner{set: set, ids: ids}, nil
+}
+
+// templateToPattern converts a '*' wildcard template into a rex pattern:
+// literal segments are quoted, '*' becomes '.*'.
+func templateToPattern(template string) string {
+	parts := strings.Split(template, "*")
+	for i, p := range parts {
+		parts[i] = rex.QuoteMeta(p)
+	}
+	return strings.Join(parts, ".*")
+}
+
+// Scan classifies one log message body. It returns the phrase ID of the
+// matching template and true, or false when the message matches no template
+// (a benign message, discarded).
+func (s *Scanner) Scan(msg string) (core.PhraseID, bool) {
+	id, n := s.set.MatchString(msg)
+	if id < 0 || n == 0 {
+		return 0, false
+	}
+	return s.ids[id], true
+}
+
+// ScanBytes is Scan over a byte slice, avoiding a copy for streaming use.
+func (s *Scanner) ScanBytes(msg []byte) (core.PhraseID, bool) {
+	id, n := s.set.Match(msg)
+	if id < 0 || n == 0 {
+		return 0, false
+	}
+	return s.ids[id], true
+}
+
+// ScanLine parses a raw log line and classifies its message. It returns the
+// token and ok=true when the message matches a template; parse errors on the
+// line itself are returned separately.
+func (s *Scanner) ScanLine(line string) (tok core.Token, ok bool, err error) {
+	ts, node, msg, err := ParseLine(line)
+	if err != nil {
+		return core.Token{}, false, err
+	}
+	id, matched := s.Scan(msg)
+	if !matched {
+		return core.Token{}, false, nil
+	}
+	return core.Token{Phrase: id, Time: ts, Node: node}, true, nil
+}
+
+// NumTemplates returns the number of compiled templates.
+func (s *Scanner) NumTemplates() int { return s.set.Size() }
+
+// NumStates reports the combined DFA size, for diagnostics and ablations.
+func (s *Scanner) NumStates() int { return s.set.NumStates() }
+
+// TableBytes reports the transition-table footprint (packed when packing is
+// enabled).
+func (s *Scanner) TableBytes() int { return s.set.TableBytes() }
+
+// NumClasses reports the input equivalence classes (0 when unpacked).
+func (s *Scanner) NumClasses() int { return s.set.NumClasses() }
+
+// ScanReader streams raw log lines from r, calling fn for every token the
+// scanner emits. Benign lines are discarded silently; malformed lines abort
+// with an error (wrap r to pre-filter if the source is lossy). fn returning
+// an error stops the stream.
+func (s *Scanner) ScanReader(r io.Reader, fn func(core.Token) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		tok, ok, err := s.ScanLine(sc.Text())
+		if err != nil {
+			return fmt.Errorf("lexgen: line %d: %w", lineNo, err)
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(tok); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// FCTemplates filters an inventory down to the templates that participate in
+// the rule set's failure chains — the only ones the online scanner needs.
+func FCTemplates(inventory []core.Template, rs *core.RuleSet) []core.Template {
+	var out []core.Template
+	for _, t := range inventory {
+		if rs.Relevant(t.ID) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LineFormat documents the raw log line layout produced by the synthetic
+// generator and accepted by ParseLine:
+//
+//	2015-03-14T04:58:57.640Z c0-0c2s0n2 message body ...
+//
+// i.e. an RFC 3339 timestamp with milliseconds, one space, the node ID (no
+// spaces), one space, and the free-form message body.
+const LineFormat = "2006-01-02T15:04:05.000Z07:00"
+
+// ParseLine splits a raw log line into timestamp, node ID and message body.
+func ParseLine(line string) (ts time.Time, node, msg string, err error) {
+	sp1 := strings.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return time.Time{}, "", "", fmt.Errorf("lexgen: malformed line (no timestamp): %q", truncate(line))
+	}
+	ts, err = time.Parse(time.RFC3339Nano, line[:sp1])
+	if err != nil {
+		return time.Time{}, "", "", fmt.Errorf("lexgen: bad timestamp: %w", err)
+	}
+	rest := line[sp1+1:]
+	sp2 := strings.IndexByte(rest, ' ')
+	if sp2 < 0 {
+		return time.Time{}, "", "", fmt.Errorf("lexgen: malformed line (no node): %q", truncate(line))
+	}
+	return ts, rest[:sp2], rest[sp2+1:], nil
+}
+
+// FormatLine renders a log line in the canonical layout.
+func FormatLine(ts time.Time, node, msg string) string {
+	return ts.UTC().Format(LineFormat) + " " + node + " " + msg
+}
+
+func truncate(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

@@ -1,0 +1,462 @@
+// Package loggen is the data substrate of the reproduction: it generates
+// synthetic Cray-style system logs for multi-node clusters, with benign
+// background traffic, injected failure chains, and inter-arrival time
+// distributions calibrated to the paper's Fig. 5. Production logs from the
+// paper's HPC1–HPC4 systems (Table II) are not publicly available; this
+// package substitutes template inventories and phrase semantics modeled on
+// the paper's Tables I, III and IX.
+//
+// Each Dialect represents one system family's logging vocabulary. The same
+// *semantic* event (say, a node heartbeat fault) renders as different phrase
+// text — and a different phrase ID — on different systems, which is exactly
+// the adaptability challenge of the paper's §IV: porting a predictor across
+// systems requires phrase re-mapping but no change to the core scheme.
+package loggen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Event keys name system-independent anomaly semantics. A Dialect maps a key
+// to its local phrase template.
+const (
+	EvFirmwareBug  = "firmware_bug"
+	EvDVSVerifyFS  = "dvs_verify_fs"
+	EvDVSNodeDown  = "dvs_file_node_down"
+	EvLustrePeer   = "lustre_peer"
+	EvLNetHWError  = "lnet_hw_error"
+	EvNodeFailed   = "node_failed" // terminal failed message
+	EvHeartbeat    = "heartbeat_fault"
+	EvVoltageFault = "voltage_fault"
+	EvMCE          = "machine_check"
+	EvKernelPanic  = "kernel_panic"
+	EvCallTrace    = "call_trace"
+	EvGPUErr       = "gpu_error"
+	EvMemPageFault = "gpu_mem_page_fault"
+	EvDDRCorrect   = "ddr_correctable"
+	EvLinkError    = "link_error"
+	EvLDiskWarn    = "ldiskfs_warning"
+	EvOOM          = "oom"
+	EvHSNThrottle  = "hsn_throttle"
+	EvPowerModule  = "power_module"
+	EvRPCTimeout   = "rpc_timeout"
+	EvSoftLockup   = "soft_lockup"
+	EvJobKilled    = "job_killed"
+	EvECCFatal     = "ecc_fatal"
+	EvSeqUnload    = "seq_unload"
+)
+
+// eventDef maps one semantic event to its per-family template text. The '*'
+// wildcard swallows variable components (node IDs, hex values, paths).
+type eventDef struct {
+	key   string
+	class core.Class
+	text  map[string]string // family → template
+}
+
+// Families of logging vocabularies.
+const (
+	famXC   = "xc"   // Cray XC30/XC40 (bcsysd, Aries)
+	famXE   = "xe"   // Cray XE6 (syslog-ng, Gemini)
+	famXK   = "xk"   // Cray XK* (GPU-equipped, Table IX HPC5)
+	famBGP  = "bgp"  // IBM BlueGene/P (Table IX HPC6)
+	famCass = "cass" // Cassandra (Table IX DS)
+	famHad  = "had"  // Hadoop (Table IX DS)
+)
+
+// anomalyEvents is the master inventory of anomaly-relevant events. Template
+// text follows the paper's Tables III and IX where given, and plausible
+// vendor phrasing elsewhere.
+var anomalyEvents = []eventDef{
+	{EvFirmwareBug, core.Erroneous, map[string]string{
+		famXC: "[Firmware Bug]: powernow_k8: *",
+		famXE: "[Firmware Bug]: ACPI: no _PSS objects *",
+		famXK: "[Firmware Bug]: powernow_k8: *",
+	}},
+	{EvDVSVerifyFS, core.Unknown, map[string]string{
+		famXC: "DVS: verify_filesystem: *",
+		famXE: "DVS: verify_fs: magic value mismatch *",
+		famXK: "DVS: verify_filesystem: *",
+	}},
+	{EvDVSNodeDown, core.Unknown, map[string]string{
+		famXC: "DVS: file_node_down: *",
+		famXE: "DVS: fnd: removing * from list of available servers *",
+		famXK: "DVS: file_node_down: *",
+	}},
+	{EvLustrePeer, core.Unknown, map[string]string{
+		famXC: "Lustre: * cannot find peer *",
+		famXE: "LustreError: * @@@ network error *",
+		famXK: "Lustre: * cannot find peer *",
+	}},
+	{EvLNetHWError, core.Erroneous, map[string]string{
+		famXC: "LNet: critical hardware error: *",
+		famXE: "LNET: critical error: HCA fatal *",
+		famXK: "LNet: critical hardware error: *",
+	}},
+	{EvNodeFailed, core.Failed, map[string]string{
+		famXC:   "cb_node_unavailable: *",
+		famXE:   "ec_node_failed: node * marked failed",
+		famXK:   "cb_node_unavailable: *",
+		famBGP:  "Node System has halted*",
+		famCass: "Exiting: error while processing commit log*",
+		famHad:  "NameNode: shutdown_msg: *",
+	}},
+	{EvHeartbeat, core.Erroneous, map[string]string{
+		famXC:  "node heartbeat fault: * missed *",
+		famXE:  "L0 heartbeat fault detected on *",
+		famXK:  "L0 heartbeat fault*",
+		famBGP: "Network link errors detected*",
+	}},
+	{EvVoltageFault, core.Erroneous, map[string]string{
+		famXC:  "bcsysd: voltage fault on blade *",
+		famXE:  "voltage warning: VRM * out of range",
+		famXK:  "Voltage Fault*",
+		famBGP: "MMCS detected error: power module*",
+	}},
+	{EvMCE, core.Erroneous, map[string]string{
+		famXC:  "mce: [Hardware Error]: Machine check events logged *",
+		famXE:  "Machine Check Exception: * Bank *",
+		famXK:  "Machine Check Exception (MCE)*",
+		famBGP: "Kernel panic: soft-lockup: hung tasks*",
+	}},
+	{EvKernelPanic, core.Erroneous, map[string]string{
+		famXC:  "Kernel panic - not syncing: *",
+		famXE:  "kernel: panic: *",
+		famXK:  "Kernel Panic, Call Trace*",
+		famBGP: "Kill job * timed out*",
+	}},
+	{EvCallTrace, core.Unknown, map[string]string{
+		famXC: "Call Trace: *",
+		famXE: "kernel: Call Trace: *",
+		famXK: "Call Trace: *",
+	}},
+	{EvGPUErr, core.Erroneous, map[string]string{
+		famXK: "GPU * PMU communication error*",
+		famXC: "nvrm: Xid * GPU error detected *",
+	}},
+	{EvMemPageFault, core.Erroneous, map[string]string{
+		famXK: "GPU * memory page fault*",
+		famXC: "nvrm: Xid * MMU fault *",
+	}},
+	{EvDDRCorrect, core.Unknown, map[string]string{
+		famXC:  "EDAC MC0: * correctable error *",
+		famXE:  "EDAC amd64: * correctable DRAM error *",
+		famBGP: "Node DDR correctable single symbol error(s)*",
+	}},
+	{EvLinkError, core.Erroneous, map[string]string{
+		famXC: "aries_nic: link inactive on ptile *",
+		famXE: "gemini_err: link failed on tile *",
+		famXK: "gemini_err: link failed on tile *",
+	}},
+	{EvLDiskWarn, core.Unknown, map[string]string{
+		famXC: "LDISKFS-fs warning *",
+		famXE: "ldiskfs warning: device * mounting with errors *",
+	}},
+	{EvOOM, core.Unknown, map[string]string{
+		famXC: "Out of memory: Kill process *",
+		famXE: "oom-killer: invoked on process *",
+		famXK: "Out of memory: Kill process *",
+	}},
+	{EvHSNThrottle, core.Unknown, map[string]string{
+		famXC: "aries_rtr: throttle asserted on tile *",
+		famXE: "gemini_rtr: congestion protection engaged *",
+	}},
+	{EvPowerModule, core.Erroneous, map[string]string{
+		famXC:  "bcsysd: power module fault cabinet *",
+		famXE:  "power module fault detected on cage *",
+		famBGP: "MMCS detected error: power module*",
+	}},
+	{EvRPCTimeout, core.Unknown, map[string]string{
+		famXC: "ptlrpc: * request timed out *",
+		famXE: "ptlrpc: RPC to * timed out *",
+	}},
+	{EvSoftLockup, core.Erroneous, map[string]string{
+		famXC:  "BUG: soft lockup - CPU#* stuck for *",
+		famXE:  "kernel: BUG: soft lockup detected on CPU *",
+		famBGP: "Kernel panic: soft-lockup: hung tasks*",
+	}},
+	{EvJobKilled, core.Unknown, map[string]string{
+		famXC: "slurmd: *: Job * killed *",
+		famXE: "pbs_mom: job * killed on node *",
+	}},
+	{EvECCFatal, core.Erroneous, map[string]string{
+		famXC: "EDAC MC0: * uncorrectable error *",
+		famXE: "EDAC amd64: uncorrectable ECC error *",
+	}},
+	{EvSeqUnload, core.Unknown, map[string]string{
+		famXC: "seq_unload: sequencer * unloading *",
+		famXE: "seq_unload: sequencer halted on *",
+	}},
+	// Distributed-system events (Table IX).
+	{"cass_jvm_lock", core.Unknown, map[string]string{famCass: "Unable to lock JVM memory*"}},
+	{"cass_degraded", core.Erroneous, map[string]string{famCass: "Server running in degraded mode*"}},
+	{"cass_no_rpc", core.Unknown, map[string]string{famCass: "Not starting RPC server as requested*"}},
+	{"cass_no_host", core.Erroneous, map[string]string{famCass: "No host ID found*"}},
+	{"cass_thread_exc", core.Erroneous, map[string]string{famCass: "Exception in thread Thread*"}},
+	{"had_no_node", core.Unknown, map[string]string{famHad: "No node available for block*"}},
+	{"had_no_block", core.Unknown, map[string]string{famHad: "Could not obtain block*"}},
+	{"had_io_exc", core.Erroneous, map[string]string{famHad: "DFS Read: java IOException*"}},
+	{"had_no_live", core.Erroneous, map[string]string{famHad: "No live nodes contain current block*"}},
+	{"had_connect", core.Erroneous, map[string]string{famHad: "DFSClient: Failed to connect*"}},
+}
+
+// benignEvents are background phrases that never participate in chains. They
+// dominate healthy traffic (Fig. 12: FC-related fractions stay below 47%).
+var benignEvents = []eventDef{
+	{"sshd_accept", core.Benign, map[string]string{famXC: "sshd[*]: Accepted publickey for * from *", famXE: "sshd[*]: Accepted publickey for * from *", famXK: "sshd[*]: Accepted publickey for * from *"}},
+	{"systemd_start", core.Benign, map[string]string{famXC: "systemd[1]: Started Session * of user *", famXE: "init: job * started", famXK: "systemd[1]: Started Session * of user *"}},
+	{"cron_run", core.Benign, map[string]string{famXC: "CROND[*]: (root) CMD (*)", famXE: "crond[*]: (root) CMD (*)", famXK: "CROND[*]: (root) CMD (*)"}},
+	{"job_start", core.Benign, map[string]string{famXC: "slurmd: launch task * for job *", famXE: "pbs_mom: job * started on node *", famXK: "slurmd: launch task * for job *"}},
+	{"job_end", core.Benign, map[string]string{famXC: "slurmd: done with job *", famXE: "pbs_mom: job * exited with status *", famXK: "slurmd: done with job *"}},
+	{"sedc_temp", core.Benign, map[string]string{famXC: "SEDC: cabinet * temperature reading * C", famXE: "L0_SEDC: temp sensor * reading * C", famXK: "SEDC: cabinet * temperature reading * C"}},
+	{"sedc_power", core.Benign, map[string]string{famXC: "SEDC: blade * power draw * W", famXE: "L0_SEDC: blade * power * W", famXK: "SEDC: blade * power draw * W"}},
+	{"nfs_ok", core.Benign, map[string]string{famXC: "nfs: server * OK", famXE: "nfs: server * OK", famXK: "nfs: server * OK"}},
+	{"ib_up", core.Benign, map[string]string{famXC: "aries_nic: ptile * link active", famXE: "gemini_nic: tile * link active", famXK: "gemini_nic: tile * link active"}},
+	{"lustre_ok", core.Benign, map[string]string{famXC: "Lustre: * Connection restored to *", famXE: "Lustre: * Connection restored to *", famXK: "Lustre: * Connection restored to *"}},
+	{"dvs_mount", core.Benign, map[string]string{famXC: "DVS: mounted * on *", famXE: "DVS: mounted * on *", famXK: "DVS: mounted * on *"}},
+	{"audit_ok", core.Benign, map[string]string{famXC: "audit: type=* audit(*): pid=*", famXE: "audit: type=* audit(*): pid=*", famXK: "audit: type=* audit(*): pid=*"}},
+	{"ntp_sync", core.Benign, map[string]string{famXC: "ntpd[*]: synchronized to *", famXE: "ntpd[*]: synchronized to *", famXK: "ntpd[*]: synchronized to *"}},
+	{"hugepages", core.Benign, map[string]string{famXC: "craype: hugepages module loaded for job *", famXE: "craype: hugepages module loaded for job *"}},
+	{"rca_event", core.Benign, map[string]string{famXC: "RCA: event * published by *", famXE: "RCA: event * published by *"}},
+	{"bcsys_hb", core.Benign, map[string]string{famXC: "bcsysd: heartbeat OK blade *", famXE: "syslog-ng: heartbeat OK *"}},
+	{"alps_reg", core.Benign, map[string]string{famXC: "apsys: apid * registered", famXE: "apsys: apid * registered"}},
+	{"mem_info", core.Benign, map[string]string{famXC: "kernel: Memory: * available", famXE: "kernel: Memory: * available"}},
+	{"cpu_gov", core.Benign, map[string]string{famXC: "cpufreq: governor set to * on cpu *", famXE: "cpufreq: governor set to * on cpu *"}},
+	{"fs_quota", core.Benign, map[string]string{famXC: "quota: usage for uid * on * at *%", famXE: "quota: usage for uid * on * at *%"}},
+	{"bgp_ciod", core.Benign, map[string]string{famBGP: "ciod: LOGIN chdir(*) successful"}},
+	{"bgp_ras_info", core.Benign, map[string]string{famBGP: "RAS KERNEL INFO * total interrupts *"}},
+	{"bgp_mmcs_ok", core.Benign, map[string]string{famBGP: "MMCS: booting block * status OK"}},
+	{"bgp_job", core.Benign, map[string]string{famBGP: "mpirun: job * started on partition *"}},
+	{"cass_gc", core.Benign, map[string]string{famCass: "GC for ParNew: * ms, * reclaimed"}},
+	{"cass_compact", core.Benign, map[string]string{famCass: "Compacting * sstables for *"}},
+	{"had_heartbeat", core.Benign, map[string]string{famHad: "DataNode: heartbeat to namenode * took * ms"}},
+	{"had_block_ok", core.Benign, map[string]string{famHad: "DataNode: Received block * of size * from *"}},
+}
+
+// ChainSpec names a failure chain as a sequence of semantic events. The last
+// event must be the terminal failed message (class Failed).
+type ChainSpec struct {
+	Name   string
+	Events []string
+}
+
+// Dialect is one system family's logging vocabulary plus its ground-truth
+// failure chains.
+type Dialect struct {
+	Name        string
+	Family      string
+	Description string
+
+	idBase    core.PhraseID
+	byKey     map[string]core.Template
+	inventory []core.Template
+	specs     []ChainSpec
+}
+
+// newDialect assembles a dialect from the master event inventories. Events
+// with no text for the family are omitted.
+func newDialect(name, family, description string, idBase core.PhraseID, specs []ChainSpec) *Dialect {
+	d := &Dialect{
+		Name: name, Family: family, Description: description,
+		idBase: idBase, byKey: map[string]core.Template{}, specs: specs,
+	}
+	id := idBase
+	add := func(defs []eventDef) {
+		for _, def := range defs {
+			text, ok := def.text[family]
+			if !ok {
+				continue
+			}
+			t := core.Template{ID: id, Pattern: text, Class: def.class}
+			d.byKey[def.key] = t
+			d.inventory = append(d.inventory, t)
+			id++
+		}
+	}
+	add(anomalyEvents)
+	add(benignEvents)
+	for _, spec := range specs {
+		for _, ev := range spec.Events {
+			if _, ok := d.byKey[ev]; !ok {
+				panic(fmt.Sprintf("loggen: dialect %s: chain %s references unknown event %q", name, spec.Name, ev))
+			}
+		}
+		last := spec.Events[len(spec.Events)-1]
+		if d.byKey[last].Class != core.Failed {
+			panic(fmt.Sprintf("loggen: dialect %s: chain %s does not end in a failed message", name, spec.Name))
+		}
+	}
+	return d
+}
+
+// Template returns the dialect's template for a semantic event key.
+func (d *Dialect) Template(key string) (core.Template, bool) {
+	t, ok := d.byKey[key]
+	return t, ok
+}
+
+// Inventory returns all templates (anomalous and benign).
+func (d *Dialect) Inventory() []core.Template {
+	return append([]core.Template(nil), d.inventory...)
+}
+
+// AnomalyTemplates returns the non-benign templates.
+func (d *Dialect) AnomalyTemplates() []core.Template {
+	var out []core.Template
+	for _, t := range d.inventory {
+		if t.Class != core.Benign {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ChainSpecs returns the dialect's semantic chain definitions.
+func (d *Dialect) ChainSpecs() []ChainSpec {
+	return append([]ChainSpec(nil), d.specs...)
+}
+
+// Chains resolves the semantic chain specs to phrase-ID failure chains
+// (including the terminal failed message as the last phrase).
+func (d *Dialect) Chains() []core.FailureChain {
+	out := make([]core.FailureChain, len(d.specs))
+	for i, spec := range d.specs {
+		fc := core.FailureChain{Name: spec.Name}
+		for _, ev := range spec.Events {
+			fc.Phrases = append(fc.Phrases, d.byKey[ev].ID)
+		}
+		out[i] = fc
+	}
+	return out
+}
+
+// EventKeyOf reverse-maps a phrase ID to its semantic event key.
+func (d *Dialect) EventKeyOf(id core.PhraseID) (string, bool) {
+	for key, t := range d.byKey {
+		if t.ID == id {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// xcChains are the failure chains of the XC-family production systems. The
+// first chain is FC3 of Table III verbatim; lengths range from 5 to 18
+// phrases (18 is the paper's headline chain length).
+func xcChains() []ChainSpec {
+	return []ChainSpec{
+		{"FC1", []string{EvFirmwareBug, EvDVSVerifyFS, EvDVSNodeDown, EvLustrePeer, EvLNetHWError, EvNodeFailed}},
+		{"FC2", []string{EvHeartbeat, EvVoltageFault, EvMCE, EvKernelPanic, EvNodeFailed}},
+		{"FC3", []string{EvLustrePeer, EvLDiskWarn, EvRPCTimeout, EvDVSVerifyFS, EvDVSNodeDown, EvOOM, EvMCE, EvNodeFailed}},
+		{"FC4", []string{EvLinkError, EvHSNThrottle, EvRPCTimeout, EvLustrePeer, EvLNetHWError, EvCallTrace, EvSoftLockup, EvKernelPanic, EvCallTrace, EvNodeFailed}},
+		{"FC5", []string{EvDDRCorrect, EvDDRCorrect, EvECCFatal, EvMCE, EvCallTrace, EvKernelPanic, EvNodeFailed}},
+		{"FC6", []string{EvPowerModule, EvVoltageFault, EvHeartbeat, EvLinkError, EvHSNThrottle, EvRPCTimeOrPeer(0), EvRPCTimeOrPeer(1), EvDVSVerifyFS, EvDVSNodeDown, EvLDiskWarn, EvOOM, EvJobKilled, EvCallTrace, EvSoftLockup, EvMCE, EvECCFatal, EvKernelPanic, EvNodeFailed}},
+	}
+}
+
+// EvRPCTimeOrPeer alternates two filesystem events, used to build the longer
+// chains without immediate repetition.
+func EvRPCTimeOrPeer(i int) string {
+	if i%2 == 0 {
+		return EvRPCTimeout
+	}
+	return EvLustrePeer
+}
+
+func xeChains() []ChainSpec {
+	return []ChainSpec{
+		{"FC1", []string{EvHeartbeat, EvVoltageFault, EvPowerModule, EvMCE, EvNodeFailed}},
+		{"FC2", []string{EvLinkError, EvHSNThrottle, EvRPCTimeout, EvLustrePeer, EvLNetHWError, EvNodeFailed}},
+		{"FC3", []string{EvDDRCorrect, EvECCFatal, EvMCE, EvSoftLockup, EvKernelPanic, EvCallTrace, EvNodeFailed}},
+		{"FC4", []string{EvDVSVerifyFS, EvDVSNodeDown, EvLDiskWarn, EvOOM, EvJobKilled, EvSoftLockup, EvKernelPanic, EvNodeFailed}},
+		{"FC5", []string{EvFirmwareBug, EvMCE, EvCallTrace, EvKernelPanic, EvNodeFailed}},
+	}
+}
+
+func xkChains() []ChainSpec {
+	return []ChainSpec{
+		{"FC1", []string{EvGPUErr, EvMemPageFault, EvMCE, EvKernelPanic, EvNodeFailed}},
+		{"FC2", []string{EvHeartbeat, EvVoltageFault, EvMCE, EvNodeFailed}},
+		{"FC3", []string{EvLinkError, EvLustrePeer, EvLNetHWError, EvOOM, EvCallTrace, EvNodeFailed}},
+	}
+}
+
+// bgpChains uses only scanner-canonical events: on BG/P several semantic
+// events share template text (e.g. machine_check and soft_lockup both
+// surface as "Kernel panic: soft-lockup"), and the scanner resolves such
+// collisions to the earliest template — so chains reference that one. FC1 is
+// semantically identical to the XC family's FC2, which is what makes the
+// cross-system porting demonstration land.
+func bgpChains() []ChainSpec {
+	return []ChainSpec{
+		{"FC1", []string{EvHeartbeat, EvVoltageFault, EvMCE, EvKernelPanic, EvNodeFailed}},
+		{"FC2", []string{EvDDRCorrect, EvDDRCorrect, EvMCE, EvKernelPanic, EvNodeFailed}},
+	}
+}
+
+func cassChains() []ChainSpec {
+	return []ChainSpec{
+		{"FC1", []string{"cass_jvm_lock", "cass_degraded", "cass_no_rpc", "cass_no_host", "cass_thread_exc", EvNodeFailed}},
+	}
+}
+
+func hadChains() []ChainSpec {
+	return []ChainSpec{
+		{"FC1", []string{"had_no_node", "had_no_block", "had_io_exc", "had_no_live", "had_connect", EvNodeFailed}},
+	}
+}
+
+// The built-in dialects. ID bases are disjoint so that phrase IDs never
+// collide across systems — porting a rule set across dialects therefore
+// requires the explicit re-mapping of MapChains, as in the paper.
+var (
+	DialectXC30 = newDialect("Cray XC30", famXC,
+		"Aries (DragonFly), Haswell/IvyBridge, Slurm — HPC1", 1100, xcChains())
+	DialectXE6 = newDialect("Cray XE6", famXE,
+		"Gemini (Torus), AMD Opteron, Torque — HPC2", 2100, xeChains())
+	DialectXC40 = newDialect("Cray XC40", famXC,
+		"Aries (DragonFly), Haswell/KNL, burst buffer, Slurm — HPC3", 3100, xcChains())
+	DialectXC4030 = newDialect("Cray XC40/30", famXC,
+		"Aries (DragonFly), mixed Haswell generations, Slurm — HPC4", 4100, xcChains())
+	DialectXK = newDialect("Cray XK7", famXK,
+		"Gemini, AMD Opteron + GPUs — HPC5 of Table IX", 5100, xkChains())
+	DialectBGP = newDialect("IBM BG/P", famBGP,
+		"BlueGene/P — HPC6 of Table IX", 6100, bgpChains())
+	DialectCassandra = newDialect("Cassandra", famCass,
+		"distributed store, application-centric logs — Table IX DS", 7100, cassChains())
+	DialectHadoop = newDialect("Hadoop", famHad,
+		"HDFS cluster, application-centric logs — Table IX DS", 8100, hadChains())
+)
+
+// MapChains ports failure chains from one dialect to another by semantic
+// event equivalence — the paper's "phrase re-mappings and rule updates
+// suffice" adaptability workflow. Chains containing an event the target
+// dialect cannot express are reported in missing and omitted from the
+// result.
+func MapChains(chains []core.FailureChain, from, to *Dialect) (mapped []core.FailureChain, missing []string) {
+	for _, fc := range chains {
+		out := core.FailureChain{Name: fc.Name, Timeout: fc.Timeout}
+		ok := true
+		for _, p := range fc.Phrases {
+			key, found := from.EventKeyOf(p)
+			if !found {
+				ok = false
+				break
+			}
+			t, found := to.Template(key)
+			if !found {
+				ok = false
+				break
+			}
+			out.Phrases = append(out.Phrases, t.ID)
+		}
+		if ok {
+			mapped = append(mapped, out)
+		} else {
+			missing = append(missing, fc.Name)
+		}
+	}
+	return mapped, missing
+}

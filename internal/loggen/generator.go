@@ -1,0 +1,414 @@
+package loggen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lexgen"
+)
+
+// Config parameterizes one synthetic log run.
+type Config struct {
+	// Dialect selects the system vocabulary (required).
+	Dialect *Dialect
+	// Seed makes the run reproducible.
+	Seed int64
+	// Start is the wall-clock origin of the log; zero means 2015-03-14 00:00 UTC.
+	Start time.Time
+	// Duration is the covered time span (required, > 0).
+	Duration time.Duration
+	// Nodes is the cluster size (required, > 0).
+	Nodes int
+	// BenignPerMinute is the mean benign message rate per node per minute
+	// (default 2).
+	BenignPerMinute float64
+	// Failures is the number of node failures to inject (chains drawn
+	// round-robin from the dialect's specs across distinct nodes first).
+	Failures int
+	// AnomalyRate is the fraction of background messages on every node drawn
+	// from anomaly (non-terminal) templates instead of benign ones. These
+	// scattered phrases exercise the scanner/parser skip paths without
+	// forming chains (default 0.05).
+	AnomalyRate float64
+	// DropProb is the probability that an injected chain phrase is omitted —
+	// the knob that produces Phase-1 false negatives (default 0).
+	DropProb float64
+	// BurstMean is the mean background burst size (default 4). Fig. 5's
+	// heavily bursty nodes use larger values.
+	BurstMean float64
+	// LongGapFrac is the fraction of inter-burst gaps drawn from the
+	// ≥ 17-minute tail (default 0.04).
+	LongGapFrac float64
+}
+
+// Event is one generated log message.
+type Event struct {
+	Time    time.Time
+	Node    string
+	Phrase  core.PhraseID
+	Message string
+}
+
+// Line renders the event in the canonical raw-log layout.
+func (e Event) Line() string { return lexgen.FormatLine(e.Time, e.Node, e.Message) }
+
+// InjectedFailure is ground truth for one injected node failure.
+type InjectedFailure struct {
+	Node       string
+	ChainIndex int
+	ChainName  string
+	// Start is the arrival of the first chain phrase; FailTime is the
+	// arrival of the terminal failed message (the actual node failure).
+	Start    time.Time
+	FailTime time.Time
+	// Dropped counts chain phrases omitted by DropProb noise.
+	Dropped int
+}
+
+// Log is a complete generated run: time-sorted events plus ground truth.
+type Log struct {
+	Dialect  *Dialect
+	Events   []Event
+	Failures []InjectedFailure
+}
+
+const defaultStart = "2015-03-14T00:00:00Z"
+
+// Generate produces a synthetic log per the config.
+func Generate(cfg Config) (*Log, error) {
+	if cfg.Dialect == nil {
+		return nil, fmt.Errorf("loggen: Dialect is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loggen: Duration must be positive")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("loggen: Nodes must be positive")
+	}
+	if cfg.BenignPerMinute == 0 {
+		cfg.BenignPerMinute = 2
+	}
+	if cfg.AnomalyRate == 0 {
+		cfg.AnomalyRate = 0.05
+	}
+	if cfg.BurstMean == 0 {
+		cfg.BurstMean = 4
+	}
+	if cfg.LongGapFrac == 0 {
+		cfg.LongGapFrac = 0.04
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start, _ = time.Parse(time.RFC3339, defaultStart)
+	}
+	if len(cfg.Dialect.specs) == 0 && cfg.Failures > 0 {
+		return nil, fmt.Errorf("loggen: dialect %s has no chains to inject", cfg.Dialect.Name)
+	}
+	hasBenign := false
+	for _, t := range cfg.Dialect.inventory {
+		if t.Class == core.Benign {
+			hasBenign = true
+			break
+		}
+	}
+	if !hasBenign {
+		return nil, fmt.Errorf("loggen: dialect %s has no benign templates for background traffic", cfg.Dialect.Name)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng, d: cfg.Dialect}
+	log := &Log{Dialect: cfg.Dialect}
+
+	nodes := make([]string, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = NodeName(i)
+	}
+
+	// Failure injection first: distinct nodes first, then reuse ("a node may
+	// fail successively over different time frames"). The failure windows
+	// are recorded so background generation can avoid planting scattered
+	// anomalies inside them — the paper's empirical observation that
+	// "unhealthy nodes experience a complete match with FCs with only rare
+	// cases of interleaving" (§III, Table V discussion).
+	windows := map[string][][2]time.Time{}
+	for f := 0; f < cfg.Failures; f++ {
+		node := nodes[f%len(nodes)]
+		chainIdx := f % len(cfg.Dialect.specs)
+		inj := g.injectFailure(log, node, chainIdx)
+		windows[node] = append(windows[node], [2]time.Time{
+			inj.Start.Add(-5 * time.Minute), inj.FailTime,
+		})
+	}
+
+	// Background traffic on every node.
+	for _, node := range nodes {
+		g.background(log, node, windows[node])
+	}
+
+	sort.SliceStable(log.Events, func(i, j int) bool {
+		return log.Events[i].Time.Before(log.Events[j].Time)
+	})
+	sort.SliceStable(log.Failures, func(i, j int) bool {
+		return log.Failures[i].FailTime.Before(log.Failures[j].FailTime)
+	})
+	return log, nil
+}
+
+// NodeName formats the i-th node in Cray cX-YcCsSnN style.
+func NodeName(i int) string {
+	return fmt.Sprintf("c%d-%dc%ds%dn%d", i/256, (i/64)%4, (i/16)%4, (i/4)%4, i%4)
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	d   *Dialect
+}
+
+// lognormal samples exp(N(mu, sigma²)) where mu is ln of the median.
+func (g *generator) lognormal(median time.Duration, sigma float64) time.Duration {
+	mu := math.Log(float64(median))
+	v := math.Exp(mu + sigma*g.rng.NormFloat64())
+	return time.Duration(v)
+}
+
+// background emits benign (and scattered anomaly) traffic for one node,
+// following the Fig. 5 shape: intra-burst gaps of tens of milliseconds,
+// inter-burst gaps of minutes, and a heavy tail of ≥ 17-minute silences.
+// Inside the node's failure windows only benign phrases are emitted.
+func (g *generator) background(log *Log, node string, avoid [][2]time.Time) {
+	end := g.cfg.Start.Add(g.cfg.Duration)
+	// Inter-burst mean chosen so the overall rate ≈ BenignPerMinute.
+	burstMean := g.cfg.BurstMean
+	interBurst := time.Duration(float64(time.Minute) * burstMean / g.cfg.BenignPerMinute)
+	t := g.cfg.Start.Add(time.Duration(g.rng.Float64() * float64(interBurst)))
+	for t.Before(end) {
+		// One burst.
+		burstLen := 1 + g.geometric(1/burstMean)
+		for b := 0; b < burstLen && t.Before(end); b++ {
+			log.Events = append(log.Events, g.backgroundEvent(node, t, inWindow(t, avoid)))
+			t = t.Add(g.lognormal(25*time.Millisecond, 0.8))
+		}
+		// Gap to the next burst; LongGapFrac of gaps land in the
+		// ≥ 17-minute tail.
+		if g.rng.Float64() < g.cfg.LongGapFrac {
+			t = t.Add(17*time.Minute + time.Duration(g.rng.Float64()*float64(40*time.Minute)))
+		} else {
+			t = t.Add(g.expDuration(interBurst))
+		}
+	}
+}
+
+func inWindow(t time.Time, windows [][2]time.Time) bool {
+	for _, w := range windows {
+		if !t.Before(w[0]) && !t.After(w[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *generator) backgroundEvent(node string, t time.Time, benignOnly bool) Event {
+	var tpl core.Template
+	if !benignOnly && g.rng.Float64() < g.cfg.AnomalyRate {
+		anoms := g.anomalyNonTerminal()
+		tpl = anoms[g.rng.Intn(len(anoms))]
+	} else {
+		benign := g.benignTemplates()
+		tpl = benign[g.rng.Intn(len(benign))]
+	}
+	return Event{Time: t, Node: node, Phrase: tpl.ID, Message: g.instantiate(tpl, node)}
+}
+
+func (g *generator) benignTemplates() []core.Template {
+	var out []core.Template
+	for _, t := range g.d.inventory {
+		if t.Class == core.Benign {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (g *generator) anomalyNonTerminal() []core.Template {
+	var out []core.Template
+	for _, t := range g.d.inventory {
+		if t.Class != core.Benign && t.Class != core.Failed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (g *generator) geometric(p float64) int {
+	n := 0
+	for g.rng.Float64() > p && n < 64 {
+		n++
+	}
+	return n
+}
+
+func (g *generator) expDuration(mean time.Duration) time.Duration {
+	return time.Duration(g.rng.ExpFloat64() * float64(mean))
+}
+
+// chainGap samples the ΔT between adjacent chain phrases: mostly seconds,
+// with millisecond bursts and a bounded tail, so ≳ 92% of gaps stay under
+// two minutes (Fig. 5).
+func (g *generator) chainGap() time.Duration {
+	switch r := g.rng.Float64(); {
+	case r < 0.20:
+		return g.lognormal(40*time.Millisecond, 1.0)
+	case r < 0.85:
+		d := g.lognormal(10*time.Second, 1.0)
+		if d > 110*time.Second {
+			d = 110 * time.Second
+		}
+		return d
+	default:
+		d := g.lognormal(60*time.Second, 0.5)
+		if d > 115*time.Second {
+			d = 115 * time.Second
+		}
+		return d
+	}
+}
+
+// finalGap samples the ΔT before the terminal failed message — the budget
+// from which the lead time is carved (paper: >3 min achievable, ≈2.7 min
+// average).
+func (g *generator) finalGap() time.Duration {
+	return 90*time.Second + time.Duration(g.rng.Float64()*float64(2*time.Minute+30*time.Second))
+}
+
+// injectFailure emits one chain instance on the node at a random offset and
+// returns its ground truth.
+func (g *generator) injectFailure(log *Log, node string, chainIdx int) InjectedFailure {
+	spec := g.d.specs[chainIdx]
+	// Pick a start leaving room for the chain (~len × 2 min worst case).
+	budget := time.Duration(len(spec.Events)) * 2 * time.Minute
+	span := g.cfg.Duration - budget
+	if span < 0 {
+		span = g.cfg.Duration / 2
+	}
+	t := g.cfg.Start.Add(time.Duration(g.rng.Float64() * float64(span)))
+
+	inj := InjectedFailure{Node: node, ChainIndex: chainIdx, ChainName: spec.Name, Start: t}
+	for i, ev := range spec.Events {
+		tpl := g.d.byKey[ev]
+		last := i == len(spec.Events)-1
+		if i > 0 {
+			if last {
+				t = t.Add(g.finalGap())
+			} else {
+				t = t.Add(g.chainGap())
+			}
+		}
+		if !last && g.rng.Float64() < g.cfg.DropProb {
+			inj.Dropped++
+			continue
+		}
+		log.Events = append(log.Events, Event{Time: t, Node: node, Phrase: tpl.ID, Message: g.instantiate(tpl, node)})
+	}
+	inj.FailTime = t
+	log.Failures = append(log.Failures, inj)
+	return inj
+}
+
+// fillers provide plausible wildcard substitutions.
+var fillerPaths = []string{"/global/scratch", "/lus/snx11025", "/var/spool/slurm", "/dsl/opt/cray"}
+
+func (g *generator) instantiate(tpl core.Template, node string) string {
+	var sb strings.Builder
+	for i := 0; i < len(tpl.Pattern); i++ {
+		c := tpl.Pattern[i]
+		if c != '*' {
+			sb.WriteByte(c)
+			continue
+		}
+		switch g.rng.Intn(6) {
+		case 0:
+			fmt.Fprintf(&sb, "%s", node)
+		case 1:
+			fmt.Fprintf(&sb, "0x%08x", g.rng.Uint32())
+		case 2:
+			fmt.Fprintf(&sb, "%d", g.rng.Intn(100000))
+		case 3:
+			sb.WriteString(fillerPaths[g.rng.Intn(len(fillerPaths))])
+		case 4:
+			// Single-token variables, as real syslog fields are: log-template
+			// miners (internal/drain) rely on one variable ≈ one token.
+			fmt.Fprintf(&sb, "pid=%d:uid=%d", g.rng.Intn(65536), g.rng.Intn(10000))
+		default:
+			fmt.Fprintf(&sb, "c%d-%dc%ds%dn%d", g.rng.Intn(8), g.rng.Intn(4), g.rng.Intn(4), g.rng.Intn(8), g.rng.Intn(4))
+		}
+	}
+	return sb.String()
+}
+
+// Lines renders every event as a raw log line, in time order.
+func (l *Log) Lines() []string {
+	out := make([]string, len(l.Events))
+	for i, e := range l.Events {
+		out[i] = e.Line()
+	}
+	return out
+}
+
+// WriteTo streams the raw log to w.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, e := range l.Events {
+		k, err := bw.WriteString(e.Line())
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// NodeEvents returns the events of one node, in time order.
+func (l *Log) NodeEvents(node string) []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Tokens converts the events into scanner-level tokens (phrase + time +
+// node), the input format of the Phase-1 trainer.
+func (l *Log) Tokens() []core.Token {
+	out := make([]core.Token, len(l.Events))
+	for i, e := range l.Events {
+		out[i] = core.Token{Phrase: e.Phrase, Time: e.Time, Node: e.Node}
+	}
+	return out
+}
+
+// FailedNodes returns the distinct nodes with injected failures.
+func (l *Log) FailedNodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range l.Failures {
+		if !seen[f.Node] {
+			seen[f.Node] = true
+			out = append(out, f.Node)
+		}
+	}
+	return out
+}

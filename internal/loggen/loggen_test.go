@@ -1,0 +1,441 @@
+package loggen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lexgen"
+)
+
+func TestDialectInventories(t *testing.T) {
+	for _, d := range []*Dialect{
+		DialectXC30, DialectXE6, DialectXC40, DialectXC4030,
+		DialectXK, DialectBGP, DialectCassandra, DialectHadoop,
+	} {
+		inv := d.Inventory()
+		if len(inv) == 0 {
+			t.Errorf("%s: empty inventory", d.Name)
+		}
+		seen := map[core.PhraseID]bool{}
+		for _, tpl := range inv {
+			if seen[tpl.ID] {
+				t.Errorf("%s: duplicate phrase ID %d", d.Name, tpl.ID)
+			}
+			seen[tpl.ID] = true
+			if tpl.Pattern == "" {
+				t.Errorf("%s: phrase %d has empty pattern", d.Name, tpl.ID)
+			}
+		}
+		// Chains resolve and end in a Failed phrase.
+		for _, fc := range d.Chains() {
+			if len(fc.Phrases) < 2 {
+				t.Errorf("%s %s: too short", d.Name, fc.Name)
+			}
+			last := fc.Phrases[len(fc.Phrases)-1]
+			found := false
+			for _, tpl := range inv {
+				if tpl.ID == last && tpl.Class == core.Failed {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s %s: does not end in a Failed phrase", d.Name, fc.Name)
+			}
+		}
+		// Chains translate into a valid rule set.
+		if len(d.Chains()) > 0 {
+			if _, err := core.TranslateFCs(d.Chains(), core.Options{}); err != nil {
+				t.Errorf("%s: TranslateFCs: %v", d.Name, err)
+			}
+		}
+	}
+}
+
+func TestDialectIDRangesDisjoint(t *testing.T) {
+	type span struct {
+		name   string
+		lo, hi core.PhraseID
+	}
+	var spans []span
+	for _, d := range []*Dialect{
+		DialectXC30, DialectXE6, DialectXC40, DialectXC4030,
+		DialectXK, DialectBGP, DialectCassandra, DialectHadoop,
+	} {
+		lo, hi := core.PhraseID(1<<31-1), core.PhraseID(-1)
+		for _, tpl := range d.Inventory() {
+			if tpl.ID < lo {
+				lo = tpl.ID
+			}
+			if tpl.ID > hi {
+				hi = tpl.ID
+			}
+		}
+		spans = append(spans, span{d.Name, lo, hi})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo <= spans[j].hi && spans[j].lo <= spans[i].hi {
+				t.Errorf("ID ranges overlap: %s [%d,%d] vs %s [%d,%d]",
+					spans[i].name, spans[i].lo, spans[i].hi, spans[j].name, spans[j].lo, spans[j].hi)
+			}
+		}
+	}
+}
+
+func TestXCHasTableIIIChain(t *testing.T) {
+	// FC1 of the XC dialect is Table III's chain: firmware bug → DVS verify
+	// → DVS node down → Lustre peer → LNet HW error → node unavailable.
+	chains := DialectXC30.Chains()
+	if chains[0].Name != "FC1" || len(chains[0].Phrases) != 6 {
+		t.Fatalf("FC1 = %+v", chains[0])
+	}
+	tpl, ok := DialectXC30.Template(EvNodeFailed)
+	if !ok || !strings.HasPrefix(tpl.Pattern, "cb_node_unavailable") {
+		t.Errorf("XC failed message = %+v", tpl)
+	}
+	// Headline 18-length chain exists.
+	found := false
+	for _, fc := range chains {
+		if len(fc.Phrases) == 18 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("XC dialect lacks an 18-phrase chain")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{
+		Dialect: DialectXC30, Seed: 42, Duration: time.Hour, Nodes: 4,
+		Failures: 2,
+	}
+	l1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Events) != len(l2.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(l1.Events), len(l2.Events))
+	}
+	for i := range l1.Events {
+		if l1.Events[i] != l2.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, l1.Events[i], l2.Events[i])
+		}
+	}
+	l3, err := Generate(Config{Dialect: DialectXC30, Seed: 43, Duration: time.Hour, Nodes: 4, Failures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(l3.Events) == len(l1.Events)
+	if same {
+		diff := false
+		for i := range l1.Events {
+			if l1.Events[i] != l3.Events[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := Config{Dialect: DialectXC30, Duration: time.Hour, Nodes: 2}
+	bad := []Config{
+		{Duration: time.Hour, Nodes: 2},
+		{Dialect: DialectXC30, Nodes: 2},
+		{Dialect: DialectXC30, Duration: time.Hour},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Generate(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestGenerateEventsSortedAndInWindow(t *testing.T) {
+	cfg := Config{Dialect: DialectXE6, Seed: 7, Duration: 2 * time.Hour, Nodes: 6, Failures: 3}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) == 0 {
+		t.Fatal("no events")
+	}
+	start, _ := time.Parse(time.RFC3339, defaultStart)
+	// Injected chains may spill somewhat past Duration (final gaps), allow
+	// slack of the chain budget.
+	hardEnd := start.Add(cfg.Duration + time.Hour)
+	for i, e := range log.Events {
+		if i > 0 && e.Time.Before(log.Events[i-1].Time) {
+			t.Fatalf("events not sorted at %d", i)
+		}
+		if e.Time.Before(start) || e.Time.After(hardEnd) {
+			t.Fatalf("event %d out of window: %v", i, e.Time)
+		}
+		if e.Node == "" || e.Message == "" || e.Phrase == 0 {
+			t.Fatalf("incomplete event: %+v", e)
+		}
+	}
+}
+
+func TestInjectedFailuresGroundTruth(t *testing.T) {
+	cfg := Config{Dialect: DialectXC40, Seed: 11, Duration: 3 * time.Hour, Nodes: 8, Failures: 5}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Failures) != 5 {
+		t.Fatalf("failures = %d, want 5", len(log.Failures))
+	}
+	chains := log.Dialect.Chains()
+	for _, inj := range log.Failures {
+		if inj.FailTime.Before(inj.Start) {
+			t.Errorf("failure %s: FailTime before Start", inj.Node)
+		}
+		// The terminal failed message must be present in the node's events
+		// at FailTime.
+		chain := chains[inj.ChainIndex]
+		term := chain.Phrases[len(chain.Phrases)-1]
+		found := false
+		for _, e := range log.NodeEvents(inj.Node) {
+			if e.Phrase == term && e.Time.Equal(inj.FailTime) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failure %s/%s: terminal phrase missing at FailTime", inj.Node, inj.ChainName)
+		}
+		// The full chain phrases appear in order (no drop noise configured).
+		idx := 0
+		for _, e := range log.NodeEvents(inj.Node) {
+			if idx < len(chain.Phrases) && e.Phrase == chain.Phrases[idx] && !e.Time.Before(inj.Start) {
+				idx++
+			}
+		}
+		if idx != len(chain.Phrases) {
+			t.Errorf("failure %s/%s: only %d/%d chain phrases found in order",
+				inj.Node, inj.ChainName, idx, len(chain.Phrases))
+		}
+	}
+	if got := log.FailedNodes(); len(got) != 5 {
+		t.Errorf("FailedNodes = %v", got)
+	}
+}
+
+func TestDropProbDropsPhrases(t *testing.T) {
+	cfg := Config{Dialect: DialectXC30, Seed: 3, Duration: 3 * time.Hour, Nodes: 10,
+		Failures: 10, DropProb: 0.5}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, inj := range log.Failures {
+		total += inj.Dropped
+	}
+	if total == 0 {
+		t.Error("DropProb=0.5 dropped nothing across 10 failures")
+	}
+}
+
+func TestChainGapDistribution(t *testing.T) {
+	g := &generator{cfg: Config{}, rng: newTestRng(1)}
+	n := 5000
+	under2min := 0
+	for i := 0; i < n; i++ {
+		d := g.chainGap()
+		if d <= 0 {
+			t.Fatalf("non-positive gap %v", d)
+		}
+		if d <= 2*time.Minute {
+			under2min++
+		}
+	}
+	frac := float64(under2min) / float64(n)
+	// Fig. 5: ~92% of phrase arrivals within ≤ 2 minutes.
+	if frac < 0.85 {
+		t.Errorf("fraction of gaps ≤ 2min = %.3f, want ≥ 0.85", frac)
+	}
+}
+
+func TestFinalGapRange(t *testing.T) {
+	g := &generator{cfg: Config{}, rng: newTestRng(2)}
+	for i := 0; i < 1000; i++ {
+		d := g.finalGap()
+		if d < 90*time.Second || d > 4*time.Minute {
+			t.Fatalf("final gap %v outside [1.5m, 4m]", d)
+		}
+	}
+}
+
+func TestLinesRoundTripThroughScanner(t *testing.T) {
+	cfg := Config{Dialect: DialectXC30, Seed: 5, Duration: 30 * time.Minute, Nodes: 3, Failures: 1}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := lexgen.NewScanner(log.Dialect.Inventory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log.Events {
+		id, ok := sc.Scan(e.Message)
+		if !ok {
+			t.Fatalf("generated message does not scan: %q", e.Message)
+		}
+		if id != e.Phrase {
+			t.Fatalf("scan mismatch: message %q scanned as %d, generated as %d", e.Message, id, e.Phrase)
+		}
+	}
+}
+
+// Every dialect's injected chain phrases must survive the scan round trip:
+// a chain event rendered to text and scanned back must yield the chain's own
+// phrase ID, or the predictor could never match that chain. This guards
+// against dialects whose chains reference a template shadowed by an
+// identical earlier pattern.
+func TestAllDialectsChainScanRoundTrip(t *testing.T) {
+	for _, d := range []*Dialect{
+		DialectXC30, DialectXE6, DialectXC40, DialectXC4030,
+		DialectXK, DialectBGP, DialectCassandra, DialectHadoop,
+	} {
+		if len(d.Chains()) == 0 {
+			continue
+		}
+		log, err := Generate(Config{
+			Dialect: d, Seed: 31, Duration: 2 * time.Hour,
+			Nodes: 4, Failures: len(d.Chains()),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		sc, err := lexgen.NewScanner(d.Inventory())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		chains := d.Chains()
+		for _, inj := range log.Failures {
+			chain := chains[inj.ChainIndex]
+			idx := 0
+			for _, e := range log.NodeEvents(inj.Node) {
+				if e.Time.Before(inj.Start) || idx >= len(chain.Phrases) {
+					continue
+				}
+				id, ok := sc.Scan(e.Message)
+				if !ok {
+					t.Fatalf("%s: chain message %q does not scan", d.Name, e.Message)
+				}
+				if id == chain.Phrases[idx] {
+					idx++
+				}
+			}
+			if idx != len(chain.Phrases) {
+				t.Errorf("%s %s: scan round trip recovered %d/%d chain phrases",
+					d.Name, inj.ChainName, idx, len(chain.Phrases))
+			}
+		}
+	}
+}
+
+func TestWriteToAndParseBack(t *testing.T) {
+	cfg := Config{Dialect: DialectXE6, Seed: 9, Duration: 20 * time.Minute, Nodes: 2, Failures: 1}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(log.Events) {
+		t.Fatalf("wrote %d lines, want %d", len(lines), len(log.Events))
+	}
+	for i, line := range lines {
+		ts, node, msg, err := lexgen.ParseLine(line)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		e := log.Events[i]
+		if node != e.Node || msg != e.Message {
+			t.Fatalf("line %d round trip mismatch", i)
+		}
+		if ts.UnixMilli() != e.Time.UnixMilli() {
+			t.Fatalf("line %d time mismatch: %v vs %v", i, ts, e.Time)
+		}
+	}
+}
+
+func TestMapChainsXCtoBGP(t *testing.T) {
+	// Port the XE chains to BG/P: chains using events BG/P lacks must be
+	// reported missing, others remapped (Table IX adaptability).
+	mapped, missing := MapChains(DialectXE6.Chains(), DialectXE6, DialectBGP)
+	if len(mapped)+len(missing) != len(DialectXE6.Chains()) {
+		t.Fatalf("mapped %d + missing %d != %d chains", len(mapped), len(missing), len(DialectXE6.Chains()))
+	}
+	if len(mapped) == 0 {
+		t.Fatal("no XE chain could be ported to BG/P")
+	}
+	bgpIDs := map[core.PhraseID]bool{}
+	for _, tpl := range DialectBGP.Inventory() {
+		bgpIDs[tpl.ID] = true
+	}
+	for _, fc := range mapped {
+		for _, p := range fc.Phrases {
+			if !bgpIDs[p] {
+				t.Errorf("ported chain %s contains non-BG/P phrase %d", fc.Name, p)
+			}
+		}
+	}
+}
+
+func TestMapChainsIdentity(t *testing.T) {
+	// XC30 → XC40 share the family, so every chain ports; phrase IDs move
+	// into the target's range.
+	mapped, missing := MapChains(DialectXC30.Chains(), DialectXC30, DialectXC40)
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	for i, fc := range mapped {
+		src := DialectXC30.Chains()[i]
+		if len(fc.Phrases) != len(src.Phrases) {
+			t.Fatalf("chain %s length changed", fc.Name)
+		}
+		for _, p := range fc.Phrases {
+			if p < 3100 || p >= 4100 {
+				t.Errorf("chain %s phrase %d outside XC40 range", fc.Name, p)
+			}
+		}
+	}
+}
+
+func TestNodeName(t *testing.T) {
+	if NodeName(0) != "c0-0c0s0n0" {
+		t.Errorf("NodeName(0) = %s", NodeName(0))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 1024; i++ {
+		n := NodeName(i)
+		if seen[n] {
+			t.Fatalf("duplicate node name %s at %d", n, i)
+		}
+		seen[n] = true
+	}
+}
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,223 @@
+// Package metrics provides the evaluation statistics used throughout the
+// Aarohi reproduction: confusion-matrix derived rates (Table VII of the
+// paper), streaming mean/std-deviation accumulators for prediction and lead
+// times, and empirical CDFs for inter-arrival analysis (Fig. 5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Confusion holds the four confusion-matrix counts for node-failure
+// prediction. The terms follow Table VII of the paper: a true positive is a
+// correctly predicted node failure, a true negative a correctly rejected
+// non-failure, and so on.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add accumulates the counts of other into c.
+func (c *Confusion) Add(other Confusion) {
+	c.TP += other.TP
+	c.TN += other.TN
+	c.FP += other.FP
+	c.FN += other.FN
+}
+
+// Record tallies one prediction outcome given the ground truth.
+func (c *Confusion) Record(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// ratio returns num/den as a percentage, or NaN when the denominator is zero.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Recall returns TP/(TP+FN) in percent: the fraction of node failures
+// correctly identified.
+func (c Confusion) Recall() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// Precision returns TP/(TP+FP) in percent: the fraction of predicted node
+// failures that were real.
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Accuracy returns (TP+TN)/(TP+FP+FN+TN) in percent.
+func (c Confusion) Accuracy() float64 { return ratio(c.TP+c.TN, c.TP+c.FP+c.FN+c.TN) }
+
+// FNR returns FN/(TP+FN) in percent: the rate of missed failures.
+func (c Confusion) FNR() float64 { return ratio(c.FN, c.TP+c.FN) }
+
+// F1 returns the harmonic mean of precision and recall in percent.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d recall=%.1f%% precision=%.1f%% accuracy=%.1f%% FNR=%.1f%%",
+		c.TP, c.TN, c.FP, c.FN, c.Recall(), c.Precision(), c.Accuracy(), c.FNR())
+}
+
+// Stats is a streaming accumulator for mean and standard deviation using
+// Welford's algorithm. The zero value is ready to use.
+type Stats struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one sample.
+func (s *Stats) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// ObserveDuration adds one duration sample, recorded in seconds.
+func (s *Stats) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// N returns the number of samples observed.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the sample mean, or NaN when empty.
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Std returns the sample standard deviation (n-1 denominator), or NaN when
+// fewer than two samples have been observed.
+func (s *Stats) Std() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest observed sample, or NaN when empty.
+func (s *Stats) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observed sample, or NaN when empty.
+func (s *Stats) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// CDF is an empirical cumulative distribution over float64 samples, used to
+// reproduce the cumulative phrase-arrival plot of Fig. 5.
+type CDF struct {
+	sorted  bool
+	samples []float64
+}
+
+// Add appends one sample.
+func (c *CDF) Add(x float64) {
+	c.samples = append(c.samples, x)
+	c.sorted = false
+}
+
+// AddDuration appends one duration sample in milliseconds (the paper's Fig. 5
+// x-axis unit).
+func (c *CDF) AddDuration(d time.Duration) {
+	c.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// CountAtMost returns how many samples are ≤ x (the cumulative arrival count
+// plotted in Fig. 5).
+func (c *CDF) CountAtMost(x float64) int {
+	c.sort()
+	return sort.SearchFloat64s(c.samples, math.Nextafter(x, math.Inf(1)))
+}
+
+// FractionAtMost returns the empirical CDF value at x in [0,1].
+func (c *CDF) FractionAtMost(x float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	return float64(c.CountAtMost(x)) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank method.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(c.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.samples[rank]
+}
+
+// Points returns (x, cumulative count) pairs at each distinct sample value,
+// suitable for rendering the Fig. 5 staircase.
+func (c *CDF) Points() (xs []float64, counts []int) {
+	c.sort()
+	for i, x := range c.samples {
+		if i+1 < len(c.samples) && c.samples[i+1] == x {
+			continue
+		}
+		xs = append(xs, x)
+		counts = append(counts, i+1)
+	}
+	return xs, counts
+}

@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+func TestConfusionRates(t *testing.T) {
+	tests := []struct {
+		name                             string
+		c                                Confusion
+		recall, precision, accuracy, fnr float64
+	}{
+		{"paper HPC2-like", Confusion{TP: 16, TN: 2, FP: 1, FN: 1}, 94.1, 94.1, 90.0, 5.9},
+		{"all correct", Confusion{TP: 5, TN: 5}, 100, 100, 100, 0},
+		{"all missed", Confusion{FN: 4, TN: 6}, 0, math.NaN(), 60, 100},
+		{"empty", Confusion{}, math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !almostEqual(tt.c.Recall(), tt.recall, 0.1) {
+				t.Errorf("recall = %v, want %v", tt.c.Recall(), tt.recall)
+			}
+			if !almostEqual(tt.c.Precision(), tt.precision, 0.1) {
+				t.Errorf("precision = %v, want %v", tt.c.Precision(), tt.precision)
+			}
+			if !almostEqual(tt.c.Accuracy(), tt.accuracy, 0.1) {
+				t.Errorf("accuracy = %v, want %v", tt.c.Accuracy(), tt.accuracy)
+			}
+			if !almostEqual(tt.c.FNR(), tt.fnr, 0.1) {
+				t.Errorf("FNR = %v, want %v", tt.c.FNR(), tt.fnr)
+			}
+		})
+	}
+}
+
+func TestConfusionRecord(t *testing.T) {
+	var c Confusion
+	c.Record(true, true)   // TP
+	c.Record(true, false)  // FP
+	c.Record(false, true)  // FN
+	c.Record(false, false) // TN
+	c.Record(true, true)   // TP
+	want := Confusion{TP: 2, TN: 1, FP: 1, FN: 1}
+	if c != want {
+		t.Fatalf("Record tally = %+v, want %+v", c, want)
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, TN: 2, FP: 3, FN: 4}
+	b := Confusion{TP: 10, TN: 20, FP: 30, FN: 40}
+	a.Add(b)
+	want := Confusion{TP: 11, TN: 22, FP: 33, FN: 44}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// Property: recall + FNR = 100 whenever there is at least one actual failure.
+func TestRecallFNRComplementary(t *testing.T) {
+	f := func(tp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FN: int(fn)}
+		if c.TP+c.FN == 0 {
+			return true
+		}
+		return almostEqual(c.Recall()+c.FNR(), 100, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAgainstDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 1000)
+	var s Stats
+	sum := 0.0
+	for i := range samples {
+		samples[i] = rng.NormFloat64()*3 + 10
+		s.Observe(samples[i])
+		sum += samples[i]
+	}
+	mean := sum / float64(len(samples))
+	var sq float64
+	mn, mx := samples[0], samples[0]
+	for _, x := range samples {
+		sq += (x - mean) * (x - mean)
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	std := math.Sqrt(sq / float64(len(samples)-1))
+	if !almostEqual(s.Mean(), mean, 1e-9) {
+		t.Errorf("mean = %v, want %v", s.Mean(), mean)
+	}
+	if !almostEqual(s.Std(), std, 1e-9) {
+		t.Errorf("std = %v, want %v", s.Std(), std)
+	}
+	if s.Min() != mn || s.Max() != mx {
+		t.Errorf("min/max = %v/%v, want %v/%v", s.Min(), s.Max(), mn, mx)
+	}
+	if s.N() != 1000 {
+		t.Errorf("N = %d, want 1000", s.N())
+	}
+}
+
+func TestStatsEmptyAndSingle(t *testing.T) {
+	var s Stats
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Std()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty Stats should report NaN everywhere")
+	}
+	s.Observe(4.5)
+	if s.Mean() != 4.5 || s.Min() != 4.5 || s.Max() != 4.5 {
+		t.Errorf("single sample: mean/min/max = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+	if !math.IsNaN(s.Std()) {
+		t.Error("std of a single sample should be NaN")
+	}
+}
+
+func TestStatsObserveDuration(t *testing.T) {
+	var s Stats
+	s.ObserveDuration(1500 * time.Millisecond)
+	s.ObserveDuration(500 * time.Millisecond)
+	if !almostEqual(s.Mean(), 1.0, 1e-12) {
+		t.Errorf("duration mean = %v, want 1.0s", s.Mean())
+	}
+}
+
+func TestCDFCounts(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{5, 1, 3, 3, 9} {
+		c.Add(x)
+	}
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {3, 3}, {5, 4}, {9, 5}, {100, 5},
+	}
+	for _, tt := range tests {
+		if got := c.CountAtMost(tt.x); got != tt.want {
+			t.Errorf("CountAtMost(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+	if got := c.FractionAtMost(3); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("FractionAtMost(3) = %v, want 0.6", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if q := c.Quantile(0.5); q != 50 {
+		t.Errorf("median = %v, want 50", q)
+	}
+	if q := c.Quantile(0.92); q != 92 {
+		t.Errorf("p92 = %v, want 92", q)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := c.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v, want 100", q)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{2, 2, 1, 5} {
+		c.Add(x)
+	}
+	xs, counts := c.Points()
+	wantX := []float64{1, 2, 5}
+	wantC := []int{1, 3, 4}
+	if len(xs) != len(wantX) {
+		t.Fatalf("Points xs = %v, want %v", xs, wantX)
+	}
+	for i := range xs {
+		if xs[i] != wantX[i] || counts[i] != wantC[i] {
+			t.Errorf("Points[%d] = (%v,%d), want (%v,%d)", i, xs[i], counts[i], wantX[i], wantC[i])
+		}
+	}
+}
+
+func TestCDFAddDuration(t *testing.T) {
+	var c CDF
+	c.AddDuration(25 * time.Millisecond)
+	if got := c.Quantile(1); got != 25 {
+		t.Errorf("duration sample = %v ms, want 25", got)
+	}
+}
+
+// Property: CountAtMost is monotone non-decreasing and bounded by N.
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64, probes []float64) bool {
+		var c CDF
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			c.Add(x)
+		}
+		prevX := math.Inf(-1)
+		prev := 0
+		// Probe in sorted order.
+		ps := append([]float64(nil), probes...)
+		for i := range ps {
+			if math.IsNaN(ps[i]) {
+				ps[i] = 0
+			}
+		}
+		sortFloats(ps)
+		for _, p := range ps {
+			got := c.CountAtMost(p)
+			if p >= prevX && got < prev {
+				return false
+			}
+			if got < 0 || got > c.N() {
+				return false
+			}
+			prevX, prev = p, got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

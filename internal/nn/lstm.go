@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gate layout within the stacked pre-activation vector z (length 4H):
+// [input | forget | output | candidate].
+
+// LSTM is a single LSTM cell: z = Wx·x + Wh·h + b, gates i,f,o = σ(z…),
+// candidate g = tanh(z…), c' = f∘c + i∘g, h' = o∘tanh(c').
+type LSTM struct {
+	In, Hidden int
+	Wx         *Matrix // 4H × In
+	Wh         *Matrix // 4H × H
+	B          []float64
+}
+
+// NewLSTM allocates an LSTM with small random weights and a forget-gate bias
+// of 1 (the standard initialization that eases gradient flow).
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewMatrix(4*hidden, in),
+		Wh:     NewMatrix(4*hidden, hidden),
+		B:      make([]float64, 4*hidden),
+	}
+	scale := 1 / math.Sqrt(float64(in+hidden))
+	l.Wx.Randomize(rng, scale)
+	l.Wh.Randomize(rng, scale)
+	for i := hidden; i < 2*hidden; i++ {
+		l.B[i] = 1
+	}
+	return l
+}
+
+// State is the recurrent state (hidden and cell vectors).
+type State struct {
+	H, C []float64
+}
+
+// NewState returns a zero state for the cell.
+func (l *LSTM) NewState() State {
+	return State{H: make([]float64, l.Hidden), C: make([]float64, l.Hidden)}
+}
+
+// stepTrace records everything the backward pass needs for one time step.
+type stepTrace struct {
+	x          []float64
+	hPrev      []float64
+	cPrev      []float64
+	i, f, o, g []float64
+	c, h       []float64
+	tanhC      []float64
+}
+
+// step runs one forward step, optionally recording a trace.
+func (l *LSTM) step(x []float64, s State, trace bool) (State, *stepTrace) {
+	h := l.Hidden
+	z := make([]float64, 4*h)
+	copy(z, l.B)
+	l.Wx.MulVecAddInto(z, x)
+	l.Wh.MulVecAddInto(z, s.H)
+
+	ns := State{H: make([]float64, h), C: make([]float64, h)}
+	var tr *stepTrace
+	if trace {
+		tr = &stepTrace{
+			x: append([]float64(nil), x...), hPrev: append([]float64(nil), s.H...),
+			cPrev: append([]float64(nil), s.C...),
+			i:     make([]float64, h), f: make([]float64, h), o: make([]float64, h), g: make([]float64, h),
+			tanhC: make([]float64, h),
+		}
+	}
+	for j := 0; j < h; j++ {
+		ig := Sigmoid(z[j])
+		fg := Sigmoid(z[h+j])
+		og := Sigmoid(z[2*h+j])
+		gg := math.Tanh(z[3*h+j])
+		c := fg*s.C[j] + ig*gg
+		tc := math.Tanh(c)
+		ns.C[j] = c
+		ns.H[j] = og * tc
+		if tr != nil {
+			tr.i[j], tr.f[j], tr.o[j], tr.g[j] = ig, fg, og, gg
+			tr.tanhC[j] = tc
+		}
+	}
+	if tr != nil {
+		tr.c = append([]float64(nil), ns.C...)
+		tr.h = append([]float64(nil), ns.H...)
+	}
+	return ns, tr
+}
+
+// Step runs one forward step without recording gradients.
+func (l *LSTM) Step(x []float64, s State) State {
+	ns, _ := l.step(x, s, false)
+	return ns
+}
+
+// grads accumulates parameter gradients for one cell.
+type lstmGrads struct {
+	dWx, dWh *Matrix
+	dB       []float64
+}
+
+func newLSTMGrads(l *LSTM) *lstmGrads {
+	return &lstmGrads{
+		dWx: NewMatrix(4*l.Hidden, l.In),
+		dWh: NewMatrix(4*l.Hidden, l.Hidden),
+		dB:  make([]float64, 4*l.Hidden),
+	}
+}
+
+// backwardStep propagates (dH, dC) through one recorded step, accumulating
+// parameter gradients and returning (dX, dHPrev, dCPrev).
+func (l *LSTM) backwardStep(tr *stepTrace, dH, dC []float64, g *lstmGrads) (dX, dHPrev, dCPrev []float64) {
+	h := l.Hidden
+	dz := make([]float64, 4*h)
+	dCPrev = make([]float64, h)
+	for j := 0; j < h; j++ {
+		dOg := dH[j] * tr.tanhC[j]
+		dCj := dC[j] + dH[j]*tr.o[j]*(1-tr.tanhC[j]*tr.tanhC[j])
+		dIg := dCj * tr.g[j]
+		dFg := dCj * tr.cPrev[j]
+		dGg := dCj * tr.i[j]
+		dCPrev[j] = dCj * tr.f[j]
+
+		dz[j] = dIg * tr.i[j] * (1 - tr.i[j])
+		dz[h+j] = dFg * tr.f[j] * (1 - tr.f[j])
+		dz[2*h+j] = dOg * tr.o[j] * (1 - tr.o[j])
+		dz[3*h+j] = dGg * (1 - tr.g[j]*tr.g[j])
+	}
+	AddOuterInto(g.dWx, dz, tr.x)
+	AddOuterInto(g.dWh, dz, tr.hPrev)
+	for j, v := range dz {
+		g.dB[j] += v
+	}
+	dX = make([]float64, l.In)
+	dHPrev = make([]float64, h)
+	l.Wx.MulVecTransposeAddInto(dX, dz)
+	l.Wh.MulVecTransposeAddInto(dHPrev, dz)
+	return dX, dHPrev, dCPrev
+}

@@ -1,0 +1,179 @@
+// Package nn is a small, dependency-free neural-network substrate: dense
+// matrices, an LSTM cell with full backpropagation-through-time, and a
+// next-token language model over log-phrase vocabularies.
+//
+// The Aarohi paper's Phase 1 uses an LSTM (per Desh [25]) to learn message
+// patterns, and its Table VI baselines (Desh, DeepLog) pay an LSTM forward
+// pass per log entry at inference time. This package provides both: the
+// trainer package uses Model for chain extraction support, and the baselines
+// package uses Model.StepState to reproduce the per-entry inference cost
+// that Aarohi's parser avoids.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Randomize fills the matrix with uniform values in [-scale, scale].
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVecInto computes dst = m · x. dst must have length m.Rows and x length
+// m.Cols.
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecInto shape mismatch: (%dx%d)·%d into %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecAddInto computes dst += m · x.
+func (m *Matrix) MulVecAddInto(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecAddInto shape mismatch: (%dx%d)·%d into %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] += s
+	}
+}
+
+// AddOuterInto accumulates dst += a ⊗ b (outer product), where dst is
+// len(a)×len(b).
+func AddOuterInto(dst *Matrix, a, b []float64) {
+	if dst.Rows != len(a) || dst.Cols != len(b) {
+		panic("nn: AddOuterInto shape mismatch")
+	}
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := dst.Row(i)
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
+}
+
+// MulVecTransposeAddInto computes dst += mᵀ · x, where x has length m.Rows
+// and dst length m.Cols.
+func (m *Matrix) MulVecTransposeAddInto(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("nn: MulVecTransposeAddInto shape mismatch")
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += xv * v
+		}
+	}
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// SoftmaxInto writes softmax(logits) into dst (they may alias).
+func SoftmaxInto(dst, logits []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements in descending order.
+func TopK(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := make([]int, 0, k)
+	used := make([]bool, len(xs))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range xs {
+			if used[i] {
+				continue
+			}
+			if best < 0 || v > xs[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a next-token language model over a phrase vocabulary: embedding →
+// LSTM → linear projection → softmax. It is the shape DeepLog and Desh use
+// for log-key prediction; Phase 1 uses it to score candidate chains and the
+// baselines pay its forward pass per log entry at inference time.
+type Model struct {
+	Vocab, Embed, Hidden int
+
+	Emb  *Matrix // Vocab × Embed
+	Cell *LSTM
+	Wy   *Matrix // Vocab × Hidden
+	By   []float64
+
+	// Adagrad accumulators (allocated lazily on first training step).
+	adaEmb, adaWx, adaWh, adaWy *Matrix
+	adaB, adaBy                 []float64
+}
+
+// NewModel builds a model with random initialization.
+func NewModel(vocab, embed, hidden int, rng *rand.Rand) *Model {
+	if vocab < 1 || embed < 1 || hidden < 1 {
+		panic(fmt.Sprintf("nn: invalid model dims %d/%d/%d", vocab, embed, hidden))
+	}
+	m := &Model{
+		Vocab: vocab, Embed: embed, Hidden: hidden,
+		Emb:  NewMatrix(vocab, embed),
+		Cell: NewLSTM(embed, hidden, rng),
+		Wy:   NewMatrix(vocab, hidden),
+		By:   make([]float64, vocab),
+	}
+	m.Emb.Randomize(rng, 0.1)
+	m.Wy.Randomize(rng, 1/math.Sqrt(float64(hidden)))
+	return m
+}
+
+// NewState returns a fresh recurrent state.
+func (m *Model) NewState() State { return m.Cell.NewState() }
+
+// StepState consumes one token and returns the next state plus the
+// probability distribution over the next token. This is the per-log-entry
+// inference step whose cost Table VI measures for the LSTM baselines.
+func (m *Model) StepState(token int, s State) (State, []float64) {
+	ns := m.Cell.Step(m.Emb.Row(token), s)
+	probs := make([]float64, m.Vocab)
+	copy(probs, m.By)
+	m.Wy.MulVecAddInto(probs, ns.H)
+	SoftmaxInto(probs, probs)
+	return ns, probs
+}
+
+// Predict runs a whole prefix and returns the next-token distribution.
+func (m *Model) Predict(prefix []int) []float64 {
+	s := m.NewState()
+	probs := make([]float64, m.Vocab)
+	for _, t := range prefix {
+		s, probs = m.StepState(t, s)
+	}
+	if len(prefix) == 0 {
+		copy(probs, m.By)
+		m.Wy.MulVecAddInto(probs, s.H)
+		SoftmaxInto(probs, probs)
+	}
+	return probs
+}
+
+// Loss computes the average cross-entropy of predicting seq[t+1] from
+// seq[:t+1], without updating parameters.
+func (m *Model) Loss(seq []int) float64 {
+	if len(seq) < 2 {
+		return 0
+	}
+	s := m.NewState()
+	total := 0.0
+	for t := 0; t+1 < len(seq); t++ {
+		var probs []float64
+		s, probs = m.StepState(seq[t], s)
+		p := probs[seq[t+1]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	return total / float64(len(seq)-1)
+}
+
+// modelGrads bundles the full parameter gradient of one BPTT pass.
+type modelGrads struct {
+	emb, wy *Matrix
+	by      []float64
+	cell    *lstmGrads
+}
+
+// TrainSequence runs one truncated-BPTT pass over seq (predicting each next
+// token), applies one Adagrad update with learning rate lr, and returns the
+// average cross-entropy loss before the update.
+func (m *Model) TrainSequence(seq []int, lr float64) float64 {
+	loss, g := m.backprop(seq)
+	if g == nil {
+		return loss
+	}
+	m.ensureAda()
+	adagrad(m.Emb.Data, g.emb.Data, m.adaEmb.Data, lr)
+	adagrad(m.Cell.Wx.Data, g.cell.dWx.Data, m.adaWx.Data, lr)
+	adagrad(m.Cell.Wh.Data, g.cell.dWh.Data, m.adaWh.Data, lr)
+	adagrad(m.Wy.Data, g.wy.Data, m.adaWy.Data, lr)
+	adagrad(m.Cell.B, g.cell.dB, m.adaB, lr)
+	adagrad(m.By, g.by, m.adaBy, lr)
+	return loss
+}
+
+// backprop computes the average cross-entropy loss over seq and its full
+// parameter gradient, without updating the model.
+func (m *Model) backprop(seq []int) (float64, *modelGrads) {
+	if len(seq) < 2 {
+		return 0, nil
+	}
+	for _, t := range seq {
+		if t < 0 || t >= m.Vocab {
+			panic(fmt.Sprintf("nn: token %d out of vocab %d", t, m.Vocab))
+		}
+	}
+	T := len(seq) - 1
+
+	// Forward, recording traces.
+	s := m.NewState()
+	traces := make([]*stepTrace, T)
+	probsAll := make([][]float64, T)
+	loss := 0.0
+	for t := 0; t < T; t++ {
+		var tr *stepTrace
+		s, tr = m.Cell.step(m.Emb.Row(seq[t]), s, true)
+		traces[t] = tr
+		probs := make([]float64, m.Vocab)
+		copy(probs, m.By)
+		m.Wy.MulVecAddInto(probs, s.H)
+		SoftmaxInto(probs, probs)
+		probsAll[t] = probs
+		p := probs[seq[t+1]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+	}
+	loss /= float64(T)
+
+	// Backward.
+	g := newLSTMGrads(m.Cell)
+	dEmb := NewMatrix(m.Vocab, m.Embed)
+	dWy := NewMatrix(m.Vocab, m.Hidden)
+	dBy := make([]float64, m.Vocab)
+	dH := make([]float64, m.Hidden)
+	dC := make([]float64, m.Hidden)
+	for t := T - 1; t >= 0; t-- {
+		// d logits = probs - onehot(target), scaled by 1/T.
+		dLogits := make([]float64, m.Vocab)
+		copy(dLogits, probsAll[t])
+		dLogits[seq[t+1]] -= 1
+		for i := range dLogits {
+			dLogits[i] /= float64(T)
+		}
+		AddOuterInto(dWy, dLogits, traces[t].h)
+		for i, v := range dLogits {
+			dBy[i] += v
+		}
+		dhStep := make([]float64, m.Hidden)
+		copy(dhStep, dH)
+		m.Wy.MulVecTransposeAddInto(dhStep, dLogits)
+
+		dX, dHPrev, dCPrev := m.Cell.backwardStep(traces[t], dhStep, dC, g)
+		row := dEmb.Row(seq[t])
+		for i, v := range dX {
+			row[i] += v
+		}
+		dH, dC = dHPrev, dCPrev
+	}
+
+	return loss, &modelGrads{emb: dEmb, wy: dWy, by: dBy, cell: g}
+}
+
+func (m *Model) ensureAda() {
+	if m.adaEmb != nil {
+		return
+	}
+	m.adaEmb = NewMatrix(m.Vocab, m.Embed)
+	m.adaWx = NewMatrix(4*m.Hidden, m.Embed)
+	m.adaWh = NewMatrix(4*m.Hidden, m.Hidden)
+	m.adaWy = NewMatrix(m.Vocab, m.Hidden)
+	m.adaB = make([]float64, 4*m.Hidden)
+	m.adaBy = make([]float64, m.Vocab)
+}
+
+func adagrad(param, grad, accum []float64, lr float64) {
+	const eps = 1e-8
+	const clip = 5.0
+	for i, gv := range grad {
+		if gv > clip {
+			gv = clip
+		} else if gv < -clip {
+			gv = -clip
+		}
+		accum[i] += gv * gv
+		param[i] -= lr * gv / (math.Sqrt(accum[i]) + eps)
+	}
+}
+
+// ParamCount returns the total number of parameters, used to size baseline
+// models comparably to the published ones.
+func (m *Model) ParamCount() int {
+	return len(m.Emb.Data) + len(m.Cell.Wx.Data) + len(m.Cell.Wh.Data) +
+		len(m.Cell.B) + len(m.Wy.Data) + len(m.By)
+}

@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	if m.At(0, 2) != 2 || m.At(1, 1) != 3 {
+		t.Fatal("Set/At broken")
+	}
+	dst := make([]float64, 2)
+	m.MulVecInto(dst, []float64{1, 1, 1})
+	if dst[0] != 3 || dst[1] != 3 {
+		t.Errorf("MulVecInto = %v, want [3 3]", dst)
+	}
+	m.MulVecAddInto(dst, []float64{1, 0, 0})
+	if dst[0] != 4 || dst[1] != 3 {
+		t.Errorf("MulVecAddInto = %v, want [4 3]", dst)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases the original")
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left residue")
+		}
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for _, f := range []func(){
+		func() { m.MulVecInto(make([]float64, 2), make([]float64, 2)) },
+		func() { m.MulVecAddInto(make([]float64, 1), make([]float64, 3)) },
+		func() { m.MulVecTransposeAddInto(make([]float64, 2), make([]float64, 2)) },
+		func() { AddOuterInto(m, make([]float64, 3), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("shape mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTransposeAndOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	dst := make([]float64, 2)
+	m.MulVecTransposeAddInto(dst, []float64{1, 1})
+	// mᵀ·[1,1] = [1+3, 2+4].
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Errorf("transpose mul = %v, want [4 6]", dst)
+	}
+	o := NewMatrix(2, 2)
+	AddOuterInto(o, []float64{1, 2}, []float64{3, 4})
+	if o.At(0, 0) != 3 || o.At(0, 1) != 4 || o.At(1, 0) != 6 || o.At(1, 1) != 8 {
+		t.Errorf("outer = %+v", o.Data)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	logits := []float64{1, 2, 3, -5}
+	probs := make([]float64, 4)
+	SoftmaxInto(probs, logits)
+	sum := 0.0
+	for _, p := range probs {
+		if p <= 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if Argmax(probs) != 2 {
+		t.Errorf("Argmax = %d, want 2", Argmax(probs))
+	}
+	// Shift invariance.
+	shifted := []float64{101, 102, 103, 95}
+	probs2 := make([]float64, 4)
+	SoftmaxInto(probs2, shifted)
+	for i := range probs {
+		if math.Abs(probs[i]-probs2[i]) > 1e-9 {
+			t.Fatalf("softmax not shift invariant: %v vs %v", probs, probs2)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	xs := []float64{0.1, 0.7, 0.05, 0.15}
+	got := TopK(xs, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("TopK = %v, want [1 3]", got)
+	}
+	if got := TopK(xs, 10); len(got) != 4 {
+		t.Errorf("TopK over-length = %v", got)
+	}
+	if got := TopK(xs, 0); len(got) != 0 {
+		t.Errorf("TopK(0) = %v", got)
+	}
+}
+
+func TestLSTMStepShapesAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(3, 4, rng)
+	s := l.NewState()
+	x := []float64{0.5, -0.2, 0.1}
+	s1 := l.Step(x, s)
+	s2 := l.Step(x, l.NewState())
+	for j := range s1.H {
+		if s1.H[j] != s2.H[j] || s1.C[j] != s2.C[j] {
+			t.Fatal("Step is not deterministic")
+		}
+	}
+	if len(s1.H) != 4 || len(s1.C) != 4 {
+		t.Fatalf("state shapes: %d/%d", len(s1.H), len(s1.C))
+	}
+	// Output bounded: |h| ≤ 1 elementwise (o·tanh(c)).
+	for _, v := range s1.H {
+		if math.Abs(v) > 1 {
+			t.Errorf("hidden out of range: %v", v)
+		}
+	}
+}
+
+// Gradient check: analytic gradients from backprop must match central finite
+// differences of the loss for every parameter group.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewModel(5, 3, 4, rng)
+	seq := []int{0, 2, 1, 4, 3, 2, 0}
+
+	_, g := m.backprop(seq)
+	if g == nil {
+		t.Fatal("no gradients")
+	}
+
+	const eps = 1e-5
+	check := func(name string, params []float64, grads []float64) {
+		t.Helper()
+		// Spot-check a deterministic subset to keep the test fast.
+		for k := 0; k < len(params); k += 1 + len(params)/17 {
+			orig := params[k]
+			params[k] = orig + eps
+			lp := m.Loss(seq)
+			params[k] = orig - eps
+			lm := m.Loss(seq)
+			params[k] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := grads[k]
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if math.Abs(numeric-analytic)/scale > 1e-4 {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, k, analytic, numeric)
+			}
+		}
+	}
+	check("Emb", m.Emb.Data, g.emb.Data)
+	check("Wx", m.Cell.Wx.Data, g.cell.dWx.Data)
+	check("Wh", m.Cell.Wh.Data, g.cell.dWh.Data)
+	check("B", m.Cell.B, g.cell.dB)
+	check("Wy", m.Wy.Data, g.wy.Data)
+	check("By", m.By, g.by)
+}
+
+// Training on a deterministic cyclic sequence must drive the loss down and
+// make the model predict the cycle.
+func TestTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel(4, 6, 12, rng)
+	seq := []int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}
+	first := m.Loss(seq)
+	for epoch := 0; epoch < 200; epoch++ {
+		m.TrainSequence(seq, 0.1)
+	}
+	last := m.Loss(seq)
+	if last >= first/2 {
+		t.Fatalf("loss did not converge: %v → %v", first, last)
+	}
+	// The model must now predict the successor of each token in the cycle.
+	s := m.NewState()
+	var probs []float64
+	correct := 0
+	for i := 0; i+1 < len(seq); i++ {
+		s, probs = m.StepState(seq[i], s)
+		if Argmax(probs) == seq[i+1] {
+			correct++
+		}
+	}
+	if correct < (len(seq)-1)*3/4 {
+		t.Errorf("trained model predicts %d/%d transitions", correct, len(seq)-1)
+	}
+}
+
+func TestShortSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewModel(3, 2, 2, rng)
+	if loss := m.TrainSequence([]int{1}, 0.1); loss != 0 {
+		t.Errorf("1-token sequence loss = %v, want 0", loss)
+	}
+	if loss := m.TrainSequence(nil, 0.1); loss != 0 {
+		t.Errorf("nil sequence loss = %v, want 0", loss)
+	}
+	if loss := m.Loss([]int{2}); loss != 0 {
+		t.Errorf("Loss(1 token) = %v", loss)
+	}
+}
+
+func TestPredictMatchesStepState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewModel(6, 4, 5, rng)
+	prefix := []int{1, 3, 5, 0, 2}
+	p1 := m.Predict(prefix)
+	s := m.NewState()
+	var p2 []float64
+	for _, tok := range prefix {
+		s, p2 = m.StepState(tok, s)
+	}
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-12 {
+			t.Fatalf("Predict and StepState diverge at %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := NewModel(10, 4, 8, rng)
+	// emb 10*4 + Wx 32*4 + Wh 32*8 + B 32 + Wy 10*8 + By 10
+	want := 40 + 128 + 256 + 32 + 80 + 10
+	if got := m.ParamCount(); got != want {
+		t.Errorf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkLSTMStep64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	// DeepLog-scale model: 64 hidden units.
+	m := NewModel(30, 16, 64, rng)
+	s := m.NewState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ = m.StepState(i%30, s)
+	}
+}

@@ -1,0 +1,152 @@
+package parser
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestMultiDriverMatchesChains(t *testing.T) {
+	rs := fc3RuleSet(t)
+	d := NewMulti(rs, "n1")
+	stream := toks("n1",
+		[2]float64{174, 0}, [2]float64{140, 8}, [2]float64{129, 88},
+		[2]float64{175, 113}, [2]float64{134, 136}, [2]float64{127, 266},
+	)
+	preds := d.ParseStream(stream)
+	if len(preds) != 1 || preds[0].ChainName != "FC3" {
+		t.Fatalf("predictions = %v, want one FC3", preds)
+	}
+	if d.Active() != 0 {
+		t.Errorf("instances not cleared after match: %d", d.Active())
+	}
+}
+
+// The paper's case 1: a partial match of one rule swallows the start of a
+// second rule that then completes. The single-parse driver misses the
+// second chain; the multi-instance driver catches it.
+func TestMultiDriverCatchesCase1(t *testing.T) {
+	rs := fc3RuleSet(t)
+	// FC3 rule = precursors of (174 140 129 175 134) + terminal handling is
+	// the caller's concern in this package, so rules include all phrases.
+	// Start FC3 (174), then run the complete FC1 (176 177 178 179 180 137)
+	// interleaved within the timeout.
+	stream := toks("n1",
+		[2]float64{174, 0}, // starts FC3, never completed
+		[2]float64{176, 5}, // would start FC1 — swallowed by single-parse
+		[2]float64{177, 10},
+		[2]float64{178, 15},
+		[2]float64{179, 20},
+		[2]float64{180, 25},
+		[2]float64{137, 30}, // completes FC1
+	)
+
+	single := New(rs, "n1")
+	singlePreds := single.ParseStream(stream)
+	if len(singlePreds) != 0 {
+		t.Fatalf("single-parse driver unexpectedly matched: %v (case 1 setup broken)", singlePreds)
+	}
+
+	multi := NewMulti(rs, "n1")
+	multiPreds := multi.ParseStream(stream)
+	if len(multiPreds) != 1 || multiPreds[0].ChainName != "FC1" {
+		t.Fatalf("multi-instance driver = %v, want one FC1", multiPreds)
+	}
+}
+
+func TestMultiDriverTimeoutPrunes(t *testing.T) {
+	rs := fc3RuleSet(t)
+	d := NewMulti(rs, "n1")
+	stream := toks("n1",
+		[2]float64{174, 0}, [2]float64{140, 10},
+		[2]float64{129, 1210}, [2]float64{175, 1215}, [2]float64{134, 1220}, [2]float64{127, 1225},
+	)
+	if preds := d.ParseStream(stream); len(preds) != 0 {
+		t.Fatalf("matched across a 20-minute gap: %v", preds)
+	}
+	if d.Stats().TimeoutResets == 0 {
+		t.Error("no timeout prunes recorded")
+	}
+}
+
+func TestMultiDriverInstanceCap(t *testing.T) {
+	rs := fc3RuleSet(t)
+	d := NewMulti(rs, "n1")
+	// Hammer rule-starting tokens; instances must stay bounded.
+	var pairs [][2]float64
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, [2]float64{[3]float64{174, 176, 172}[i%3], float64(i)})
+	}
+	d.ParseStream(toks("n1", pairs...))
+	if d.Active() > MaxInstances {
+		t.Fatalf("instances = %d, cap %d", d.Active(), MaxInstances)
+	}
+}
+
+func TestMultiDriverIrrelevantTokens(t *testing.T) {
+	rs := fc3RuleSet(t)
+	d := NewMulti(rs, "n1")
+	d.Feed(core.Token{Phrase: 9999, Time: t0, Node: "n1"})
+	if st := d.Stats(); st.Irrelevant != 1 || st.Tokens != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// On streams without interleaving, single and multi drivers agree exactly.
+func TestMultiAgreesWithSingleOnCleanStreams(t *testing.T) {
+	rs := fc3RuleSet(t)
+	chains := [][]float64{
+		{174, 140, 129, 175, 134, 127},
+		{176, 177, 178, 179, 180, 137},
+		{172, 177, 178, 193, 137},
+	}
+	for ci, chain := range chains {
+		var pairs [][2]float64
+		for i, ph := range chain {
+			pairs = append(pairs, [2]float64{ph, float64(i) * 7})
+		}
+		stream := toks("n1", pairs...)
+		s := New(rs, "n1").ParseStream(stream)
+		m := NewMulti(rs, "n1").ParseStream(stream)
+		if len(s) != 1 || len(m) != 1 {
+			t.Fatalf("chain %d: single=%d multi=%d predictions", ci, len(s), len(m))
+		}
+		if s[0].ChainIndex != m[0].ChainIndex || !s[0].MatchedAt.Equal(m[0].MatchedAt) {
+			t.Fatalf("chain %d: drivers disagree: %v vs %v", ci, s[0], m[0])
+		}
+	}
+}
+
+func BenchmarkMultiVsSingleDriver(b *testing.B) {
+	phrases := make([]core.PhraseID, 18)
+	for i := range phrases {
+		phrases[i] = core.PhraseID(200 + i)
+	}
+	rs, err := core.TranslateFCs([]core.FailureChain{{Name: "FC18", Phrases: phrases}}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := make([]core.Token, len(phrases))
+	for i, p := range phrases {
+		stream[i] = core.Token{Phrase: p, Time: t0.Add(time.Duration(i) * time.Second), Node: "n"}
+	}
+	b.Run("single", func(b *testing.B) {
+		d := New(rs, "n")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, tok := range stream {
+				d.Feed(tok)
+			}
+		}
+	})
+	b.Run("multi", func(b *testing.B) {
+		d := NewMulti(rs, "n")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, tok := range stream {
+				d.Feed(tok)
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package predictor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lexgen"
+)
+
+// Manager processes an aggregate cluster log stream concurrently: nodes are
+// sharded across worker goroutines by node-ID hash, each worker owning the
+// parse drivers of its shard. Per-node event ordering is preserved (one node
+// always maps to the same worker, and worker queues are FIFO), which is all
+// Aarohi's semantics need — drivers of different nodes never interact.
+//
+// This is the deployment shape of the paper's Fig. 16: the SMW ingests the
+// whole machine's logs, and per-node predictor instances run independently;
+// sharding turns that independence into multicore throughput.
+type Manager struct {
+	workers []*managerWorker
+	results chan Output
+	wg      sync.WaitGroup
+}
+
+type managerWorker struct {
+	in   chan managerEvent
+	pred *Predictor
+}
+
+type managerEvent struct {
+	tok core.Token
+	msg string // raw message body; scanned in the worker when non-empty
+}
+
+// NewManager builds a concurrent predictor with the given worker count
+// (0 → GOMAXPROCS). Each worker holds an independent Predictor over the same
+// chains and inventory; results (predictions and observed failures) arrive
+// on Results.
+func NewManager(chains []core.FailureChain, inventory []core.Template, opts Options, workers int) (*Manager, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := &Manager{results: make(chan Output, 256)}
+	for i := 0; i < workers; i++ {
+		p, err := New(chains, inventory, opts)
+		if err != nil {
+			return nil, fmt.Errorf("predictor: manager worker %d: %w", i, err)
+		}
+		w := &managerWorker{in: make(chan managerEvent, 512), pred: p}
+		m.workers = append(m.workers, w)
+		m.wg.Add(1)
+		go m.run(w)
+	}
+	return m, nil
+}
+
+func (m *Manager) run(w *managerWorker) {
+	defer m.wg.Done()
+	for ev := range w.in {
+		var out Output
+		if ev.msg != "" {
+			id, ok := w.pred.Scanner().Scan(ev.msg)
+			w.pred.linesScanned++
+			if !ok {
+				w.pred.discarded++
+				continue
+			}
+			w.pred.tokens++
+			ev.tok.Phrase = id
+			out = w.pred.processToken(ev.tok)
+		} else {
+			out = w.pred.ProcessToken(ev.tok)
+		}
+		if out.Prediction != nil || out.Failure != nil {
+			m.results <- out
+		}
+	}
+}
+
+// Results delivers predictions and observed failures. It is closed by Close
+// after all pending events drain.
+func (m *Manager) Results() <-chan Output { return m.results }
+
+func (m *Manager) workerFor(node string) *managerWorker {
+	h := fnv.New32a()
+	h.Write([]byte(node))
+	return m.workers[h.Sum32()%uint32(len(m.workers))]
+}
+
+// ProcessLine routes one raw log line to its node's worker. Scanning happens
+// inside the worker, in parallel across shards.
+func (m *Manager) ProcessLine(line string) error {
+	ts, node, msg, err := lexgen.ParseLine(line)
+	if err != nil {
+		return err
+	}
+	m.workerFor(node).in <- managerEvent{
+		tok: core.Token{Time: ts, Node: node},
+		msg: msg,
+	}
+	return nil
+}
+
+// ProcessToken routes one pre-scanned token to its node's worker.
+func (m *Manager) ProcessToken(tok core.Token) {
+	m.workerFor(tok.Node).in <- managerEvent{tok: tok}
+}
+
+// Close drains every worker and closes Results. The caller must consume
+// Results concurrently (or after Close returns the channel is fully
+// buffered-drained-closed — consume with range).
+func (m *Manager) Close() {
+	for _, w := range m.workers {
+		close(w.in)
+	}
+	go func() {
+		m.wg.Wait()
+		close(m.results)
+	}()
+}
+
+// Stats aggregates the counters of every worker. Call only after Close and
+// Results drain (workers must be quiescent).
+func (m *Manager) Stats() Stats {
+	var st Stats
+	for _, w := range m.workers {
+		ws := w.pred.Stats()
+		st.LinesScanned += ws.LinesScanned
+		st.Tokens += ws.Tokens
+		st.Discarded += ws.Discarded
+		st.Nodes += ws.Nodes
+		st.Parser.Tokens += ws.Parser.Tokens
+		st.Parser.Irrelevant += ws.Parser.Irrelevant
+		st.Parser.Consumed += ws.Parser.Consumed
+		st.Parser.Skipped += ws.Parser.Skipped
+		st.Parser.Interleaved += ws.Parser.Interleaved
+		st.Parser.TimeoutResets += ws.Parser.TimeoutResets
+		st.Parser.Matches += ws.Parser.Matches
+	}
+	return st
+}

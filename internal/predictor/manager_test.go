@@ -1,0 +1,167 @@
+package predictor
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+)
+
+// predKey canonicalizes a prediction for set comparison.
+func predKey(node, chain string, at time.Time) string {
+	return fmt.Sprintf("%s/%s/%d", node, chain, at.UnixMilli())
+}
+
+func TestManagerMatchesSerialPredictor(t *testing.T) {
+	log := genLog(t, 42, 12, 8)
+	chains := log.Dialect.Chains()
+	inv := log.Dialect.Inventory()
+
+	// Serial reference.
+	serial := newPredictor(t, log, Options{})
+	serialPreds, serialFails := runLog(serial, log)
+
+	for _, workers := range []int{1, 3, 8} {
+		m, err := NewManager(chains, inv, Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		var fails int
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for out := range m.Results() {
+				if out.Prediction != nil {
+					got = append(got, predKey(out.Prediction.Node, out.Prediction.ChainName, out.Prediction.MatchedAt))
+				}
+				if out.Failure != nil {
+					fails++
+				}
+			}
+		}()
+		for _, e := range log.Events {
+			m.ProcessToken(core.Token{Phrase: e.Phrase, Time: e.Time, Node: e.Node})
+		}
+		m.Close()
+		<-done
+
+		want := make([]string, 0, len(serialPreds))
+		for _, pr := range serialPreds {
+			want = append(want, predKey(pr.Node, pr.ChainName, pr.MatchedAt))
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d predictions, serial %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: prediction %d differs: %s vs %s", workers, i, got[i], want[i])
+			}
+		}
+		if fails != len(serialFails) {
+			t.Fatalf("workers=%d: %d failures, serial %d", workers, fails, len(serialFails))
+		}
+		st := m.Stats()
+		sst := serial.Stats()
+		if st.LinesScanned != sst.LinesScanned || st.Tokens != sst.Tokens ||
+			st.Parser.Matches != sst.Parser.Matches {
+			t.Fatalf("workers=%d: stats diverge: %+v vs %+v", workers, st, sst)
+		}
+	}
+}
+
+func TestManagerProcessLine(t *testing.T) {
+	log := genLog(t, 7, 6, 3)
+	m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for out := range m.Results() {
+			if out.Prediction != nil {
+				preds++
+			}
+		}
+	}()
+	for _, line := range log.Lines() {
+		if err := m.ProcessLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	<-done
+	if preds == 0 {
+		t.Fatal("no predictions through line interface")
+	}
+	if st := m.Stats(); st.LinesScanned != len(log.Events) {
+		t.Fatalf("LinesScanned = %d, want %d", st.LinesScanned, len(log.Events))
+	}
+}
+
+func TestManagerBadLine(t *testing.T) {
+	m, err := NewManager(loggen.DialectXC30.Chains(), loggen.DialectXC30.Inventory(), Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.ProcessLine("not a log line"); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestManagerDefaultsWorkers(t *testing.T) {
+	m, err := NewManager(loggen.DialectXC30.Chains(), loggen.DialectXC30.Inventory(), Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.workers) == 0 {
+		t.Fatal("no workers with default count")
+	}
+	m.Close()
+	for range m.Results() {
+	}
+}
+
+func BenchmarkManagerThroughput(b *testing.B) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 4, Duration: 2 * time.Hour,
+		Nodes: 32, Failures: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := log.Lines()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for range m.Results() {
+					}
+				}()
+				for _, line := range lines {
+					if err := m.ProcessLine(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+				m.Close()
+				<-done
+			}
+			b.SetBytes(int64(len(lines)))
+		})
+	}
+}

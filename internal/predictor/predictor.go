@@ -1,0 +1,305 @@
+// Package predictor assembles the complete Aarohi online predictor: the
+// generated scanner (internal/lexgen), the translated LALR rule set
+// (internal/core) and one parse driver per node (internal/parser), matching
+// the deployment model of the paper's Fig. 2 — "for each node in the
+// cluster, we dedicate a predictor instance that processes messages of that
+// node only".
+//
+// Failure chains learned in Phase 1 end with the terminal failed message
+// (e.g. cb_node_unavailable). The predictor derives its parse rules from the
+// *precursor* prefix of each chain — everything before the terminal phrase —
+// so a prediction fires at the last precursor, minutes before the node
+// actually stops responding; the terminal phrase itself is still recognized
+// and surfaced as an ObservedFailure for lead-time accounting, exactly how
+// the paper computes lead times ("from the timestamped node failed message
+// in the test data to the event phrase at which the predictor flags match").
+package predictor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lexgen"
+	"repro/internal/parser"
+)
+
+// Options configure predictor construction.
+type Options struct {
+	// Timeout overrides the default ΔT threshold (4 minutes).
+	Timeout time.Duration
+	// DisableFactoring keeps one production per chain (no subchain
+	// non-terminals) — the Table IV P_FC form, for ablation.
+	DisableFactoring bool
+	// KeepTerminal includes the terminal failed message in the parse rules
+	// (prediction then fires only when the node is already dead) — for
+	// ablation of the lead-time design.
+	KeepTerminal bool
+}
+
+// ObservedFailure reports the arrival of a terminal failed message — the
+// ground-truth node failure.
+type ObservedFailure struct {
+	Node   string
+	Time   time.Time
+	Phrase core.PhraseID
+}
+
+// Output is the result of processing one event.
+type Output struct {
+	// Prediction is non-nil when a failure chain completed.
+	Prediction *parser.Prediction
+	// Failure is non-nil when a terminal failed message was observed.
+	Failure *ObservedFailure
+}
+
+// Predictor is the cluster-wide online predictor.
+type Predictor struct {
+	rules    *core.RuleSet
+	scanner  *lexgen.Scanner
+	chains   []core.FailureChain // original chains, including terminals
+	terminal map[core.PhraseID]bool
+
+	drivers map[string]*parser.Driver
+
+	linesScanned int
+	tokens       int
+	discarded    int
+}
+
+// New builds a predictor from Phase-1 chains and the system's template
+// inventory. Chains whose last phrase is a Failed-class template contribute
+// their precursor prefix as the parse rule; chains ending in a non-terminal
+// phrase are used whole.
+func New(chains []core.FailureChain, inventory []core.Template, opts Options) (*Predictor, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("predictor: no failure chains")
+	}
+	classOf := map[core.PhraseID]core.Class{}
+	tplOf := map[core.PhraseID]core.Template{}
+	for _, t := range inventory {
+		classOf[t.ID] = t.Class
+		tplOf[t.ID] = t
+	}
+
+	terminal := map[core.PhraseID]bool{}
+	ruleChains := make([]core.FailureChain, 0, len(chains))
+	seen := map[string]bool{}
+	for _, fc := range chains {
+		if len(fc.Phrases) == 0 {
+			return nil, fmt.Errorf("predictor: chain %q is empty", fc.Name)
+		}
+		rule := fc
+		last := fc.Phrases[len(fc.Phrases)-1]
+		if classOf[last] == core.Failed {
+			terminal[last] = true
+			if !opts.KeepTerminal {
+				if len(fc.Phrases) < 2 {
+					return nil, fmt.Errorf("predictor: chain %q has no precursors before its failed message", fc.Name)
+				}
+				rule.Phrases = fc.Phrases[:len(fc.Phrases)-1]
+			}
+		}
+		key := phraseKey(rule.Phrases)
+		if seen[key] {
+			// Two chains with identical precursors (differing only in their
+			// terminal message) collapse to one rule; the first wins.
+			continue
+		}
+		seen[key] = true
+		ruleChains = append(ruleChains, rule)
+	}
+
+	rs, err := core.TranslateFCs(ruleChains, core.Options{
+		Timeout:          opts.Timeout,
+		DisableFactoring: opts.DisableFactoring,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("predictor: translating chains: %w", err)
+	}
+
+	// The scanner recognizes every rule phrase plus the terminal failed
+	// messages; everything else is discarded without tokenization.
+	var scanTemplates []core.Template
+	added := map[core.PhraseID]bool{}
+	for _, t := range inventory {
+		if (rs.Relevant(t.ID) || terminal[t.ID]) && !added[t.ID] {
+			added[t.ID] = true
+			scanTemplates = append(scanTemplates, t)
+		}
+	}
+	for id := range terminal {
+		if !added[id] {
+			return nil, fmt.Errorf("predictor: terminal phrase %d missing from inventory", id)
+		}
+	}
+	for _, fc := range ruleChains {
+		for _, p := range fc.Phrases {
+			if _, ok := tplOf[p]; !ok {
+				return nil, fmt.Errorf("predictor: chain %q phrase %d missing from inventory", fc.Name, p)
+			}
+		}
+	}
+	scanner, err := lexgen.NewScanner(scanTemplates)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: building scanner: %w", err)
+	}
+
+	return &Predictor{
+		rules:    rs,
+		scanner:  scanner,
+		chains:   append([]core.FailureChain(nil), chains...),
+		terminal: terminal,
+		drivers:  map[string]*parser.Driver{},
+	}, nil
+}
+
+func phraseKey(ps []core.PhraseID) string {
+	b := make([]byte, 0, len(ps)*4)
+	for _, p := range ps {
+		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return string(b)
+}
+
+// RuleSet exposes the translated rules (for inspection and experiments).
+func (p *Predictor) RuleSet() *core.RuleSet { return p.rules }
+
+// Scanner exposes the generated scanner.
+func (p *Predictor) Scanner() *lexgen.Scanner { return p.scanner }
+
+// Chains returns the original Phase-1 chains (including terminal phrases).
+func (p *Predictor) Chains() []core.FailureChain {
+	return append([]core.FailureChain(nil), p.chains...)
+}
+
+// driver returns (creating if needed) the per-node parse driver.
+func (p *Predictor) driver(node string) *parser.Driver {
+	d, ok := p.drivers[node]
+	if !ok {
+		d = parser.New(p.rules, node)
+		p.drivers[node] = d
+	}
+	return d
+}
+
+// ProcessLine scans one raw log line and advances the owning node's parse.
+func (p *Predictor) ProcessLine(line string) (Output, error) {
+	p.linesScanned++
+	tok, ok, err := p.scanner.ScanLine(line)
+	if err != nil {
+		return Output{}, err
+	}
+	if !ok {
+		p.discarded++
+		return Output{}, nil
+	}
+	p.tokens++
+	return p.processToken(tok), nil
+}
+
+// ProcessToken advances the owning node's parse with an already-scanned
+// token (for callers that tokenize themselves, e.g. the cluster simulator).
+// Tokens whose phrase is neither a rule phrase nor a terminal are counted as
+// discarded, mirroring the scanner's filter.
+func (p *Predictor) ProcessToken(tok core.Token) Output {
+	p.linesScanned++
+	if !p.rules.Relevant(tok.Phrase) && !p.terminal[tok.Phrase] {
+		p.discarded++
+		return Output{}
+	}
+	p.tokens++
+	return p.processToken(tok)
+}
+
+func (p *Predictor) processToken(tok core.Token) Output {
+	var out Output
+	if p.terminal[tok.Phrase] {
+		out.Failure = &ObservedFailure{Node: tok.Node, Time: tok.Time, Phrase: tok.Phrase}
+		// Terminal phrases may also be rule phrases when KeepTerminal is
+		// set; feed them through in that case.
+		if !p.rules.Relevant(tok.Phrase) {
+			return out
+		}
+	}
+	out.Prediction = p.driver(tok.Node).Feed(tok)
+	return out
+}
+
+// Stats aggregates scanner and driver activity.
+type Stats struct {
+	// LinesScanned is the number of lines/events processed.
+	LinesScanned int
+	// Tokens is the number of events that matched an FC-related template.
+	Tokens int
+	// Discarded is the number of events dropped during lexical scanning.
+	Discarded int
+	// Nodes is the number of per-node driver instances.
+	Nodes int
+	// Parser aggregates driver counters across nodes.
+	Parser parser.Stats
+}
+
+// FCRelatedFraction returns the fraction of events that tokenized — the
+// Fig. 12 quantity ("fraction of FC-related phrases eventually tokenized").
+func (s Stats) FCRelatedFraction() float64 {
+	if s.LinesScanned == 0 {
+		return 0
+	}
+	return float64(s.Tokens) / float64(s.LinesScanned)
+}
+
+// Stats returns current aggregate counters.
+func (p *Predictor) Stats() Stats {
+	st := Stats{
+		LinesScanned: p.linesScanned,
+		Tokens:       p.tokens,
+		Discarded:    p.discarded,
+		Nodes:        len(p.drivers),
+	}
+	for _, d := range p.drivers {
+		ds := d.Stats()
+		st.Parser.Tokens += ds.Tokens
+		st.Parser.Irrelevant += ds.Irrelevant
+		st.Parser.Consumed += ds.Consumed
+		st.Parser.Skipped += ds.Skipped
+		st.Parser.Interleaved += ds.Interleaved
+		st.Parser.TimeoutResets += ds.TimeoutResets
+		st.Parser.Matches += ds.Matches
+	}
+	return st
+}
+
+// NodeStats returns the per-node driver counters.
+func (p *Predictor) NodeStats() map[string]parser.Stats {
+	out := make(map[string]parser.Stats, len(p.drivers))
+	for node, d := range p.drivers {
+		out[node] = d.Stats()
+	}
+	return out
+}
+
+// Reset clears every driver and counter (rules and scanner stay).
+func (p *Predictor) Reset() {
+	p.drivers = map[string]*parser.Driver{}
+	p.linesScanned, p.tokens, p.discarded = 0, 0, 0
+}
+
+// Update re-generates the predictor from a new chain set — the paper's
+// dynamic re-training path ("the predictor … may be dynamically updated if
+// new training data becomes available"). The scanner and rule tables are
+// rebuilt and swapped in atomically from the caller's perspective; in-flight
+// partial matches are abandoned (their chains may no longer exist) and all
+// counters keep accumulating. Not safe for concurrent use with Process*.
+func (p *Predictor) Update(chains []core.FailureChain, inventory []core.Template, opts Options) error {
+	fresh, err := New(chains, inventory, opts)
+	if err != nil {
+		return err
+	}
+	p.rules = fresh.rules
+	p.scanner = fresh.scanner
+	p.chains = fresh.chains
+	p.terminal = fresh.terminal
+	p.drivers = map[string]*parser.Driver{}
+	return nil
+}

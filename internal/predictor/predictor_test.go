@@ -1,0 +1,400 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+	"repro/internal/parser"
+)
+
+func genLog(t testing.TB, seed int64, nodes, failures int) *loggen.Log {
+	t.Helper()
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: seed, Duration: 4 * time.Hour,
+		Nodes: nodes, Failures: failures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func newPredictor(t testing.TB, log *loggen.Log, opts Options) *Predictor {
+	t.Helper()
+	p, err := New(log.Dialect.Chains(), log.Dialect.Inventory(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runLog drives the whole log through the predictor, returning predictions
+// and observed failures.
+func runLog(p *Predictor, log *loggen.Log) (preds []*parser.Prediction, fails []*ObservedFailure) {
+	for _, e := range log.Events {
+		out := p.ProcessToken(core.Token{Phrase: e.Phrase, Time: e.Time, Node: e.Node})
+		if out.Prediction != nil {
+			preds = append(preds, out.Prediction)
+		}
+		if out.Failure != nil {
+			fails = append(fails, out.Failure)
+		}
+	}
+	return preds, fails
+}
+
+func TestPredictsInjectedFailuresWithLeadTime(t *testing.T) {
+	log := genLog(t, 42, 8, 6)
+	p := newPredictor(t, log, Options{})
+	preds, fails := runLog(p, log)
+
+	if len(fails) != len(log.Failures) {
+		t.Fatalf("observed %d terminal failures, injected %d", len(fails), len(log.Failures))
+	}
+	// Every injected failure must have a prediction on its node strictly
+	// before the failure, with a minutes-scale lead time (the generator's
+	// final gap is 1.5–4 minutes).
+	for _, inj := range log.Failures {
+		var best *parser.Prediction
+		for _, pr := range preds {
+			if pr.Node == inj.Node && !pr.MatchedAt.After(inj.FailTime) {
+				if best == nil || pr.MatchedAt.After(best.MatchedAt) {
+					best = pr
+				}
+			}
+		}
+		if best == nil {
+			t.Errorf("failure %s/%s at %v: no prediction", inj.Node, inj.ChainName, inj.FailTime)
+			continue
+		}
+		lead := inj.FailTime.Sub(best.MatchedAt)
+		if lead < 60*time.Second || lead > 10*time.Minute {
+			t.Errorf("failure %s/%s: lead time %v outside expected band", inj.Node, inj.ChainName, lead)
+		}
+	}
+}
+
+func TestNoFalsePositivesOnHealthyNodes(t *testing.T) {
+	log := genLog(t, 7, 10, 3)
+	p := newPredictor(t, log, Options{})
+	preds, _ := runLog(p, log)
+	failed := map[string]bool{}
+	for _, inj := range log.Failures {
+		failed[inj.Node] = true
+	}
+	for _, pr := range preds {
+		if !failed[pr.Node] {
+			t.Errorf("false positive on healthy node %s: %v", pr.Node, pr)
+		}
+	}
+}
+
+func TestProcessLineMatchesProcessToken(t *testing.T) {
+	log := genLog(t, 11, 4, 2)
+	p1 := newPredictor(t, log, Options{})
+	p2 := newPredictor(t, log, Options{})
+
+	var preds1 []*parser.Prediction
+	for _, line := range log.Lines() {
+		out, err := p1.ProcessLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Prediction != nil {
+			preds1 = append(preds1, out.Prediction)
+		}
+	}
+	preds2, _ := runLog(p2, log)
+	if len(preds1) != len(preds2) {
+		t.Fatalf("line-driven %d predictions, token-driven %d", len(preds1), len(preds2))
+	}
+	for i := range preds1 {
+		if preds1[i].Node != preds2[i].Node || preds1[i].ChainIndex != preds2[i].ChainIndex {
+			t.Errorf("prediction %d differs: %v vs %v", i, preds1[i], preds2[i])
+		}
+	}
+	// Millisecond-precision timestamps survive the round trip.
+	for i := range preds1 {
+		if preds1[i].MatchedAt.UnixMilli() != preds2[i].MatchedAt.UnixMilli() {
+			t.Errorf("prediction %d time differs", i)
+		}
+	}
+}
+
+func TestKeepTerminalDelaysPrediction(t *testing.T) {
+	log := genLog(t, 13, 4, 2)
+	normal := newPredictor(t, log, Options{})
+	ablated := newPredictor(t, log, Options{KeepTerminal: true})
+	predsN, _ := runLog(normal, log)
+	predsA, _ := runLog(ablated, log)
+	if len(predsN) == 0 || len(predsA) == 0 {
+		t.Fatalf("predictions: normal=%d ablated=%d", len(predsN), len(predsA))
+	}
+	// With the terminal kept in the rule, the match lands at the failed
+	// message itself: zero lead time.
+	for _, inj := range log.Failures {
+		for _, pr := range predsA {
+			if pr.Node == inj.Node && pr.MatchedAt.Equal(inj.FailTime) {
+				goto ok
+			}
+		}
+		t.Errorf("ablated predictor missed failure on %s at the terminal message", inj.Node)
+	ok:
+	}
+}
+
+func TestStatsAndFraction(t *testing.T) {
+	log := genLog(t, 17, 6, 4)
+	p := newPredictor(t, log, Options{})
+	runLog(p, log)
+	st := p.Stats()
+	if st.LinesScanned != len(log.Events) {
+		t.Errorf("LinesScanned = %d, want %d", st.LinesScanned, len(log.Events))
+	}
+	if st.Tokens+st.Discarded != st.LinesScanned {
+		t.Errorf("tokens %d + discarded %d != scanned %d", st.Tokens, st.Discarded, st.LinesScanned)
+	}
+	frac := st.FCRelatedFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("FC-related fraction = %v, want within (0,1)", frac)
+	}
+	if st.Parser.Matches == 0 {
+		t.Error("no matches recorded in parser stats")
+	}
+	if st.Nodes == 0 {
+		t.Error("no per-node drivers")
+	}
+	if len(p.NodeStats()) != st.Nodes {
+		t.Error("NodeStats size mismatch")
+	}
+}
+
+func TestResetClearsCounters(t *testing.T) {
+	log := genLog(t, 19, 4, 2)
+	p := newPredictor(t, log, Options{})
+	runLog(p, log)
+	p.Reset()
+	st := p.Stats()
+	if st.LinesScanned != 0 || st.Tokens != 0 || st.Nodes != 0 {
+		t.Errorf("Reset left counters: %+v", st)
+	}
+	// The predictor still works after reset.
+	preds, _ := runLog(p, log)
+	if len(preds) == 0 {
+		t.Error("no predictions after Reset")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	inv := loggen.DialectXC30.Inventory()
+	chains := loggen.DialectXC30.Chains()
+	if _, err := New(nil, inv, Options{}); err == nil {
+		t.Error("no chains accepted")
+	}
+	if _, err := New([]core.FailureChain{{Name: "x"}}, inv, Options{}); err == nil {
+		t.Error("empty chain accepted")
+	}
+	// A chain that is only a failed message has no precursors.
+	failID := chains[0].Phrases[len(chains[0].Phrases)-1]
+	if _, err := New([]core.FailureChain{{Name: "x", Phrases: []core.PhraseID{failID}}}, inv, Options{}); err == nil {
+		t.Error("terminal-only chain accepted")
+	}
+	// A chain referencing a phrase absent from the inventory.
+	if _, err := New([]core.FailureChain{{Name: "x", Phrases: []core.PhraseID{999999, failID}}}, inv, Options{}); err == nil {
+		t.Error("unknown phrase accepted")
+	}
+}
+
+func TestDuplicatePrecursorsCollapse(t *testing.T) {
+	inv := loggen.DialectXC30.Inventory()
+	base := loggen.DialectXC30.Chains()[0]
+	dup := core.FailureChain{Name: "FCdup", Phrases: append([]core.PhraseID(nil), base.Phrases...)}
+	dup.Name = "FCdup"
+	p, err := New([]core.FailureChain{base, dup}, inv, Options{})
+	if err != nil {
+		t.Fatalf("duplicate precursors should collapse, got error: %v", err)
+	}
+	if n := len(p.RuleSet().Chains); n != 1 {
+		t.Errorf("rule count = %d, want 1 after collapse", n)
+	}
+}
+
+// Property: every prediction is justified — the predicted chain's precursor
+// phrases occur, in order, as a subsequence of the node's preceding tokens,
+// ending exactly at MatchedAt, with every consecutive consumed pair within
+// the ΔT timeout. Checked over random token soups that freely interleave
+// chain and noise phrases.
+func TestPredictionJustificationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	d := loggen.DialectXC30
+	chains := d.Chains()
+	p, err := New(chains, d.Inventory(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool: every phrase from every chain.
+	var pool []core.PhraseID
+	for _, fc := range chains {
+		pool = append(pool, fc.Phrases...)
+	}
+	timeout := p.RuleSet().Timeout
+
+	for iter := 0; iter < 30; iter++ {
+		p.Reset()
+		base := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+		var stream []core.Token
+		ts := base
+		for i := 0; i < 400; i++ {
+			gap := time.Duration(rng.Intn(30)) * time.Second
+			if rng.Intn(40) == 0 {
+				gap = 10 * time.Minute // occasional timeout-crossing silence
+			}
+			ts = ts.Add(gap)
+			stream = append(stream, core.Token{
+				Phrase: pool[rng.Intn(len(pool))], Time: ts, Node: "n1",
+			})
+		}
+		for i, tok := range stream {
+			out := p.ProcessToken(tok)
+			pr := out.Prediction
+			if pr == nil {
+				continue
+			}
+			// Justify: precursors of the predicted chain must embed as a
+			// subsequence of stream[:i+1] ending at stream[i], gaps between
+			// consumed picks ≤ timeout.
+			fc := chains[pr.ChainIndex]
+			precursors := fc.Phrases[:len(fc.Phrases)-1]
+			if !justified(stream[:i+1], precursors, timeout) {
+				t.Fatalf("iter %d: prediction %v not justified by the stream", iter, pr)
+			}
+			if !pr.MatchedAt.Equal(stream[i].Time) {
+				t.Fatalf("iter %d: MatchedAt %v != token time %v", iter, pr.MatchedAt, stream[i].Time)
+			}
+		}
+	}
+}
+
+// justified checks by dynamic programming that seq embeds in stream as a
+// subsequence whose last element is the final stream token, with every
+// consecutive pick within timeout. (The driver's consumed tokens always form
+// such an embedding; a greedy check is not exact for this constraint.)
+func justified(stream []core.Token, seq []core.PhraseID, timeout time.Duration) bool {
+	if len(stream) == 0 || len(seq) == 0 {
+		return false
+	}
+	if stream[len(stream)-1].Phrase != seq[len(seq)-1] {
+		return false
+	}
+	// reach[j] = stream positions where seq[:j+1] can end.
+	reach := make([][]int, len(seq))
+	for i, tok := range stream {
+		for j := len(seq) - 1; j >= 0; j-- {
+			if tok.Phrase != seq[j] {
+				continue
+			}
+			if j == 0 {
+				reach[0] = append(reach[0], i)
+				continue
+			}
+			for _, p := range reach[j-1] {
+				if p < i && tok.Time.Sub(stream[p].Time) <= timeout {
+					reach[j] = append(reach[j], i)
+					break
+				}
+			}
+		}
+	}
+	last := reach[len(seq)-1]
+	return len(last) > 0 && last[len(last)-1] == len(stream)-1
+}
+
+func TestUpdateSwapsRules(t *testing.T) {
+	log := genLog(t, 23, 6, 3)
+	chains := log.Dialect.Chains()
+	inv := log.Dialect.Inventory()
+
+	// Start with only the first chain; failures of other chains are missed.
+	p, err := New(chains[:1], inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds1, _ := runLog(p, log)
+
+	// Hot-update to the full chain set ("new training data"): every failure
+	// must now be predicted.
+	if err := p.Update(chains, inv, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	preds2, _ := runLog(p, log)
+	if len(preds2) <= len(preds1) && len(preds1) > 0 {
+		t.Errorf("update did not widen coverage: %d → %d predictions", len(preds1), len(preds2))
+	}
+	predicted := map[string]bool{}
+	for _, pr := range preds2 {
+		predicted[pr.Node] = true
+	}
+	for _, inj := range log.Failures {
+		if !predicted[inj.Node] {
+			t.Errorf("post-update miss on %s/%s", inj.Node, inj.ChainName)
+		}
+	}
+	// Partial matches are abandoned across an update.
+	p.Reset()
+	spec := log.Dialect.ChainSpecs()[0]
+	half := chains[0].Phrases[:3]
+	base := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	for i, ph := range half {
+		p.ProcessToken(core.Token{Phrase: ph, Time: base.Add(time.Duration(i) * time.Second), Node: "n1"})
+	}
+	if err := p.Update(chains, inv, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Completing the remainder alone must not match.
+	rest := chains[0].Phrases[3 : len(chains[0].Phrases)-1]
+	for i, ph := range rest {
+		out := p.ProcessToken(core.Token{Phrase: ph, Time: base.Add(time.Duration(10+i) * time.Second), Node: "n1"})
+		if out.Prediction != nil {
+			t.Fatalf("stale partial match survived Update (chain %s)", spec.Name)
+		}
+	}
+	// An invalid update reports an error and leaves the predictor usable.
+	if err := p.Update(nil, inv, Options{}); err == nil {
+		t.Error("empty update accepted")
+	}
+	if preds, _ := runLog(p, log); len(preds) == 0 {
+		t.Error("predictor unusable after failed update")
+	}
+}
+
+func TestCrossSystemPortability(t *testing.T) {
+	// Port the XC30 predictor to XC40 via semantic re-mapping and verify it
+	// predicts XC40 failures — the paper's adaptability claim.
+	mapped, missing := loggen.MapChains(loggen.DialectXC30.Chains(), loggen.DialectXC30, loggen.DialectXC40)
+	if len(missing) != 0 {
+		t.Fatalf("unmappable chains: %v", missing)
+	}
+	p, err := New(mapped, loggen.DialectXC40.Inventory(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC40, Seed: 5, Duration: 3 * time.Hour, Nodes: 6, Failures: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := runLog(p, log)
+	predicted := map[string]bool{}
+	for _, pr := range preds {
+		predicted[pr.Node] = true
+	}
+	for _, inj := range log.Failures {
+		if !predicted[inj.Node] {
+			t.Errorf("ported predictor missed failure on %s", inj.Node)
+		}
+	}
+}

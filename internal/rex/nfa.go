@@ -1,0 +1,145 @@
+package rex
+
+// Thompson NFA construction. Each pattern compiles into a fragment with a
+// single start state and a single dangling accept state; fragments compose by
+// ε-transitions exactly as in the textbook construction (Aho/Sethi/Ullman,
+// the paper's reference [26]).
+
+// nfaState is one NFA state. A state has at most one byte-class transition
+// (to out) plus any number of ε-transitions.
+type nfaState struct {
+	cls    class // valid when out >= 0
+	out    int   // class-transition target, -1 if none
+	eps    []int // ε-transition targets
+	accept int   // pattern ID accepted at this state, -1 if none
+}
+
+// nfa is a complete automaton for one or more patterns.
+type nfa struct {
+	states []nfaState
+	start  int
+}
+
+type nfaBuilder struct {
+	states []nfaState
+}
+
+func (b *nfaBuilder) newState() int {
+	b.states = append(b.states, nfaState{out: -1, accept: -1})
+	return len(b.states) - 1
+}
+
+func (b *nfaBuilder) addEps(from, to int) {
+	b.states[from].eps = append(b.states[from].eps, to)
+}
+
+// frag is a partially built automaton with one entry and one exit state.
+type frag struct {
+	start, end int
+}
+
+// build compiles an AST node into a fragment.
+func (b *nfaBuilder) build(n *node) frag {
+	switch n.kind {
+	case opEmpty:
+		s := b.newState()
+		e := b.newState()
+		b.addEps(s, e)
+		return frag{s, e}
+	case opClass:
+		s := b.newState()
+		e := b.newState()
+		b.states[s].cls = n.cls
+		b.states[s].out = e
+		return frag{s, e}
+	case opConcat:
+		first := b.build(n.subs[0])
+		prev := first
+		for _, sub := range n.subs[1:] {
+			next := b.build(sub)
+			b.addEps(prev.end, next.start)
+			prev = next
+		}
+		return frag{first.start, prev.end}
+	case opAlt:
+		s := b.newState()
+		e := b.newState()
+		for _, sub := range n.subs {
+			f := b.build(sub)
+			b.addEps(s, f.start)
+			b.addEps(f.end, e)
+		}
+		return frag{s, e}
+	case opStar:
+		s := b.newState()
+		e := b.newState()
+		f := b.build(n.subs[0])
+		b.addEps(s, f.start)
+		b.addEps(s, e)
+		b.addEps(f.end, f.start)
+		b.addEps(f.end, e)
+		return frag{s, e}
+	case opPlus:
+		f := b.build(n.subs[0])
+		e := b.newState()
+		b.addEps(f.end, f.start)
+		b.addEps(f.end, e)
+		return frag{f.start, e}
+	case opQuest:
+		s := b.newState()
+		e := b.newState()
+		f := b.build(n.subs[0])
+		b.addEps(s, f.start)
+		b.addEps(s, e)
+		b.addEps(f.end, e)
+		return frag{s, e}
+	default:
+		panic("rex: unknown node kind")
+	}
+}
+
+// buildNFA compiles the given ASTs into one NFA whose accept states carry the
+// index of the pattern they belong to.
+func buildNFA(asts []*node) *nfa {
+	b := &nfaBuilder{}
+	start := b.newState()
+	for id, ast := range asts {
+		f := b.build(ast)
+		b.addEps(start, f.start)
+		b.states[f.end].accept = id
+	}
+	return &nfa{states: b.states, start: start}
+}
+
+// closure expands set (a sorted list of state IDs) with everything reachable
+// by ε-transitions, returning a sorted, deduplicated list. mark is scratch
+// space of length len(states), holding generation tags to avoid reallocation.
+func (n *nfa) closure(set []int, mark []int, gen int) []int {
+	stack := append([]int(nil), set...)
+	var out []int
+	for _, s := range set {
+		mark[s] = gen
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		for _, t := range n.states[s].eps {
+			if mark[t] != gen {
+				mark[t] = gen
+				stack = append(stack, t)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: closure sets are small and mostly ordered.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package rex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackPreservesMatches(t *testing.T) {
+	patterns := []string{
+		"abc",
+		"DVS: verify filesystem: .*",
+		"[a-z]+ [0-9]+",
+		"(err|warn)(ing)?: .*",
+	}
+	plain, err := CompileSet(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := CompileSet(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed.Pack()
+	if packed.NumClasses() == 0 || packed.NumClasses() > 256 {
+		t.Fatalf("NumClasses = %d", packed.NumClasses())
+	}
+	if packed.TableBytes() >= plain.TableBytes() {
+		t.Errorf("packing did not shrink tables: %d → %d bytes", plain.TableBytes(), packed.TableBytes())
+	}
+	rng := rand.New(rand.NewSource(4))
+	inputs := []string{
+		"abc", "abcd", "DVS: verify filesystem: magic 0x6969",
+		"warn: disk pressure", "err: oom", "erring: x", "zzz 123", "",
+	}
+	for _, in := range inputs {
+		i1, l1 := plain.MatchString(in)
+		i2, l2 := packed.MatchString(in)
+		if i1 != i2 || l1 != l2 {
+			t.Fatalf("packed disagrees on %q: (%d,%d) vs (%d,%d)", in, i1, l1, i2, l2)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(20)
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = byte(rng.Intn(256))
+		}
+		i1, l1 := plain.Match(in)
+		i2, l2 := packed.Match(in)
+		if i1 != i2 || l1 != l2 {
+			t.Fatalf("packed disagrees on %q: (%d,%d) vs (%d,%d)", in, i1, l1, i2, l2)
+		}
+	}
+}
+
+func TestPackIdempotentAndMinimizeInvalidates(t *testing.T) {
+	s, err := CompileSet([]string{"foo.*", "bar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pack()
+	c1 := s.NumClasses()
+	s.Pack()
+	if s.NumClasses() != c1 {
+		t.Error("Pack not idempotent")
+	}
+	s.Minimize()
+	if s.NumClasses() != 0 {
+		t.Error("Minimize should drop the packed form")
+	}
+	s.Pack()
+	if id, n := s.MatchString("fooxyz"); id != 0 || n != 6 {
+		t.Errorf("post-minimize+pack match = (%d,%d)", id, n)
+	}
+}
+
+func TestPackTinyAlphabet(t *testing.T) {
+	// A single-literal pattern has 1 distinct non-dead column per position;
+	// classes must stay small.
+	s, err := CompileSet([]string{"aaaa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pack()
+	if s.NumClasses() > 3 {
+		t.Errorf("classes = %d for single-letter pattern, want ≤ 3", s.NumClasses())
+	}
+}
+
+func BenchmarkPackedVsPlainScan(b *testing.B) {
+	var patterns []string
+	for i := 0; i < 40; i++ {
+		patterns = append(patterns, QuoteMeta("svc")+string(rune('a'+i%26))+": event "+string(rune('0'+i%10))+" .*")
+	}
+	input := []byte("svcq: event 4 node c0-0c2s0n2 timed out waiting for heartbeat reply")
+	b.Run("plain", func(b *testing.B) {
+		s, _ := CompileSet(patterns)
+		s.Minimize()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Match(input)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		s, _ := CompileSet(patterns)
+		s.Minimize()
+		s.Pack()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Match(input)
+		}
+	})
+}

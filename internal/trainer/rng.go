@@ -1,0 +1,5 @@
+package trainer
+
+import "math/rand"
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,368 @@
+// Package trainer is the reproduction's Phase-1 substitute: it mines failure
+// chains from labeled training logs. The paper's Phase 1 (Desh-style LSTM
+// training on production logs, [25]) is explicitly *not* Aarohi's
+// contribution — "any learning technique will work as long as the predictor
+// can be fed with a sequence of coherent phrases leading to failures" — so
+// this package provides a deterministic sequence miner, optionally refined
+// by a pure-Go LSTM (internal/nn) that scores candidate chains the way the
+// paper's training validates message patterns.
+//
+// Mining proceeds in three steps:
+//
+//  1. For every failed message, collect the *window* of preceding anomaly
+//     phrases on the same node (bounded by MaxGap between phrases and by
+//     Lookback overall).
+//  2. Candidate chains are the maximal common suffixes across windows: a
+//     suffix shared by several failure windows is a recurring precursor
+//     pattern, while leading phrases that differ between windows are
+//     unrelated background anomalies that happened to precede the failure.
+//  3. Each window is assigned to the longest candidate that suffixes it;
+//     candidates with assigned support ≥ MinSupport become failure chains.
+package trainer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// Config parameterizes Phase-1 mining.
+type Config struct {
+	// Lookback bounds how far before a failed message precursor phrases are
+	// collected (default 30 minutes).
+	Lookback time.Duration
+	// MaxGap bounds the ΔT between adjacent precursor phrases; a larger gap
+	// cuts the chain (default 4 minutes, the paper's timeout guidance).
+	MaxGap time.Duration
+	// MinSupport is the minimum number of windows a candidate must explain
+	// to become an FC (default 1).
+	MinSupport int
+	// MaxChainLen truncates precursor windows to the most recent phrases
+	// (default 64).
+	MaxChainLen int
+	// MinChainLen drops candidates with fewer total phrases (including the
+	// terminal failed message); short suffix candidates fire spuriously on
+	// scattered anomalies (default 2).
+	MinChainLen int
+	// UseLSTM enables LSTM-based candidate validation: a next-phrase model
+	// is trained on the failure windows and chains whose transitions the
+	// model finds implausible are dropped.
+	UseLSTM bool
+	// LSTMEpochs, LSTMHidden, LSTMEmbed size the validation model
+	// (defaults 30, 32, 12).
+	LSTMEpochs int
+	LSTMHidden int
+	LSTMEmbed  int
+	// MinAvgLogProb is the per-transition score floor for LSTM validation
+	// (default -4.5 nats).
+	MinAvgLogProb float64
+	// Seed seeds model initialization.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Lookback == 0 {
+		c.Lookback = 30 * time.Minute
+	}
+	if c.MaxGap == 0 {
+		c.MaxGap = 4 * time.Minute
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 1
+	}
+	if c.MaxChainLen == 0 {
+		c.MaxChainLen = 64
+	}
+	if c.MinChainLen == 0 {
+		c.MinChainLen = 2
+	}
+	if c.LSTMEpochs == 0 {
+		c.LSTMEpochs = 30
+	}
+	if c.LSTMHidden == 0 {
+		c.LSTMHidden = 32
+	}
+	if c.LSTMEmbed == 0 {
+		c.LSTMEmbed = 12
+	}
+	if c.MinAvgLogProb == 0 {
+		c.MinAvgLogProb = -4.5
+	}
+}
+
+// Candidate is one mined chain candidate with its assigned support.
+type Candidate struct {
+	Phrases []core.PhraseID
+	Support int
+	// Score is the LSTM average log-probability per transition (NaN when
+	// validation is disabled).
+	Score float64
+}
+
+// Result is the Phase-1 output.
+type Result struct {
+	// Chains are the accepted failure chains, most-supported first, named
+	// FC1, FC2, …; each ends with its terminal failed phrase.
+	Chains []core.FailureChain
+	// Windows is the number of failure windows observed.
+	Windows int
+	// Candidates are the maximal-suffix candidates with their assigned
+	// support, before the MinSupport/score filter.
+	Candidates []Candidate
+	// Model is the trained validation model (nil unless UseLSTM).
+	Model *nn.Model
+	// Vocab maps model token indices back to phrase IDs.
+	Vocab []core.PhraseID
+}
+
+// Train mines failure chains from a labeled token stream. The inventory
+// provides the phrase classes (Phase 1's a-priori labeling); tokens must be
+// time-sorted (streams from multiple nodes may interleave).
+func Train(tokens []core.Token, inventory []core.Template, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	class := map[core.PhraseID]core.Class{}
+	for _, t := range inventory {
+		class[t.ID] = t.Class
+	}
+
+	windows := collectWindows(tokens, class, cfg)
+	res := &Result{Windows: len(windows)}
+	if len(windows) == 0 {
+		return res, nil
+	}
+
+	cands := suffixCandidates(windows, cfg.MinSupport)
+
+	// Optional LSTM validation: learn the transition structure of failure
+	// windows, then score each candidate.
+	if cfg.UseLSTM {
+		model, vocab, tokenIdx := trainModel(windows, inventory, cfg)
+		for i := range cands {
+			cands[i].Score = avgLogProb(model, tokenIdx, cands[i].Phrases)
+		}
+		res.Model = model
+		res.Vocab = vocab
+	}
+	res.Candidates = cands
+
+	// Filter and rank.
+	var kept []Candidate
+	for _, c := range cands {
+		if c.Support < cfg.MinSupport || len(c.Phrases) < cfg.MinChainLen {
+			continue
+		}
+		if cfg.UseLSTM && !math.IsNaN(c.Score) && c.Score < cfg.MinAvgLogProb {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].Support != kept[j].Support {
+			return kept[i].Support > kept[j].Support
+		}
+		return chainKey(kept[i].Phrases) < chainKey(kept[j].Phrases)
+	})
+	for i, c := range kept {
+		res.Chains = append(res.Chains, core.FailureChain{
+			Name:    fmt.Sprintf("FC%d", i+1),
+			Phrases: append([]core.PhraseID(nil), c.Phrases...),
+		})
+	}
+	return res, nil
+}
+
+// collectWindows extracts the precursor window of every failed message.
+func collectWindows(tokens []core.Token, class map[core.PhraseID]core.Class, cfg Config) [][]core.PhraseID {
+	type nodeTok struct {
+		phrase core.PhraseID
+		at     time.Time
+	}
+	streams := map[string][]nodeTok{}
+	var windows [][]core.PhraseID
+
+	for _, tok := range tokens {
+		cls, known := class[tok.Phrase]
+		if !known || cls == core.Benign {
+			continue
+		}
+		if cls != core.Failed {
+			streams[tok.Node] = append(streams[tok.Node], nodeTok{tok.Phrase, tok.Time})
+			continue
+		}
+		s := streams[tok.Node]
+		var rev []core.PhraseID
+		lastAt := tok.Time
+		for i := len(s) - 1; i >= 0; i-- {
+			if lastAt.Sub(s[i].at) > cfg.MaxGap || tok.Time.Sub(s[i].at) > cfg.Lookback {
+				break
+			}
+			rev = append(rev, s[i].phrase)
+			lastAt = s[i].at
+			if len(rev) >= cfg.MaxChainLen {
+				break
+			}
+		}
+		if len(rev) == 0 {
+			continue // failed message with no precursors: nothing to learn
+		}
+		w := make([]core.PhraseID, 0, len(rev)+1)
+		for i := len(rev) - 1; i >= 0; i-- {
+			w = append(w, rev[i])
+		}
+		w = append(w, tok.Phrase)
+		windows = append(windows, w)
+		// The consumed precursors belong to this failure; clear the stream
+		// so successive failures on the node mine fresh windows.
+		streams[tok.Node] = nil
+	}
+	return windows
+}
+
+// suffixCandidates derives maximal common suffixes and assigns each window
+// to the longest candidate that suffixes it.
+func suffixCandidates(windows [][]core.PhraseID, minSupport int) []Candidate {
+	// Count every suffix (length ≥ 2: at least one precursor + the failed
+	// message) across windows.
+	suffixCount := map[string]int{}
+	suffixRep := map[string][]core.PhraseID{}
+	for _, w := range windows {
+		for l := 2; l <= len(w); l++ {
+			suf := w[len(w)-l:]
+			key := chainKey(suf)
+			suffixCount[key]++
+			if _, ok := suffixRep[key]; !ok {
+				suffixRep[key] = append([]core.PhraseID(nil), suf...)
+			}
+		}
+	}
+	// Eligible maximal suffixes: raw count ≥ minSupport (so a unique, noisy
+	// full window cannot shadow the recurring chain it contains) and no
+	// one-longer extension with the same count.
+	var maximal [][]core.PhraseID
+	for key, suf := range suffixRep {
+		count := suffixCount[key]
+		if count < minSupport {
+			continue
+		}
+		extended := false
+		for _, w := range windows {
+			if len(w) > len(suf) && chainKey(w[len(w)-len(suf):]) == key {
+				ext := w[len(w)-len(suf)-1:]
+				if suffixCount[chainKey(ext)] == count {
+					extended = true
+					break
+				}
+			}
+		}
+		if !extended {
+			maximal = append(maximal, suf)
+		}
+	}
+	// Deterministic order: longest first, then lexicographic.
+	sort.Slice(maximal, func(i, j int) bool {
+		if len(maximal[i]) != len(maximal[j]) {
+			return len(maximal[i]) > len(maximal[j])
+		}
+		return chainKey(maximal[i]) < chainKey(maximal[j])
+	})
+	// Assign each window to its longest matching candidate.
+	assigned := make([]int, len(maximal))
+	for _, w := range windows {
+		for i, cand := range maximal { // longest first
+			if len(cand) <= len(w) && chainKey(w[len(w)-len(cand):]) == chainKey(cand) {
+				assigned[i]++
+				break
+			}
+		}
+	}
+	var out []Candidate
+	for i, cand := range maximal {
+		if assigned[i] == 0 {
+			continue // fully explained by longer candidates
+		}
+		out = append(out, Candidate{Phrases: cand, Support: assigned[i], Score: math.NaN()})
+	}
+	return out
+}
+
+// trainModel fits a next-phrase LSTM on the failure windows.
+func trainModel(windows [][]core.PhraseID, inventory []core.Template, cfg Config) (*nn.Model, []core.PhraseID, map[core.PhraseID]int) {
+	var vocab []core.PhraseID
+	tokenIdx := map[core.PhraseID]int{}
+	for _, t := range inventory {
+		if t.Class != core.Benign {
+			tokenIdx[t.ID] = len(vocab)
+			vocab = append(vocab, t.ID)
+		}
+	}
+	model := nn.NewModel(len(vocab), cfg.LSTMEmbed, cfg.LSTMHidden, newRng(cfg.Seed))
+	for epoch := 0; epoch < cfg.LSTMEpochs; epoch++ {
+		for _, w := range windows {
+			seq := make([]int, len(w))
+			for i, p := range w {
+				seq[i] = tokenIdx[p]
+			}
+			model.TrainSequence(seq, 0.05)
+		}
+	}
+	return model, vocab, tokenIdx
+}
+
+func avgLogProb(m *nn.Model, tokenIdx map[core.PhraseID]int, phrases []core.PhraseID) float64 {
+	if len(phrases) < 2 {
+		return 0
+	}
+	s := m.NewState()
+	total := 0.0
+	var probs []float64
+	for i := 0; i+1 < len(phrases); i++ {
+		s, probs = m.StepState(tokenIdx[phrases[i]], s)
+		p := probs[tokenIdx[phrases[i+1]]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += math.Log(p)
+	}
+	return total / float64(len(phrases)-1)
+}
+
+// Merge folds newly mined chains into an existing chain set — the
+// incremental side of the paper's dynamic re-training: as new failure
+// patterns evolve, re-run Train on the fresh window and Merge the result,
+// then hot-swap the predictor with Predictor.Update. Chains whose phrase
+// sequence already exists keep the existing entry (name and timeout);
+// genuinely new chains are renamed FC<n> past the existing set.
+func Merge(existing, mined []core.FailureChain) []core.FailureChain {
+	out := append([]core.FailureChain(nil), existing...)
+	seen := map[string]bool{}
+	for _, fc := range existing {
+		seen[chainKey(fc.Phrases)] = true
+	}
+	next := len(existing) + 1
+	for _, fc := range mined {
+		key := chainKey(fc.Phrases)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, core.FailureChain{
+			Name:    fmt.Sprintf("FC%d", next),
+			Phrases: append([]core.PhraseID(nil), fc.Phrases...),
+			Timeout: fc.Timeout,
+		})
+		next++
+	}
+	return out
+}
+
+func chainKey(ps []core.PhraseID) string {
+	b := make([]byte, 0, len(ps)*4)
+	for _, p := range ps {
+		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,297 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+)
+
+func genLog(t testing.TB, seed int64, failures int, drop float64) *loggen.Log {
+	t.Helper()
+	return genLogRate(t, seed, failures, drop, 0)
+}
+
+func genLogRate(t testing.TB, seed int64, failures int, drop, anomalyRate float64) *loggen.Log {
+	t.Helper()
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: seed, Duration: 6 * time.Hour,
+		Nodes: 12, Failures: failures, DropProb: drop, AnomalyRate: anomalyRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// recoveredChains counts how many ground-truth chains appear as (suffixes
+// of) mined chains.
+func recoveredChains(truth, mined []core.FailureChain) int {
+	recovered := 0
+	for _, want := range truth {
+		for _, got := range mined {
+			if endsWith(got.Phrases, want.Phrases) {
+				recovered++
+				break
+			}
+		}
+	}
+	return recovered
+}
+
+func TestMinesInjectedChainsCleanLog(t *testing.T) {
+	// With (almost) no background anomaly noise, every injected chain is
+	// recovered exactly.
+	log := genLogRate(t, 42, 12, 0, 1e-9) // two rounds over the 6 XC chains
+	res, err := Train(log.Tokens(), log.Dialect.Inventory(), Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := log.Dialect.Chains()
+	if got := recoveredChains(truth, res.Chains); got != len(truth) {
+		t.Errorf("recovered %d/%d injected chains from a clean log; mined %d",
+			got, len(truth), len(res.Chains))
+	}
+	if _, err := core.TranslateFCs(res.Chains, core.Options{}); err != nil {
+		t.Errorf("mined chains do not translate: %v", err)
+	}
+}
+
+func TestMinesInjectedChainsNoisyLog(t *testing.T) {
+	// With the default scattered-anomaly noise, recall degrades gracefully —
+	// this is the Phase-1 imperfection band of the paper's Fig. 7 (recall
+	// 82–94%), not a defect.
+	log := genLog(t, 42, 12, 0)
+	res, err := Train(log.Tokens(), log.Dialect.Inventory(), Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := log.Dialect.Chains()
+	got := recoveredChains(truth, res.Chains)
+	if got < len(truth)/2 {
+		t.Errorf("recovered only %d/%d injected chains; mined %d", got, len(truth), len(res.Chains))
+	}
+	if _, err := core.TranslateFCs(res.Chains, core.Options{}); err != nil {
+		t.Errorf("mined chains do not translate: %v", err)
+	}
+}
+
+// endsWith reports whether got ends with the full want sequence, tolerating
+// extra leading phrases (background anomalies preceding the chain window).
+func endsWith(got, want []core.PhraseID) bool {
+	if len(got) < len(want) {
+		return false
+	}
+	off := len(got) - len(want)
+	for i, p := range want {
+		if got[off+i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMinSupportFilters(t *testing.T) {
+	log := genLog(t, 7, 6, 0) // each chain appears exactly once
+	all, err := Train(log.Tokens(), log.Dialect.Inventory(), Config{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Train(log.Tokens(), log.Dialect.Inventory(), Config{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Chains) >= len(all.Chains) && len(all.Chains) > 0 {
+		t.Errorf("MinSupport=3 kept %d chains, MinSupport=1 kept %d", len(strict.Chains), len(all.Chains))
+	}
+}
+
+func TestDropNoiseProducesVariants(t *testing.T) {
+	clean := genLog(t, 11, 12, 0)
+	noisy := genLog(t, 11, 12, 0.3)
+	resClean, err := Train(clean.Tokens(), clean.Dialect.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNoisy, err := Train(noisy.Tokens(), noisy.Dialect.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropped phrases fragment the support mass into more distinct
+	// candidates (or at least change the candidate set).
+	if len(resNoisy.Candidates) == len(resClean.Candidates) {
+		same := true
+		for i := range resNoisy.Candidates {
+			if chainKey(resNoisy.Candidates[i].Phrases) != chainKey(resClean.Candidates[i].Phrases) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("drop noise had no effect on mined candidates")
+		}
+	}
+}
+
+func TestTrainEmptyInput(t *testing.T) {
+	res, err := Train(nil, loggen.DialectXC30.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 0 || len(res.Candidates) != 0 {
+		t.Errorf("empty input mined %d chains", len(res.Chains))
+	}
+}
+
+func TestFailedMessageWithoutPrecursors(t *testing.T) {
+	// A lone failed message (no preceding anomalies) yields no chain.
+	tpl, _ := loggen.DialectXC30.Template(loggen.EvNodeFailed)
+	toks := []core.Token{{Phrase: tpl.ID, Time: time.Now(), Node: "n1"}}
+	res, err := Train(toks, loggen.DialectXC30.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 0 {
+		t.Errorf("mined %d chains from a lone failed message", len(res.Chains))
+	}
+}
+
+func TestMaxGapCutsWindow(t *testing.T) {
+	d := loggen.DialectXC30
+	hb, _ := d.Template(loggen.EvHeartbeat)
+	mce, _ := d.Template(loggen.EvMCE)
+	fail, _ := d.Template(loggen.EvNodeFailed)
+	t0 := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	toks := []core.Token{
+		{Phrase: hb.ID, Time: t0, Node: "n1"},
+		// 10-minute gap: heartbeat must be cut from the window.
+		{Phrase: mce.ID, Time: t0.Add(10 * time.Minute), Node: "n1"},
+		{Phrase: fail.ID, Time: t0.Add(11 * time.Minute), Node: "n1"},
+	}
+	res, err := Train(toks, d.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(res.Chains))
+	}
+	want := []core.PhraseID{mce.ID, fail.ID}
+	if len(res.Chains[0].Phrases) != 2 || res.Chains[0].Phrases[0] != want[0] || res.Chains[0].Phrases[1] != want[1] {
+		t.Errorf("chain = %v, want %v", res.Chains[0].Phrases, want)
+	}
+}
+
+func TestPerNodeIsolation(t *testing.T) {
+	// Precursors on node A must not leak into node B's chain.
+	d := loggen.DialectXC30
+	hb, _ := d.Template(loggen.EvHeartbeat)
+	mce, _ := d.Template(loggen.EvMCE)
+	fail, _ := d.Template(loggen.EvNodeFailed)
+	t0 := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	toks := []core.Token{
+		{Phrase: hb.ID, Time: t0, Node: "nodeA"},
+		{Phrase: mce.ID, Time: t0.Add(time.Minute), Node: "nodeB"},
+		{Phrase: fail.ID, Time: t0.Add(2 * time.Minute), Node: "nodeB"},
+	}
+	res, err := Train(toks, d.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(res.Chains))
+	}
+	for _, p := range res.Chains[0].Phrases {
+		if p == hb.ID {
+			t.Error("node A phrase leaked into node B chain")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	existing := []core.FailureChain{
+		{Name: "FC1", Phrases: []core.PhraseID{1, 2, 3}, Timeout: time.Minute},
+		{Name: "FC2", Phrases: []core.PhraseID{4, 5}},
+	}
+	mined := []core.FailureChain{
+		{Name: "FCX", Phrases: []core.PhraseID{1, 2, 3}}, // duplicate sequence
+		{Name: "FCY", Phrases: []core.PhraseID{6, 7, 8}}, // new
+		{Name: "FCZ", Phrases: []core.PhraseID{6, 7, 8}}, // duplicate of FCY
+	}
+	got := Merge(existing, mined)
+	if len(got) != 3 {
+		t.Fatalf("merged %d chains, want 3: %v", len(got), got)
+	}
+	if got[0].Name != "FC1" || got[0].Timeout != time.Minute {
+		t.Errorf("existing chain altered: %+v", got[0])
+	}
+	if got[2].Name != "FC3" || len(got[2].Phrases) != 3 || got[2].Phrases[0] != 6 {
+		t.Errorf("new chain = %+v, want FC3 (6 7 8)", got[2])
+	}
+	// Merged set must still translate (no duplicate sequences).
+	if _, err := core.TranslateFCs(got, core.Options{}); err != nil {
+		t.Errorf("merged chains do not translate: %v", err)
+	}
+	// Merging into nothing adopts everything; merging nothing changes
+	// nothing.
+	if got := Merge(nil, mined); len(got) != 2 {
+		t.Errorf("Merge(nil, mined) = %d chains, want 2", len(got))
+	}
+	if got := Merge(existing, nil); len(got) != 2 {
+		t.Errorf("Merge(existing, nil) = %d chains", len(got))
+	}
+}
+
+func TestLSTMValidationScoresChains(t *testing.T) {
+	log := genLog(t, 21, 12, 0)
+	res, err := Train(log.Tokens(), log.Dialect.Inventory(), Config{
+		UseLSTM: true, LSTMEpochs: 10, MinSupport: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil || len(res.Vocab) == 0 {
+		t.Fatal("LSTM validation produced no model")
+	}
+	scored := 0
+	for _, c := range res.Candidates {
+		if !math.IsNaN(c.Score) {
+			scored++
+			if c.Score > 0 {
+				t.Errorf("log-probability score %v > 0", c.Score)
+			}
+		}
+	}
+	if scored == 0 {
+		t.Error("no candidate was scored")
+	}
+	if len(res.Chains) == 0 {
+		t.Error("LSTM validation dropped every chain")
+	}
+}
+
+func TestSuccessiveFailuresSameNode(t *testing.T) {
+	// Two failures on one node must mine two windows, not one merged chain.
+	d := loggen.DialectXC30
+	hb, _ := d.Template(loggen.EvHeartbeat)
+	mce, _ := d.Template(loggen.EvMCE)
+	fail, _ := d.Template(loggen.EvNodeFailed)
+	t0 := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	toks := []core.Token{
+		{Phrase: hb.ID, Time: t0, Node: "n1"},
+		{Phrase: fail.ID, Time: t0.Add(time.Minute), Node: "n1"},
+		{Phrase: mce.ID, Time: t0.Add(20 * time.Minute), Node: "n1"},
+		{Phrase: fail.ID, Time: t0.Add(21 * time.Minute), Node: "n1"},
+	}
+	res, err := Train(toks, d.Inventory(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(res.Candidates))
+	}
+	if len(res.Candidates[0].Phrases) != 2 || len(res.Candidates[1].Phrases) != 2 {
+		t.Errorf("windows merged: %+v", res.Candidates)
+	}
+}

@@ -1,0 +1,114 @@
+package aarohi_test
+
+import (
+	"testing"
+	"time"
+
+	aarohi "repro"
+	"repro/internal/drain"
+	"repro/internal/lexgen"
+	"repro/internal/loggen"
+)
+
+// TestFullyUnsupervisedPipeline runs the complete raw-log workflow with no
+// given inventory: Drain-style template mining → keyword classification →
+// Phase-1 chain mining → predictor generation → online prediction on a
+// disjoint test log. This is the "fully unsupervised parser" the paper's
+// contribution statement claims ("Aarohi automatically generates a fully
+// unsupervised parser from a DL-based training").
+func TestFullyUnsupervisedPipeline(t *testing.T) {
+	train, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 42, Duration: 6 * time.Hour,
+		Nodes: 12, Failures: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Mine templates from raw message text.
+	miner := drain.New(drain.Config{})
+	for _, e := range train.Events {
+		miner.Learn(e.Message)
+	}
+	inventory := miner.Templates()
+	if len(inventory) < 20 {
+		t.Fatalf("mined only %d templates", len(inventory))
+	}
+	failedMined := 0
+	for _, tpl := range inventory {
+		if tpl.Class == aarohi.Failed {
+			failedMined++
+		}
+	}
+	if failedMined == 0 {
+		t.Fatal("no Failed-class template mined; classification broken")
+	}
+
+	// 2. Tokenize the training log through a scanner generated from the
+	// mined inventory, then mine failure chains.
+	scanner, err := aarohi.NewScanner(inventory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tokens []aarohi.Token
+	for _, e := range train.Events {
+		line := lexgen.FormatLine(e.Time, e.Node, e.Message)
+		tok, ok, err := scanner.ScanLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			tokens = append(tokens, tok)
+		}
+	}
+	res, err := aarohi.Train(tokens, inventory, aarohi.TrainConfig{MinSupport: 2, MinChainLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chains) == 0 {
+		t.Fatal("no chains mined from mined templates")
+	}
+
+	// 3. Generate the predictor and run it on a disjoint test log.
+	p, err := aarohi.New(res.Chains, inventory, aarohi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 4242, Duration: 4 * time.Hour,
+		Nodes: 12, Failures: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := map[string]bool{}
+	observed := 0
+	for _, line := range test.Lines() {
+		out, err := p.ProcessLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Prediction != nil {
+			predicted[out.Prediction.Node] = true
+		}
+		if out.Failure != nil {
+			observed++
+		}
+	}
+	if observed == 0 {
+		t.Fatal("mined Failed templates never observed on the test log")
+	}
+	hits := 0
+	for _, inj := range test.Failures {
+		if predicted[inj.Node] {
+			hits++
+		}
+	}
+	// Mined templates differ slightly from ground truth (extra wildcards,
+	// merged groups), so demand a majority, not perfection.
+	if hits < len(test.Failures)/2 {
+		t.Errorf("unsupervised pipeline predicted %d/%d failed nodes", hits, len(test.Failures))
+	}
+	t.Logf("unsupervised pipeline: %d templates, %d chains, %d/%d failures predicted",
+		len(inventory), len(res.Chains), hits, len(test.Failures))
+}
