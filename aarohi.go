@@ -35,6 +35,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/predictor"
 	"repro/internal/trainer"
+	"repro/internal/vet"
 )
 
 // Core data-model types.
@@ -96,6 +97,40 @@ type (
 
 // Scanner is the generated tokenizer over a template inventory.
 type Scanner = lexgen.Scanner
+
+// Static-analysis (vet) types.
+type (
+	// VetConfig tunes the static-analysis suite.
+	VetConfig = vet.Config
+	// VetReport is the outcome of a vet run, findings ordered most severe
+	// first.
+	VetReport = vet.Report
+	// VetFinding is one diagnostic produced by a vet check.
+	VetFinding = vet.Finding
+)
+
+// Vet severities.
+const (
+	VetInfo    = vet.Info
+	VetWarning = vet.Warning
+	VetError   = vet.Error
+)
+
+// Vet statically analyzes a model — failure chains plus an optional template
+// inventory — for defects that make the online predictor misbehave:
+// duplicate or prefix-shadowed chains, dead templates, overlapping scanner
+// patterns, unsatisfiable ΔT budgets, and grammar conflicts. The aarohivet
+// command wraps this; VetHook adapts it to TranslateOptions.Vet so flawed
+// models fail at compile time.
+func Vet(chains []FailureChain, inventory []Template, cfg VetConfig) (*VetReport, error) {
+	return vet.Run(vet.Model{Chains: chains, Templates: inventory}, cfg)
+}
+
+// VetHook returns a TranslateOptions.Vet hook that rejects rule sets with
+// error-severity vet findings.
+func VetHook(inventory []Template, cfg VetConfig) func(*RuleSet) error {
+	return vet.CompileHook(inventory, cfg)
+}
 
 // New builds an online predictor from Phase-1 failure chains and the
 // system's template inventory. Chains ending in a Failed-class phrase

@@ -1,0 +1,105 @@
+// Command aarohivet statically analyzes an Aarohi model — Phase-1 failure
+// chains plus (optionally) the phrase-template inventory — for defects that
+// make the online predictor misbehave: duplicate or shadowed chains, dead
+// templates, overlapping scanner patterns, ΔT budgets the reset timeout can
+// never satisfy, and grammar conflicts.
+//
+//	aarohivet -chains chains.json [-templates templates.json]
+//
+// Findings print one per line, most severe first. The exit code is 1 when
+// any error-severity finding is present, 2 on usage or I/O problems, and 0
+// otherwise (a clean model, or warnings only).
+//
+//	aarohivet -chains chains.json -templates templates.json -json
+//
+// emits the machine-readable report instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	aarohi "repro"
+	"repro/internal/vet"
+)
+
+func main() {
+	var (
+		chainsPath = flag.String("chains", "", "failure chains JSON (required)")
+		tplPath    = flag.String("templates", "", "template inventory JSON (optional; enables inventory and overlap checks)")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON")
+		timeout    = flag.Duration("timeout", 0, "override the default per-gap reset timeout (0 = 4m default)")
+		minLead    = flag.Duration("min-lead", 0, "warn when a chain's expected lead time is below this (0 disables)")
+		checks     = flag.String("checks", "", "comma-separated subset of checks to run (default all)")
+		noFactor   = flag.Bool("no-factoring", false, "analyze the unfactored one-production-per-chain grammar")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aarohivet -chains chains.json [-templates templates.json] [flags]\n\nchecks:\n%s\nflags:\n", vet.Doc())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *chainsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cf, err := os.Open(*chainsPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	chains, err := aarohi.ReadChains(cf)
+	cf.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var templates []aarohi.Template
+	if *tplPath != "" {
+		tf, err := os.Open(*tplPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		templates, err = aarohi.ReadTemplates(tf)
+		tf.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	cfg := vet.Config{
+		Timeout:          *timeout,
+		MinLead:          *minLead,
+		DisableFactoring: *noFactor,
+	}
+	if *checks != "" {
+		for _, c := range strings.Split(*checks, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				cfg.Checks = append(cfg.Checks, c)
+			}
+		}
+	}
+
+	rep, err := vet.Run(vet.Model{Chains: chains, Templates: templates}, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if rep.Count(vet.Error) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aarohivet: "+format+"\n", args...)
+	os.Exit(2)
+}

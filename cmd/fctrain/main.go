@@ -22,6 +22,7 @@ import (
 	aarohi "repro"
 	"repro/internal/drain"
 	"repro/internal/lexgen"
+	"repro/internal/vet"
 )
 
 func main() {
@@ -109,6 +110,19 @@ func main() {
 		for _, c := range res.Candidates {
 			fmt.Fprintf(os.Stderr, "  candidate len=%d support=%d score=%.2f\n",
 				len(c.Phrases), c.Support, c.Score)
+		}
+	}
+
+	// Vet the mined model before writing it: defects here are warnings, not
+	// fatal — the chains are still written so they can be inspected — but
+	// deploying a model with error findings will misbehave online.
+	if len(res.Chains) > 0 {
+		rep, err := vet.Run(vet.Model{Chains: res.Chains, Templates: inventory}, vet.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fctrain: vet: %v\n", err)
+		} else if len(rep.Findings) > 0 {
+			fmt.Fprintf(os.Stderr, "fctrain: vet found issues in the mined model:\n")
+			rep.WriteText(os.Stderr)
 		}
 	}
 

@@ -86,6 +86,13 @@ type FailureChain struct {
 	// Timeout is the chain-specific ΔT threshold; 0 means the rule set
 	// default applies.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// Gaps optionally annotates the expected ΔT between adjacent phrases
+	// (the paper's Table III ΔT column): Gaps[i] is the typical delay
+	// between Phrases[i] and Phrases[i+1], so len(Gaps) == len(Phrases)-1
+	// when present. The online driver ignores them; the trainer records the
+	// mean observed gaps and aarohivet checks them for consistency against
+	// the reset timeout.
+	Gaps []time.Duration `json:"gaps,omitempty"`
 }
 
 // DefaultTimeout is the ΔT threshold used when a chain does not carry its
@@ -151,12 +158,70 @@ type Options struct {
 	// MinSubchain is the minimum length of a common subchain worth factoring
 	// (default 2).
 	MinSubchain int
+	// Vet, when non-nil, is invoked with the fully compiled rule set before
+	// TranslateFCs returns; a non-nil error rejects the rule set and fails
+	// the compile. internal/vet's CompileHook wires the static-analysis
+	// suite here so fatally flawed chain sets never reach deployment.
+	Vet func(*RuleSet) error
 }
 
 // TranslateFCs implements Algorithm 1: it validates the chains, forms the
 // token and rule lists, factors common subchains into non-terminals, and
 // compiles the LALR(1) tables.
 func TranslateFCs(chains []FailureChain, opts Options) (*RuleSet, error) {
+	rs, err := buildRuleSet(chains, opts)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := lalr.BuildTables(rs.Grammar)
+	if err != nil {
+		if !opts.DisableFactoring {
+			// Factoring introduced a conflict (possible with adversarial
+			// chain shapes); the plain one-production-per-chain grammar is
+			// always conflict-free for distinct chains, so fall back.
+			fallback := opts
+			fallback.DisableFactoring = true
+			fallback.Vet = nil // vet once, on the final rule set
+			rs, ferr := TranslateFCs(chains, fallback)
+			if ferr != nil {
+				return rs, ferr
+			}
+			rs.FactoringFellBack = true
+			if opts.Vet != nil {
+				if verr := opts.Vet(rs); verr != nil {
+					return nil, fmt.Errorf("core: vet rejected rule set: %w", verr)
+				}
+			}
+			return rs, nil
+		}
+		return nil, fmt.Errorf("core: building LALR tables: %w", err)
+	}
+	rs.Tables = tables
+	if opts.Vet != nil {
+		if verr := opts.Vet(rs); verr != nil {
+			return nil, fmt.Errorf("core: vet rejected rule set: %w", verr)
+		}
+	}
+	return rs, nil
+}
+
+// GrammarConflicts runs Algorithm 1 up to grammar construction and returns
+// the LALR(1) conflicts of the *uncompiled* grammar, without the automatic
+// factoring fallback TranslateFCs applies. The returned rule set carries the
+// token list, rules, subchains and Grammar, but no Tables. This is the
+// diagnostic entry point aarohivet's grammar-health check uses to surface
+// conflicts that TranslateFCs would silently paper over by falling back.
+func GrammarConflicts(chains []FailureChain, opts Options) (*RuleSet, []lalr.Conflict, error) {
+	rs, err := buildRuleSet(chains, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, lalr.Conflicts(rs.Grammar), nil
+}
+
+// buildRuleSet validates the chains and performs Algorithm 1 through grammar
+// construction, leaving table generation to the caller.
+func buildRuleSet(chains []FailureChain, opts Options) (*RuleSet, error) {
 	if len(chains) == 0 {
 		return nil, fmt.Errorf("core: no failure chains")
 	}
@@ -172,6 +237,10 @@ func TranslateFCs(chains []FailureChain, opts Options) (*RuleSet, error) {
 		seenName[fc.Name] = true
 		if len(fc.Phrases) == 0 {
 			return nil, fmt.Errorf("core: chain %q is empty", fc.Name)
+		}
+		if len(fc.Gaps) != 0 && len(fc.Gaps) != len(fc.Phrases)-1 {
+			return nil, fmt.Errorf("core: chain %q has %d gap annotations for %d phrases (want %d)",
+				fc.Name, len(fc.Gaps), len(fc.Phrases), len(fc.Phrases)-1)
 		}
 		key := seqKey(fc.Phrases)
 		if prev, dup := seenSeq[key]; dup {
@@ -263,24 +332,7 @@ func TranslateFCs(chains []FailureChain, opts Options) (*RuleSet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building grammar: %w", err)
 	}
-	tables, err := lalr.BuildTables(g)
-	if err != nil {
-		if !opts.DisableFactoring {
-			// Factoring introduced a conflict (possible with adversarial
-			// chain shapes); the plain one-production-per-chain grammar is
-			// always conflict-free for distinct chains, so fall back.
-			fallback := opts
-			fallback.DisableFactoring = true
-			rs, ferr := TranslateFCs(chains, fallback)
-			if ferr == nil {
-				rs.FactoringFellBack = true
-			}
-			return rs, ferr
-		}
-		return nil, fmt.Errorf("core: building LALR tables: %w", err)
-	}
 	rs.Grammar = g
-	rs.Tables = tables
 	return rs, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -359,5 +360,119 @@ func TestTranslateRejectsNonChains(t *testing.T) {
 		if tag, ok := rs.Tables.Parse(syms); ok {
 			t.Fatalf("non-chain %v accepted with tag %d", ps, tag)
 		}
+	}
+}
+
+// conflictChains is a chain set whose factored grammar has a genuine LALR(1)
+// shift/reduce conflict: factoring yields S → B1 B2 | B2 1 3 with
+// B1 → 1 2 1 2 and B2 → 1 2, so after "1 2" the parser cannot decide between
+// shifting toward B1 and reducing B2 (lookahead 1 does both). TranslateFCs
+// falls back to the unfactored grammar; GrammarConflicts surfaces the
+// conflicts themselves.
+func conflictChains() []FailureChain {
+	return []FailureChain{
+		{Name: "FC-cyc", Phrases: []PhraseID{1, 2, 1, 2, 1, 2}},
+		{Name: "FC-mix", Phrases: []PhraseID{1, 2, 1, 3}},
+	}
+}
+
+func TestGrammarConflicts(t *testing.T) {
+	rs, conflicts, err := GrammarConflicts(conflictChains(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) == 0 {
+		t.Fatal("GrammarConflicts = none, want a factoring-induced conflict")
+	}
+	if rs.Grammar == nil {
+		t.Fatal("rule set has no grammar")
+	}
+	if rs.Tables != nil {
+		t.Error("diagnostic rule set should not carry tables")
+	}
+	for _, c := range conflicts {
+		if len(c.Prods) == 0 {
+			t.Errorf("conflict %v carries no production indices", c)
+		}
+		for _, p := range c.Prods {
+			if p < 0 || p >= rs.Grammar.NumProductions() {
+				t.Errorf("conflict production index %d out of range", p)
+			}
+		}
+	}
+
+	// The compile path falls back and still recognizes both chains.
+	full, err := TranslateFCs(conflictChains(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.FactoringFellBack {
+		t.Error("TranslateFCs did not report the factoring fallback")
+	}
+
+	// A clean chain set reports no conflicts.
+	_, conflicts, err = GrammarConflicts(tableIVChains(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("clean chains report conflicts: %v", conflicts)
+	}
+}
+
+func TestGapAnnotationValidation(t *testing.T) {
+	chains := []FailureChain{{
+		Name:    "FC1",
+		Phrases: []PhraseID{1, 2, 3},
+		Gaps:    []time.Duration{time.Second}, // want 2
+	}}
+	if _, err := TranslateFCs(chains, Options{}); err == nil {
+		t.Fatal("TranslateFCs accepted a malformed gap annotation")
+	}
+	chains[0].Gaps = []time.Duration{time.Second, 2 * time.Second}
+	if _, err := TranslateFCs(chains, Options{}); err != nil {
+		t.Fatalf("TranslateFCs rejected a well-formed gap annotation: %v", err)
+	}
+}
+
+func TestVetHook(t *testing.T) {
+	chains := tableIVChains()
+	var sawTables bool
+	rs, err := TranslateFCs(chains, Options{Vet: func(rs *RuleSet) error {
+		sawTables = rs.Tables != nil
+		return nil
+	}})
+	if err != nil || rs == nil {
+		t.Fatalf("TranslateFCs with passing vet: %v", err)
+	}
+	if !sawTables {
+		t.Error("vet hook ran before tables were built")
+	}
+
+	wantErr := "seeded rejection"
+	_, err = TranslateFCs(chains, Options{Vet: func(*RuleSet) error {
+		return fmt.Errorf(wantErr)
+	}})
+	if err == nil || !strings.Contains(err.Error(), wantErr) {
+		t.Fatalf("TranslateFCs err = %v, want vet rejection", err)
+	}
+
+	// On the factoring fallback path the hook runs once, on the final set.
+	calls := 0
+	rs, err = TranslateFCs(conflictChains(), Options{Vet: func(rs *RuleSet) error {
+		calls++
+		if !rs.FactoringFellBack {
+			t.Error("vet hook saw a pre-fallback rule set")
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("vet hook ran %d times, want 1", calls)
+	}
+	if !rs.FactoringFellBack {
+		t.Error("fallback not reported")
 	}
 }

@@ -1,0 +1,117 @@
+package lalr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ambiguous builds the classic reduce/reduce grammar
+//
+//	S → A | B ; A → a ; B → a
+//
+// with terminals {EOF, a}.
+func ambiguous(t *testing.T) *Grammar {
+	t.Helper()
+	const (
+		a Symbol = 1
+		S Symbol = 2
+		A Symbol = 3
+		B Symbol = 4
+	)
+	g, err := New(2, S, []Production{
+		{Lhs: S, Rhs: []Symbol{A}, Tag: 0},
+		{Lhs: S, Rhs: []Symbol{B}, Tag: 1},
+		{Lhs: A, Rhs: []Symbol{a}, Tag: -1},
+		{Lhs: B, Rhs: []Symbol{a}, Tag: -1},
+	}, []string{"$eof", "a", "S", "A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConflictsStructured(t *testing.T) {
+	g := ambiguous(t)
+	conflicts := Conflicts(g)
+	if len(conflicts) == 0 {
+		t.Fatal("Conflicts() = none, want a reduce/reduce conflict")
+	}
+	c := conflicts[0]
+	if c.Kind != "reduce/reduce" {
+		t.Errorf("Kind = %q, want reduce/reduce", c.Kind)
+	}
+	if g.Name(c.Symbol) != "$eof" {
+		t.Errorf("Symbol = %s, want $eof", g.Name(c.Symbol))
+	}
+	// The implicated productions are A→a (index 2) and B→a (index 3), as
+	// 0-based user production indices.
+	if want := []int{2, 3}; !reflect.DeepEqual(c.Prods, want) {
+		t.Errorf("Prods = %v, want %v", c.Prods, want)
+	}
+	for _, p := range c.Prods {
+		if p < 0 || p >= g.NumProductions() {
+			t.Errorf("Prods entry %d out of user production range", p)
+		}
+	}
+
+	// BuildTables reports the same conflicts through ConflictError.
+	_, err := BuildTables(g)
+	ce, ok := err.(*ConflictError)
+	if !ok {
+		t.Fatalf("BuildTables err = %v, want *ConflictError", err)
+	}
+	if !reflect.DeepEqual(ce.Conflicts, conflicts) {
+		t.Errorf("BuildTables conflicts %v != Conflicts() %v", ce.Conflicts, conflicts)
+	}
+}
+
+func TestConflictsCleanGrammar(t *testing.T) {
+	const (
+		a Symbol = 1
+		b Symbol = 2
+		S Symbol = 3
+	)
+	g, err := New(3, S, []Production{
+		{Lhs: S, Rhs: []Symbol{a, b}, Tag: 0},
+		{Lhs: S, Rhs: []Symbol{b, a}, Tag: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := Conflicts(g); len(cs) != 0 {
+		t.Errorf("Conflicts() = %v, want none", cs)
+	}
+	if _, err := BuildTables(g); err != nil {
+		t.Errorf("BuildTables: %v", err)
+	}
+}
+
+func TestConflictsShiftReduceProds(t *testing.T) {
+	// S → a S a | a : after "a", lookahead a both shifts (toward a S a)
+	// and reduces S → a (FOLLOW(S) contains a).
+	const (
+		a Symbol = 1
+		S Symbol = 2
+	)
+	g, err := New(2, S, []Production{
+		{Lhs: S, Rhs: []Symbol{a, S, a}, Tag: 0},
+		{Lhs: S, Rhs: []Symbol{a}, Tag: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts := Conflicts(g)
+	if len(conflicts) == 0 {
+		t.Fatal("Conflicts() = none, want a shift/reduce conflict")
+	}
+	for _, c := range conflicts {
+		if c.Kind != "shift/reduce" {
+			continue
+		}
+		if len(c.Prods) == 0 {
+			t.Errorf("shift/reduce conflict %v carries no productions", c)
+		}
+		return
+	}
+	t.Errorf("no shift/reduce conflict in %v", conflicts)
+}

@@ -151,6 +151,10 @@ func (g *Grammar) NumSymbols() int { return g.numSymbols }
 // NumProductions returns the user production count (excluding augmentation).
 func (g *Grammar) NumProductions() int { return len(g.prods) - 1 }
 
+// Start returns the user start symbol (the one passed to New, not the
+// internal augmented start).
+func (g *Grammar) Start() Symbol { return g.prods[0].Rhs[0] }
+
 // Name returns the diagnostic name of s.
 func (g *Grammar) Name(s Symbol) string {
 	if int(s) < len(g.names) {

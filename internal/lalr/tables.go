@@ -2,6 +2,8 @@ package lalr
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"strings"
 )
 
@@ -22,12 +24,23 @@ func encode(kind actionEntry, operand int) actionEntry {
 func (a actionEntry) kind() actionEntry { return a & 3 }
 func (a actionEntry) operand() int      { return int(a >> 2) }
 
-// Conflict describes an LALR table conflict.
+// Conflict describes an LR table conflict as structured data, so tools
+// (aarohivet's grammar-health check in particular) can map it back to the
+// productions — and from there to the failure chains — involved.
 type Conflict struct {
-	State    int
-	Terminal Symbol
-	Kind     string // "shift/reduce" or "reduce/reduce"
-	Detail   string
+	// State is the automaton state the conflict occurs in.
+	State int
+	// Symbol is the lookahead terminal the actions collide on.
+	Symbol Symbol
+	// Kind is "shift/reduce" or "reduce/reduce".
+	Kind string
+	// Prods lists the implicated productions as 0-based user production
+	// indices (the indexing of Grammar.Production): every reduction party
+	// to the conflict, plus — for shift/reduce — the productions whose
+	// items want to shift the symbol. Sorted and deduplicated.
+	Prods []int
+	// Detail is the human-readable rendering of the colliding actions.
+	Detail string
 }
 
 func (c Conflict) String() string {
@@ -60,6 +73,26 @@ type Tables struct {
 // BuildTables runs the full LALR(1) construction and returns the parse
 // tables, or a *ConflictError if the grammar is not LALR(1).
 func BuildTables(g *Grammar) (*Tables, error) {
+	t, conflicts := buildLALR(g)
+	if len(conflicts) > 0 {
+		return nil, &ConflictError{Conflicts: conflicts}
+	}
+	return t, nil
+}
+
+// Conflicts runs the LALR(1) construction and returns every table conflict
+// as structured data, nil when the grammar is LALR(1)-clean. Unlike
+// BuildTables it never fails: it exists for analysis tools that want the
+// conflict inventory itself rather than usable tables.
+func Conflicts(g *Grammar) []Conflict {
+	_, conflicts := buildLALR(g)
+	return conflicts
+}
+
+// buildLALR is the shared LALR(1) table construction: it always completes,
+// collecting conflicts instead of aborting (the first action claimed for an
+// (state, terminal) cell wins, as in bison).
+func buildLALR(g *Grammar) (*Tables, []Conflict) {
 	a := buildAutomaton(g)
 	kernLA := computeLookaheads(a)
 
@@ -89,6 +122,17 @@ func BuildTables(g *Grammar) (*Tables, error) {
 		// final LALR lookaheads (this also covers ε-production items that
 		// only appear in the closure).
 		cl := g.closure1(st.kernel, kernLA[si], g.numTerminals)
+		// shiftProds lists, per terminal, the productions whose closure items
+		// shift that terminal here — the "shift side" of any conflict.
+		shiftProds := map[Symbol][]int{}
+		for it := range cl {
+			p := g.prods[it.prod]
+			if it.dot < len(p.Rhs) {
+				if sym := p.Rhs[it.dot]; g.isTerminal(sym) {
+					shiftProds[sym] = append(shiftProds[sym], it.prod)
+				}
+			}
+		}
 		for it, las := range cl {
 			p := g.prods[it.prod]
 			if it.dot < len(p.Rhs) {
@@ -108,13 +152,15 @@ func BuildTables(g *Grammar) (*Tables, error) {
 					t.action[si][term] = entry
 				case actShift:
 					conflicts = append(conflicts, Conflict{
-						State: si, Terminal: term, Kind: "shift/reduce",
+						State: si, Symbol: term, Kind: "shift/reduce",
+						Prods:  userProds(append([]int{prodIdx}, shiftProds[term]...)),
 						Detail: fmt.Sprintf("on %s: shift %d vs reduce %s", g.Name(term), existing.operand(), a.itemString(it)),
 					})
 				case actReduce, actAccept:
 					if existing != entry {
 						conflicts = append(conflicts, Conflict{
-							State: si, Terminal: term, Kind: "reduce/reduce",
+							State: si, Symbol: term, Kind: "reduce/reduce",
+							Prods:  userProds([]int{existing.operand(), prodIdx}),
 							Detail: fmt.Sprintf("on %s: reduce %d vs reduce %d", g.Name(term), existing.operand(), prodIdx),
 						})
 					}
@@ -122,10 +168,21 @@ func BuildTables(g *Grammar) (*Tables, error) {
 			})
 		}
 	}
-	if len(conflicts) > 0 {
-		return nil, &ConflictError{Conflicts: conflicts}
+	return t, conflicts
+}
+
+// userProds converts internal production indices (where 0 is the augmented
+// start) into sorted, deduplicated 0-based user indices, dropping the
+// augmentation.
+func userProds(internal []int) []int {
+	var out []int
+	for _, p := range internal {
+		if p > 0 {
+			out = append(out, p-1)
+		}
 	}
-	return t, nil
+	sort.Ints(out)
+	return slices.Compact(out)
 }
 
 // NumStates returns the state count of the LALR automaton.

@@ -131,13 +131,15 @@ func buildSLR(g *Grammar) (*Tables, error) {
 					t.action[si][term] = entry
 				case actShift:
 					conflicts = append(conflicts, Conflict{
-						State: si, Terminal: term, Kind: "shift/reduce",
+						State: si, Symbol: term, Kind: "shift/reduce",
+						Prods:  userProds([]int{prodIdx}),
 						Detail: fmt.Sprintf("SLR on %s", g.Name(term)),
 					})
 				default:
 					if existing != entry {
 						conflicts = append(conflicts, Conflict{
-							State: si, Terminal: term, Kind: "reduce/reduce",
+							State: si, Symbol: term, Kind: "reduce/reduce",
+							Prods:  userProds([]int{existing.operand(), prodIdx}),
 							Detail: fmt.Sprintf("SLR on %s", g.Name(term)),
 						})
 					}
@@ -291,13 +293,15 @@ func buildCanonical(g *Grammar) (*Tables, error) {
 				t.action[si][it.la] = entry
 			case actShift:
 				conflicts = append(conflicts, Conflict{
-					State: si, Terminal: it.la, Kind: "shift/reduce",
+					State: si, Symbol: it.la, Kind: "shift/reduce",
+					Prods:  userProds([]int{it.prod}),
 					Detail: fmt.Sprintf("LR(1) on %s", g.Name(it.la)),
 				})
 			default:
 				if existing != entry {
 					conflicts = append(conflicts, Conflict{
-						State: si, Terminal: it.la, Kind: "reduce/reduce",
+						State: si, Symbol: it.la, Kind: "reduce/reduce",
+						Prods:  userProds([]int{existing.operand(), it.prod}),
 						Detail: fmt.Sprintf("LR(1) on %s", g.Name(it.la)),
 					})
 				}

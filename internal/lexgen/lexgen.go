@@ -53,7 +53,7 @@ func NewScannerOpts(templates []core.Template, opts Options) (*Scanner, error) {
 		if t.Pattern == "" {
 			return nil, fmt.Errorf("lexgen: template %d (phrase %d) has an empty pattern", i, t.ID)
 		}
-		patterns[i] = templateToPattern(t.Pattern)
+		patterns[i] = TemplatePattern(t.Pattern)
 		ids[i] = t.ID
 	}
 	set, err := rex.CompileSet(patterns)
@@ -69,9 +69,11 @@ func NewScannerOpts(templates []core.Template, opts Options) (*Scanner, error) {
 	return &Scanner{set: set, ids: ids}, nil
 }
 
-// templateToPattern converts a '*' wildcard template into a rex pattern:
-// literal segments are quoted, '*' becomes '.*'.
-func templateToPattern(template string) string {
+// TemplatePattern converts a '*' wildcard template into a rex pattern:
+// literal segments are quoted, '*' becomes '.*'. It is exported so analysis
+// tools (internal/vet) can rebuild per-template DFAs the same way the
+// scanner does.
+func TemplatePattern(template string) string {
 	parts := strings.Split(template, "*")
 	for i, p := range parts {
 		parts[i] = rex.QuoteMeta(p)

@@ -98,6 +98,11 @@ func New(chains []core.FailureChain, inventory []core.Template, opts Options) (*
 					return nil, fmt.Errorf("predictor: chain %q has no precursors before its failed message", fc.Name)
 				}
 				rule.Phrases = fc.Phrases[:len(fc.Phrases)-1]
+				if len(fc.Gaps) == len(fc.Phrases)-1 {
+					// Drop the final precursor→failure gap with the
+					// terminal phrase so the gap arity stays valid.
+					rule.Gaps = fc.Gaps[:len(fc.Gaps)-1]
+				}
 			}
 		}
 		key := phraseKey(rule.Phrases)

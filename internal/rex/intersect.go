@@ -1,0 +1,178 @@
+package rex
+
+// Language analysis over compiled pattern sets: pairwise intersection and
+// containment via the product construction, and dead-state detection. These
+// back the aarohivet scanner-overlap check — two templates whose languages
+// overlap are resolved by priority online, so the loser may never produce its
+// token; the product DFA yields a concrete witness string for the report.
+
+// searchByteOrder ranks bytes for witness construction: printable ASCII
+// first (space last among them, so words form before padding), then the
+// rest, so reported witnesses read like log text whenever possible.
+var searchByteOrder = func() [256]byte {
+	var order [256]byte
+	n := 0
+	for b := '!'; b <= '~'; b++ {
+		order[n] = byte(b)
+		n++
+	}
+	order[n] = ' '
+	n++
+	for b := 0; b < 256; b++ {
+		if (b >= '!' && b <= '~') || b == ' ' {
+			continue
+		}
+		order[n] = byte(b)
+		n++
+	}
+	return order
+}()
+
+// patternDFA compiles pattern i of the set alone. The pattern parsed once
+// already in CompileSet, so a parse failure here is impossible.
+func (s *Set) patternDFA(i int) *dfa {
+	ast, err := parsePattern(s.patterns[i])
+	if err != nil {
+		panic("rex: pattern re-parse failed: " + err.Error())
+	}
+	return buildDFA(buildNFA([]*node{ast}))
+}
+
+// productPair is one state of the product automaton. b == sinkState marks
+// the second DFA's implicit dead (error) state, which the product keeps
+// traversable so the complement language stays visible.
+type productPair struct{ a, b int32 }
+
+const sinkState int32 = -1
+
+// productSearch runs a BFS over the product of a and b for the shortest
+// byte string that a accepts and whose membership in b equals wantB
+// (wantB=true: string in L(a) ∩ L(b); wantB=false: string in L(a) \ L(b)).
+func productSearch(a, b *dfa, wantB bool) ([]byte, bool) {
+	type step struct {
+		from productPair
+		c    byte
+	}
+	accepts := func(p productPair) bool {
+		if a.states[p.a].accept == noMatch {
+			return false
+		}
+		inB := p.b != sinkState && b.states[p.b].accept != noMatch
+		return inB == wantB
+	}
+	reconstruct := func(prev map[productPair]step, end productPair) []byte {
+		var rev []byte
+		for end != (productPair{0, 0}) {
+			st := prev[end]
+			rev = append(rev, st.c)
+			end = st.from
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	start := productPair{0, 0}
+	if accepts(start) {
+		return []byte{}, true
+	}
+	prev := map[productPair]step{}
+	seen := map[productPair]bool{start: true}
+	queue := []productPair{start}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, c := range searchByteOrder {
+			na := a.states[p.a].next[c]
+			if na == noMatch {
+				// a's dead state can never reach an accept of a; prune.
+				continue
+			}
+			nb := sinkState
+			if p.b != sinkState {
+				nb = b.states[p.b].next[c]
+			}
+			np := productPair{na, nb}
+			if seen[np] {
+				continue
+			}
+			seen[np] = true
+			prev[np] = step{p, c}
+			if accepts(np) {
+				return reconstruct(prev, np), true
+			}
+			queue = append(queue, np)
+		}
+	}
+	return nil, false
+}
+
+// Intersects reports whether the languages of patterns i and j overlap,
+// returning a shortest witness string matched by both. Priority resolution
+// makes overlap operationally significant: every input in the intersection
+// is claimed by one of the two patterns only (the longest match, then the
+// lowest ID), so the other never sees it.
+func (s *Set) Intersects(i, j int) (witness string, ok bool) {
+	w, ok := productSearch(s.patternDFA(i), s.patternDFA(j), true)
+	if !ok {
+		return "", false
+	}
+	return string(w), true
+}
+
+// Covers reports whether pattern i's language contains pattern j's: every
+// string j matches, i matches too. Since the scanner resolves equal-length
+// matches toward the lower ID, Covers(i, j) with i < j means pattern j can
+// never win a match — it is fully shadowed. When i does not cover j, counter
+// is a shortest string matched by j but not by i.
+func (s *Set) Covers(i, j int) (counter string, covers bool) {
+	w, ok := productSearch(s.patternDFA(j), s.patternDFA(i), false)
+	if !ok {
+		return "", true
+	}
+	return string(w), false
+}
+
+// DeadStates returns the states of the combined DFA from which no accepting
+// state is reachable (the implicit error sink is not counted). The subset
+// construction only creates states for viable pattern prefixes, so a
+// non-empty result indicates a defective pattern (e.g. an empty character
+// class) whose matches can never complete.
+func (s *Set) DeadStates() []int {
+	n := len(s.d.states)
+	// Reverse reachability from accepting states.
+	rev := make([][]int32, n)
+	for si := range s.d.states {
+		for b := 0; b < 256; b++ {
+			if t := s.d.states[si].next[b]; t != noMatch {
+				rev[t] = append(rev[t], int32(si))
+			}
+		}
+	}
+	alive := make([]bool, n)
+	var stack []int32
+	for si, st := range s.d.states {
+		if st.accept != noMatch {
+			alive[si] = true
+			stack = append(stack, int32(si))
+		}
+	}
+	for len(stack) > 0 {
+		si := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[si] {
+			if !alive[p] {
+				alive[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	var dead []int
+	for si := range alive {
+		if !alive[si] {
+			dead = append(dead, si)
+		}
+	}
+	return dead
+}

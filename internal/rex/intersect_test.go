@@ -1,0 +1,123 @@
+package rex
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSet(t *testing.T, patterns ...string) *Set {
+	t.Helper()
+	s, err := CompileSet(patterns)
+	if err != nil {
+		t.Fatalf("CompileSet(%q): %v", patterns, err)
+	}
+	return s
+}
+
+func TestIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want bool
+	}{
+		{"disjoint literals", "abc", "abd", false},
+		{"disjoint prefixed wildcards", `DVS: .*`, `LNet: .*`, false},
+		{"identical", "abc", "abc", true},
+		{"nested", `LNet: .*`, `LNet: critical .*`, true},
+		{"partial overlap", `a.*b`, `.*cb`, true},
+		{"wildcard vs literal", `.*`, "x", true},
+		{"class overlap", `[ab]x`, `[bc]x`, true},
+		{"class disjoint", `[ab]x`, `[cd]x`, false},
+		{"suffix wildcards disjoint heads", `err: .*`, `warn: .*`, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustSet(t, tc.a, tc.b)
+			w, ok := s.Intersects(0, 1)
+			if ok != tc.want {
+				t.Fatalf("Intersects(%q, %q) = (%q, %v), want ok=%v", tc.a, tc.b, w, ok, tc.want)
+			}
+			if !ok {
+				return
+			}
+			// The witness must be matched exactly by both patterns.
+			for pi, p := range []string{tc.a, tc.b} {
+				re := MustCompile(p)
+				if !re.MatchString(w) {
+					t.Errorf("witness %q not matched by pattern %d %q", w, pi, p)
+				}
+			}
+		})
+	}
+}
+
+func TestIntersectsWitnessShortest(t *testing.T) {
+	s := mustSet(t, `ab.*z`, `.*z`)
+	w, ok := s.Intersects(0, 1)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	if len(w) != 3 { // "abz" is the shortest common string
+		t.Errorf("witness %q, want a 3-byte witness like \"abz\"", w)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   string
+		covers bool
+	}{
+		{"wildcard covers literal", `.*`, "abc", true},
+		{"prefix wildcard covers refinement", `LNet: .*`, `LNet: critical .*`, true},
+		{"identical covers", "abc", "abc", true},
+		{"literal does not cover wildcard", "abc", `ab.*`, false},
+		{"partial overlap is not coverage", `a.*b`, `.*cb`, false},
+		{"disjoint is not coverage", "abc", "abd", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustSet(t, tc.a, tc.b)
+			counter, covers := s.Covers(0, 1)
+			if covers != tc.covers {
+				t.Fatalf("Covers(%q, %q) = (%q, %v), want %v", tc.a, tc.b, counter, covers, tc.covers)
+			}
+			if covers {
+				return
+			}
+			// The counterexample is in L(b) \ L(a).
+			if !MustCompile(tc.b).MatchString(counter) {
+				t.Errorf("counterexample %q not matched by %q", counter, tc.b)
+			}
+			if MustCompile(tc.a).MatchString(counter) {
+				t.Errorf("counterexample %q matched by %q, should not be", counter, tc.a)
+			}
+		})
+	}
+}
+
+func TestIntersectsWitnessPrintable(t *testing.T) {
+	// Patterns over printable text should get printable witnesses.
+	s := mustSet(t, `DVS: .* down`, `DVS: node5 .*`)
+	w, ok := s.Intersects(0, 1)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	for _, r := range w {
+		if r < 0x20 || r > 0x7e {
+			t.Fatalf("witness %q contains non-printable byte %#x", w, r)
+		}
+	}
+	if !strings.HasPrefix(w, "DVS: ") {
+		t.Errorf("witness %q does not start with the shared literal prefix", w)
+	}
+}
+
+func TestDeadStates(t *testing.T) {
+	// Healthy pattern sets have no dead states: every subset-construction
+	// state is a viable prefix of some pattern.
+	s := mustSet(t, `abc.*`, `ab`, `[xy]z`)
+	if dead := s.DeadStates(); len(dead) != 0 {
+		t.Errorf("DeadStates = %v, want none", dead)
+	}
+}

@@ -134,13 +134,17 @@ func Train(tokens []core.Token, inventory []core.Template, cfg Config) (*Result,
 	if len(windows) == 0 {
 		return res, nil
 	}
+	seqs := make([][]core.PhraseID, len(windows))
+	for i, w := range windows {
+		seqs[i] = w.phrases
+	}
 
-	cands := suffixCandidates(windows, cfg.MinSupport)
+	cands := suffixCandidates(seqs, cfg.MinSupport)
 
 	// Optional LSTM validation: learn the transition structure of failure
 	// windows, then score each candidate.
 	if cfg.UseLSTM {
-		model, vocab, tokenIdx := trainModel(windows, inventory, cfg)
+		model, vocab, tokenIdx := trainModel(seqs, inventory, cfg)
 		for i := range cands {
 			cands[i].Score = avgLogProb(model, tokenIdx, cands[i].Phrases)
 		}
@@ -170,19 +174,80 @@ func Train(tokens []core.Token, inventory []core.Template, cfg Config) (*Result,
 		res.Chains = append(res.Chains, core.FailureChain{
 			Name:    fmt.Sprintf("FC%d", i+1),
 			Phrases: append([]core.PhraseID(nil), c.Phrases...),
+			Gaps:    meanGaps(c.Phrases, kept, windows),
 		})
 	}
 	return res, nil
 }
 
+// meanGaps annotates a chain with the mean observed ΔT between adjacent
+// phrases (the paper's Table III ΔT column), averaged over the windows
+// assigned to it — each window counts toward the longest kept candidate that
+// suffixes it, mirroring the support assignment. Returns nil when no window
+// matches (cannot happen for mined candidates, but stays safe).
+func meanGaps(phrases []core.PhraseID, kept []Candidate, windows []window) []time.Duration {
+	if len(phrases) < 2 {
+		return nil
+	}
+	sums := make([]time.Duration, len(phrases)-1)
+	count := 0
+	for _, w := range windows {
+		if !isSuffix(phrases, w.phrases) {
+			continue
+		}
+		longest := len(phrases)
+		for _, other := range kept {
+			if len(other.Phrases) > longest && isSuffix(other.Phrases, w.phrases) {
+				longest = len(other.Phrases)
+			}
+		}
+		if longest != len(phrases) {
+			continue // window explained by a longer chain
+		}
+		base := len(w.phrases) - len(phrases)
+		for k := range sums {
+			sums[k] += w.times[base+k+1].Sub(w.times[base+k])
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	gaps := make([]time.Duration, len(sums))
+	for k, s := range sums {
+		gaps[k] = (s / time.Duration(count)).Round(time.Millisecond)
+	}
+	return gaps
+}
+
+func isSuffix(suffix, seq []core.PhraseID) bool {
+	if len(suffix) > len(seq) {
+		return false
+	}
+	off := len(seq) - len(suffix)
+	for i, p := range suffix {
+		if seq[off+i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// window is one failure window: the precursor phrases plus the terminal
+// failed message, with their arrival times (for ΔT gap annotation).
+type window struct {
+	phrases []core.PhraseID
+	times   []time.Time
+}
+
 // collectWindows extracts the precursor window of every failed message.
-func collectWindows(tokens []core.Token, class map[core.PhraseID]core.Class, cfg Config) [][]core.PhraseID {
+func collectWindows(tokens []core.Token, class map[core.PhraseID]core.Class, cfg Config) []window {
 	type nodeTok struct {
 		phrase core.PhraseID
 		at     time.Time
 	}
 	streams := map[string][]nodeTok{}
-	var windows [][]core.PhraseID
+	var windows []window
 
 	for _, tok := range tokens {
 		cls, known := class[tok.Phrase]
@@ -194,13 +259,13 @@ func collectWindows(tokens []core.Token, class map[core.PhraseID]core.Class, cfg
 			continue
 		}
 		s := streams[tok.Node]
-		var rev []core.PhraseID
+		var rev []nodeTok
 		lastAt := tok.Time
 		for i := len(s) - 1; i >= 0; i-- {
 			if lastAt.Sub(s[i].at) > cfg.MaxGap || tok.Time.Sub(s[i].at) > cfg.Lookback {
 				break
 			}
-			rev = append(rev, s[i].phrase)
+			rev = append(rev, s[i])
 			lastAt = s[i].at
 			if len(rev) >= cfg.MaxChainLen {
 				break
@@ -209,11 +274,16 @@ func collectWindows(tokens []core.Token, class map[core.PhraseID]core.Class, cfg
 		if len(rev) == 0 {
 			continue // failed message with no precursors: nothing to learn
 		}
-		w := make([]core.PhraseID, 0, len(rev)+1)
-		for i := len(rev) - 1; i >= 0; i-- {
-			w = append(w, rev[i])
+		w := window{
+			phrases: make([]core.PhraseID, 0, len(rev)+1),
+			times:   make([]time.Time, 0, len(rev)+1),
 		}
-		w = append(w, tok.Phrase)
+		for i := len(rev) - 1; i >= 0; i-- {
+			w.phrases = append(w.phrases, rev[i].phrase)
+			w.times = append(w.times, rev[i].at)
+		}
+		w.phrases = append(w.phrases, tok.Phrase)
+		w.times = append(w.times, tok.Time)
 		windows = append(windows, w)
 		// The consumed precursors belong to this failure; clear the stream
 		// so successive failures on the node mine fresh windows.
@@ -353,6 +423,7 @@ func Merge(existing, mined []core.FailureChain) []core.FailureChain {
 			Name:    fmt.Sprintf("FC%d", next),
 			Phrases: append([]core.PhraseID(nil), fc.Phrases...),
 			Timeout: fc.Timeout,
+			Gaps:    append([]time.Duration(nil), fc.Gaps...),
 		})
 		next++
 	}

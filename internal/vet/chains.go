@@ -1,0 +1,84 @@
+package vet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// chainsCheck (V1) finds structurally defective chain sets: empty chains,
+// duplicate names, duplicate phrase sequences, and chains whose phrase
+// sequence is a strict prefix of a longer chain. The last is an error, not a
+// style nit: the online driver accepts eagerly, so the moment the shorter
+// chain completes it fires and resets the node's parse — the longer chain can
+// never fire.
+type chainsCheck struct{}
+
+func init() { Register(chainsCheck{}) }
+
+func (chainsCheck) Name() string { return "chains" }
+func (chainsCheck) Doc() string {
+	return "duplicate chains and prefix chains that pre-empt longer ones"
+}
+
+func (chainsCheck) Analyze(p *Pass) {
+	chains := p.Model.Chains
+	seenName := map[string]string{}
+	seenSeq := map[string]string{}
+	for i, fc := range chains {
+		subject := fc.Name
+		if subject == "" {
+			subject = fmt.Sprintf("chain %d", i)
+			p.Report(Finding{
+				Check: "chains", Severity: Error, Subject: subject,
+				Message: "chain has no name",
+			})
+		}
+		if len(fc.Phrases) == 0 {
+			p.Report(Finding{
+				Check: "chains", Severity: Error, Subject: subject,
+				Message: "chain has no phrases",
+			})
+			continue
+		}
+		if fc.Name != "" {
+			if prev, dup := seenName[fc.Name]; dup {
+				p.Report(Finding{
+					Check: "chains", Severity: Error, Subject: subject,
+					Message: "duplicate chain name", Related: []string{prev},
+				})
+			} else {
+				seenName[fc.Name] = subject
+			}
+		}
+		key := phraseKey(fc.Phrases)
+		if prev, dup := seenSeq[key]; dup {
+			p.Report(Finding{
+				Check: "chains", Severity: Error, Subject: subject,
+				Message: fmt.Sprintf("duplicate of chain %s: identical phrase sequence %v", prev, fc.Phrases),
+				Related: []string{prev},
+			})
+		} else {
+			seenSeq[key] = subject
+		}
+	}
+
+	for _, pair := range core.PrefixChains(chains) {
+		short, long := chains[pair[0]], chains[pair[1]]
+		p.Report(Finding{
+			Check: "chains", Severity: Error, Subject: long.Name,
+			Message: fmt.Sprintf(
+				"chain %s's phrases %v are a strict prefix of this chain's %v: eager acceptance fires %s first and resets the parse, so this chain can never complete",
+				short.Name, short.Phrases, long.Phrases, short.Name),
+			Related: []string{short.Name},
+		})
+	}
+}
+
+func phraseKey(ps []core.PhraseID) string {
+	key := ""
+	for _, p := range ps {
+		key += fmt.Sprintf("%d,", p)
+	}
+	return key
+}

@@ -1,0 +1,74 @@
+package vet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// deltatCheck (V4) validates the ΔT gap annotations against the timeout
+// semantics of the online driver:
+//
+//   - a non-positive annotated gap is nonsense (error);
+//   - the driver abandons a partial parse when one inter-token gap exceeds
+//     the reset timeout (the laxest chain timeout, see RuleSet.MaxTimeout),
+//     so a chain annotated with a gap above that bound can never complete
+//     under its own typical timing (error) — and by pigeonhole, a cumulative
+//     ΔT budget above (len-1)×bound implies such a gap;
+//   - for chains ending in a Failed-class phrase, the expected lead time is
+//     the final precursor→failure gap; when Config.MinLead is set, a lead
+//     below it draws a warning (the prediction arrives too late to act on).
+type deltatCheck struct{}
+
+func init() { Register(deltatCheck{}) }
+
+func (deltatCheck) Name() string { return "deltat" }
+func (deltatCheck) Doc() string {
+	return "ΔT gap annotations inconsistent with the reset timeout or lead-time floor"
+}
+
+func (deltatCheck) Analyze(p *Pass) {
+	bound := p.ResetTimeout()
+	for _, fc := range p.Model.Chains {
+		if len(fc.Gaps) == 0 {
+			continue
+		}
+		if len(fc.Gaps) != len(fc.Phrases)-1 {
+			// buildRuleSet already rejects this (surfaced via the compile
+			// finding); skip the per-gap analysis rather than index past it.
+			continue
+		}
+		for i, gap := range fc.Gaps {
+			if gap <= 0 {
+				p.Report(Finding{
+					Check: "deltat", Severity: Error, Subject: fc.Name,
+					Message: fmt.Sprintf("gap %d (phrase %d → %d) is non-positive (%s)",
+						i, fc.Phrases[i], fc.Phrases[i+1], gap),
+				})
+				continue
+			}
+			if gap > bound {
+				p.Report(Finding{
+					Check: "deltat", Severity: Error, Subject: fc.Name,
+					Message: fmt.Sprintf(
+						"gap %d (phrase %d → %d) is typically %s, but the driver resets any parse idle longer than %s: the chain can never complete under its own timing",
+						i, fc.Phrases[i], fc.Phrases[i+1], gap, bound),
+				})
+			}
+		}
+		if p.Config.MinLead > 0 {
+			last := fc.Phrases[len(fc.Phrases)-1]
+			if cls, ok := p.Class(last); ok && cls == core.Failed {
+				lead := fc.Gaps[len(fc.Gaps)-1]
+				if lead > 0 && lead < p.Config.MinLead {
+					p.Report(Finding{
+						Check: "deltat", Severity: Warning, Subject: fc.Name,
+						Message: fmt.Sprintf(
+							"expected lead time %s (final precursor → failure gap) is below the %s floor: the prediction likely arrives too late to act on",
+							lead, p.Config.MinLead),
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lalr"
+)
+
+// grammarCheck (V5) reports on the health of the compiled artifacts:
+//
+//   - LALR(1) conflicts of the factored grammar, mapped back to the
+//     implicated failure chains via production tags (warning: TranslateFCs
+//     silently recovers by disabling factoring, but the model author should
+//     know the chain shapes defeat subchain sharing);
+//   - grammar productions unreachable from the start symbol (warning);
+//   - dead states in the combined scanner DFA — states from which no
+//     accepting state is reachable (info: harmless, but indicates template
+//     patterns with unsatisfiable tails).
+type grammarCheck struct{}
+
+func init() { Register(grammarCheck{}) }
+
+func (grammarCheck) Name() string { return "grammar" }
+func (grammarCheck) Doc() string {
+	return "LALR conflicts mapped to chains, unreachable productions, dead DFA states"
+}
+
+func (grammarCheck) Analyze(p *Pass) {
+	if rs := p.RuleSet; rs != nil {
+		for _, c := range p.Conflicts {
+			chains := implicatedChains(rs, c.Prods)
+			subject := "grammar"
+			if len(chains) > 0 {
+				subject = chains[0]
+			}
+			msg := fmt.Sprintf("factored grammar has a %s conflict on %s in state %d (%s)",
+				c.Kind, rs.Grammar.Name(c.Symbol), c.State, c.Detail)
+			if p.Config.DisableFactoring {
+				msg = fmt.Sprintf("grammar has a %s conflict on %s in state %d (%s)",
+					c.Kind, rs.Grammar.Name(c.Symbol), c.State, c.Detail)
+			} else {
+				msg += "; TranslateFCs will fall back to the unfactored one-production-per-chain grammar"
+			}
+			p.Report(Finding{
+				Check: "grammar", Severity: Warning, Subject: subject,
+				Message: msg, Related: chains,
+			})
+		}
+		for _, pi := range unreachableProds(rs.Grammar) {
+			prod := rs.Grammar.Production(pi)
+			p.Report(Finding{
+				Check: "grammar", Severity: Warning,
+				Subject: fmt.Sprintf("production %d", pi),
+				Message: fmt.Sprintf("production %s is unreachable from the start symbol",
+					rs.Grammar.Name(prod.Lhs)),
+			})
+		}
+	}
+
+	if p.Scanner != nil {
+		if dead := p.Scanner.DeadStates(); len(dead) > 0 {
+			p.Report(Finding{
+				Check: "grammar", Severity: Info, Subject: "scanner DFA",
+				Message: fmt.Sprintf("combined template DFA has %d dead state(s) (no accepting state reachable): %v", len(dead), dead),
+			})
+		}
+	}
+}
+
+// implicatedChains maps conflict production indices to chain names,
+// deduplicated and sorted. Top-level productions name their chain directly
+// via the tag; a subchain production implicates every chain whose (possibly
+// nested) factored rule uses its non-terminal.
+func implicatedChains(rs *core.RuleSet, prods []int) []string {
+	g := rs.Grammar
+
+	// usesSym[i] is the set of symbols chain i's rule expands through,
+	// following subchain definitions transitively.
+	subRhs := map[lalr.Symbol][]lalr.Symbol{}
+	for _, b := range rs.Subchains {
+		subRhs[b.Sym] = b.Rhs
+	}
+	uses := func(rhs []lalr.Symbol, sym lalr.Symbol) bool {
+		work := append([]lalr.Symbol(nil), rhs...)
+		seen := map[lalr.Symbol]bool{}
+		for len(work) > 0 {
+			s := work[len(work)-1]
+			work = work[:len(work)-1]
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if s == sym {
+				return true
+			}
+			work = append(work, subRhs[s]...)
+		}
+		return false
+	}
+
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, pi := range prods {
+		if pi < 0 || pi >= g.NumProductions() {
+			continue
+		}
+		prod := g.Production(pi)
+		if prod.Tag >= 0 && prod.Tag < len(rs.Chains) {
+			add(rs.Chains[prod.Tag].Name)
+			continue
+		}
+		for ri, r := range rs.Rules {
+			if uses(r.Rhs, prod.Lhs) {
+				add(rs.Chains[ri].Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unreachableProds returns the indices of user productions whose LHS cannot
+// be derived from the start symbol.
+func unreachableProds(g *lalr.Grammar) []int {
+	reachable := map[lalr.Symbol]bool{g.Start(): true}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < g.NumProductions(); i++ {
+			prod := g.Production(i)
+			if !reachable[prod.Lhs] {
+				continue
+			}
+			for _, s := range prod.Rhs {
+				if !reachable[s] {
+					reachable[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var out []int
+	for i := 0; i < g.NumProductions(); i++ {
+		if !reachable[g.Production(i).Lhs] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Doc returns a rendered listing of the registered checks, for CLI -help.
+func Doc() string {
+	var sb strings.Builder
+	for _, a := range Analyzers() {
+		fmt.Fprintf(&sb, "  %-10s %s\n", a.Name(), a.Doc())
+	}
+	return sb.String()
+}

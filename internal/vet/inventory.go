@@ -1,0 +1,67 @@
+package vet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// inventoryCheck (V2) cross-references chains against the template
+// inventory: chain phrases missing from the inventory are errors (the
+// scanner can never emit their token, so the chain can never advance past
+// them); non-benign inventory templates appearing in no chain are dead
+// weight (warning); chains built on benign-classified phrases are suspect
+// (warning), since Phase-1 training discards benign tokens and could never
+// have mined them. It is a no-op when the model carries no inventory.
+type inventoryCheck struct{}
+
+func init() { Register(inventoryCheck{}) }
+
+func (inventoryCheck) Name() string { return "inventory" }
+func (inventoryCheck) Doc() string {
+	return "dead templates and chain phrases missing from the inventory"
+}
+
+func (inventoryCheck) Analyze(p *Pass) {
+	if len(p.Model.Templates) == 0 {
+		return
+	}
+
+	used := map[core.PhraseID][]string{}
+	for _, fc := range p.Model.Chains {
+		reportedMissing := map[core.PhraseID]bool{}
+		for _, ph := range fc.Phrases {
+			used[ph] = append(used[ph], fc.Name)
+			cls, known := p.Class(ph)
+			switch {
+			case !known:
+				if reportedMissing[ph] {
+					continue
+				}
+				reportedMissing[ph] = true
+				p.Report(Finding{
+					Check: "inventory", Severity: Error, Subject: fc.Name,
+					Message: fmt.Sprintf("phrase %d is not in the template inventory: the scanner can never tokenize it, so the chain can never fire", ph),
+				})
+			case cls == core.Benign:
+				p.Report(Finding{
+					Check: "inventory", Severity: Warning, Subject: fc.Name,
+					Message: fmt.Sprintf("phrase %d is classified benign: Phase-1 training discards benign tokens, so no trainer could have mined this chain — likely a misclassified template", ph),
+				})
+			}
+		}
+	}
+
+	for _, t := range p.Model.Templates {
+		if t.Class == core.Benign {
+			continue
+		}
+		if len(used[t.ID]) == 0 {
+			p.Report(Finding{
+				Check: "inventory", Severity: Warning,
+				Subject: fmt.Sprintf("template %d", t.ID),
+				Message: fmt.Sprintf("%s template %q appears in no failure chain (dead template)", t.Class, t.Pattern),
+			})
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the report for humans, one finding per line in
+// "severity: [check] subject: message" form, followed by a summary line.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, f := range r.Findings {
+		line := fmt.Sprintf("%s: [%s] %s: %s", f.Severity, f.Check, f.Subject, f.Message)
+		if len(f.Related) > 0 {
+			line += fmt.Sprintf(" (related: %s)", strings.Join(f.Related, ", "))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d error(s), %d warning(s), %d info\n",
+		r.Count(Error), r.Count(Warning), r.Count(Info))
+	return err
+}
+
+// jsonReport is the stable machine-readable shape of a report.
+type jsonReport struct {
+	Findings []Finding `json:"findings"`
+	Errors   int       `json:"errors"`
+	Warnings int       `json:"warnings"`
+	Infos    int       `json:"infos"`
+}
+
+// WriteJSON renders the report as indented JSON with severity counts.
+func (r *Report) WriteJSON(w io.Writer) error {
+	findings := r.Findings
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{
+		Findings: findings,
+		Errors:   r.Count(Error),
+		Warnings: r.Count(Warning),
+		Infos:    r.Count(Info),
+	})
+}

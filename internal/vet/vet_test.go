@@ -1,0 +1,365 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// cleanModel is the quickstart FC3 model: six templates, one chain with
+// Table III's gap annotations. It must vet clean.
+func cleanModel() Model {
+	return Model{
+		Templates: []core.Template{
+			{ID: 174, Pattern: "[Firmware Bug]: powernow_k8: *", Class: core.Erroneous},
+			{ID: 140, Pattern: "DVS: verify_filesystem: *", Class: core.Unknown},
+			{ID: 129, Pattern: "DVS: file_node_down: *", Class: core.Unknown},
+			{ID: 175, Pattern: "Lustre: * cannot find peer *", Class: core.Unknown},
+			{ID: 134, Pattern: "LNet: critical hardware error: *", Class: core.Erroneous},
+			{ID: 127, Pattern: "cb_node_unavailable: *", Class: core.Failed},
+		},
+		Chains: []core.FailureChain{{
+			Name:    "FC3",
+			Phrases: []core.PhraseID{174, 140, 129, 175, 134, 127},
+			Gaps: []time.Duration{
+				8323 * time.Millisecond,
+				80506 * time.Millisecond,
+				24846 * time.Millisecond,
+				22628 * time.Millisecond,
+				130106 * time.Millisecond,
+			},
+		}},
+	}
+}
+
+// want describes one finding that must be present in a report.
+type want struct {
+	check    string
+	severity Severity
+	subject  string // exact subject
+	contains string // substring of the message
+}
+
+func TestRunGoldenFindings(t *testing.T) {
+	cases := []struct {
+		name  string
+		model Model
+		cfg   Config
+		wants []want
+	}{
+		{
+			name: "duplicate chain",
+			model: Model{Chains: []core.FailureChain{
+				{Name: "FC1", Phrases: []core.PhraseID{1, 2, 3}},
+				{Name: "FC1-copy", Phrases: []core.PhraseID{1, 2, 3}},
+			}},
+			wants: []want{
+				{check: "chains", severity: Error, subject: "FC1-copy", contains: "duplicate of chain FC1"},
+				{check: "compile", severity: Error, subject: "rule set", contains: "identical phrase sequences"},
+			},
+		},
+		{
+			name: "prefix shadow",
+			model: Model{Chains: []core.FailureChain{
+				{Name: "FC-short", Phrases: []core.PhraseID{1, 2}},
+				{Name: "FC-long", Phrases: []core.PhraseID{1, 2, 3}},
+			}},
+			wants: []want{
+				{check: "chains", severity: Error, subject: "FC-long", contains: "can never complete"},
+			},
+		},
+		{
+			name: "orphan phrase and dead template",
+			model: Model{
+				Templates: []core.Template{
+					{ID: 1, Pattern: "disk error *", Class: core.Erroneous},
+					{ID: 2, Pattern: "node down *", Class: core.Failed},
+					{ID: 7, Pattern: "fan failure *", Class: core.Erroneous},
+				},
+				Chains: []core.FailureChain{
+					{Name: "FC1", Phrases: []core.PhraseID{1, 99, 2}},
+				},
+			},
+			wants: []want{
+				{check: "inventory", severity: Error, subject: "FC1", contains: "phrase 99 is not in the template inventory"},
+				{check: "inventory", severity: Warning, subject: "template 7", contains: "dead template"},
+			},
+		},
+		{
+			name: "impossible deltat budget",
+			model: Model{Chains: []core.FailureChain{
+				{Name: "FC1", Phrases: []core.PhraseID{1, 2, 3},
+					Gaps: []time.Duration{10 * time.Minute, 5 * time.Second}},
+			}},
+			wants: []want{
+				{check: "deltat", severity: Error, subject: "FC1", contains: "can never complete under its own timing"},
+			},
+		},
+		{
+			name: "non-positive gap",
+			model: Model{Chains: []core.FailureChain{
+				{Name: "FC1", Phrases: []core.PhraseID{1, 2, 3},
+					Gaps: []time.Duration{-time.Second, 5 * time.Second}},
+			}},
+			wants: []want{
+				{check: "deltat", severity: Error, subject: "FC1", contains: "non-positive"},
+			},
+		},
+		{
+			name: "lead time below floor",
+			model: Model{
+				Templates: []core.Template{
+					{ID: 1, Pattern: "disk error *", Class: core.Erroneous},
+					{ID: 2, Pattern: "node down *", Class: core.Failed},
+				},
+				Chains: []core.FailureChain{
+					{Name: "FC1", Phrases: []core.PhraseID{1, 2},
+						Gaps: []time.Duration{2 * time.Second}},
+				},
+			},
+			cfg: Config{MinLead: 10 * time.Second},
+			wants: []want{
+				{check: "deltat", severity: Warning, subject: "FC1", contains: "below the 10s floor"},
+			},
+		},
+		{
+			name: "conflicting grammar",
+			model: Model{Chains: []core.FailureChain{
+				{Name: "FC-cyc", Phrases: []core.PhraseID{1, 2, 1, 2, 1, 2}},
+				{Name: "FC-mix", Phrases: []core.PhraseID{1, 2, 1, 3}},
+			}},
+			wants: []want{
+				{check: "grammar", severity: Warning, contains: "conflict"},
+			},
+		},
+		{
+			name: "covered template",
+			model: Model{
+				Templates: []core.Template{
+					{ID: 1, Pattern: "Lustre: *", Class: core.Erroneous},
+					{ID: 2, Pattern: "Lustre: error *", Class: core.Erroneous},
+				},
+				Chains: []core.FailureChain{
+					{Name: "FC1", Phrases: []core.PhraseID{1, 2}},
+				},
+			},
+			wants: []want{
+				{check: "overlap", severity: Error, subject: "template 2", contains: "can never produce a token"},
+			},
+		},
+		{
+			name: "partially overlapping templates",
+			model: Model{
+				Templates: []core.Template{
+					{ID: 1, Pattern: "mce: * bank 4", Class: core.Erroneous},
+					{ID: 2, Pattern: "mce: CPU0 *", Class: core.Erroneous},
+				},
+				Chains: []core.FailureChain{
+					{Name: "FC1", Phrases: []core.PhraseID{1, 2}},
+				},
+			},
+			wants: []want{
+				{check: "overlap", severity: Warning, subject: "template 1", contains: "witness"},
+			},
+		},
+		{
+			name: "benign phrase in chain",
+			model: Model{
+				Templates: []core.Template{
+					{ID: 1, Pattern: "heartbeat ok *", Class: core.Benign},
+					{ID: 2, Pattern: "node down *", Class: core.Failed},
+				},
+				Chains: []core.FailureChain{
+					{Name: "FC1", Phrases: []core.PhraseID{1, 2}},
+				},
+			},
+			wants: []want{
+				{check: "inventory", severity: Warning, subject: "FC1", contains: "classified benign"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(tc.model, tc.cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, f := range rep.Findings {
+				if f.Subject == "" {
+					t.Errorf("finding %+v has empty subject", f)
+				}
+				if f.Message == "" {
+					t.Errorf("finding %+v has empty message", f)
+				}
+			}
+			for _, w := range tc.wants {
+				if !hasFinding(rep, w) {
+					t.Errorf("missing finding %+v in:\n%s", w, renderText(rep))
+				}
+			}
+		})
+	}
+}
+
+func hasFinding(rep *Report, w want) bool {
+	for _, f := range rep.Findings {
+		if f.Check != w.check || f.Severity != w.severity {
+			continue
+		}
+		if w.subject != "" && f.Subject != w.subject {
+			continue
+		}
+		if !strings.Contains(f.Message, w.contains) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func renderText(rep *Report) string {
+	var sb bytes.Buffer
+	rep.WriteText(&sb)
+	return sb.String()
+}
+
+func TestRunCleanModel(t *testing.T) {
+	rep, err := Run(cleanModel(), Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean model produced findings:\n%s", renderText(rep))
+	}
+	if _, ok := rep.Max(); ok {
+		t.Error("Max() reports a severity for an empty report")
+	}
+}
+
+func TestRunFindingsSortedBySeverity(t *testing.T) {
+	m := Model{
+		Templates: []core.Template{
+			{ID: 1, Pattern: "disk error *", Class: core.Erroneous},
+			{ID: 7, Pattern: "fan failure *", Class: core.Erroneous},
+		},
+		Chains: []core.FailureChain{
+			{Name: "FC1", Phrases: []core.PhraseID{1, 99}},
+		},
+	}
+	rep, err := Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Findings); i++ {
+		if rep.Findings[i].Severity > rep.Findings[i-1].Severity {
+			t.Fatalf("findings not sorted by severity:\n%s", renderText(rep))
+		}
+	}
+	if max, ok := rep.Max(); !ok || max != Error {
+		t.Errorf("Max() = %v, %v; want Error, true", max, ok)
+	}
+}
+
+func TestRunChecksFilter(t *testing.T) {
+	m := Model{Chains: []core.FailureChain{
+		{Name: "FC-short", Phrases: []core.PhraseID{1, 2}},
+		{Name: "FC-long", Phrases: []core.PhraseID{1, 2, 3}},
+	}}
+
+	rep, err := Run(m, Config{Checks: []string{"deltat"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("deltat-only run still found:\n%s", renderText(rep))
+	}
+
+	if _, err := Run(m, Config{Checks: []string{"nonesuch"}}); err == nil {
+		t.Error("unknown check name accepted")
+	}
+
+	if _, err := Run(Model{}, Config{}); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	b, err := json.Marshal(Finding{Check: "chains", Severity: Error, Subject: "FC1", Message: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"severity": "error"`) && !strings.Contains(string(b), `"severity":"error"`) {
+		t.Errorf("severity not marshaled as string: %s", b)
+	}
+	var f Finding
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Severity != Error {
+		t.Errorf("round-trip severity = %v, want Error", f.Severity)
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	rep, err := Run(Model{Chains: []core.FailureChain{
+		{Name: "FC1", Phrases: []core.PhraseID{1, 2}, Gaps: []time.Duration{10 * time.Minute}},
+	}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Findings []Finding `json:"findings"`
+		Errors   int       `json:"errors"`
+		Warnings int       `json:"warnings"`
+		Infos    int       `json:"infos"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Errors == 0 || len(decoded.Findings) == 0 {
+		t.Errorf("JSON report missing findings: %s", buf.String())
+	}
+}
+
+func TestCompileHook(t *testing.T) {
+	clean := cleanModel()
+	hook := CompileHook(clean.Templates, Config{})
+	if _, err := core.TranslateFCs(clean.Chains, core.Options{Vet: hook}); err != nil {
+		t.Errorf("clean model rejected: %v", err)
+	}
+
+	bad := []core.FailureChain{
+		{Name: "FC1", Phrases: []core.PhraseID{174, 140, 129, 175, 134, 127},
+			Gaps: []time.Duration{time.Second, time.Second, time.Second, time.Second, time.Hour}},
+	}
+	if _, err := core.TranslateFCs(bad, core.Options{Vet: CompileHook(clean.Templates, Config{})}); err == nil {
+		t.Error("model with impossible gap accepted by compile hook")
+	} else if !strings.Contains(err.Error(), "vet rejected") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestAnalyzersRegistered(t *testing.T) {
+	wantNames := []string{"chains", "deltat", "grammar", "inventory", "overlap"}
+	got := Analyzers()
+	if len(got) != len(wantNames) {
+		t.Fatalf("Analyzers() = %d entries, want %d", len(got), len(wantNames))
+	}
+	for i, a := range got {
+		if a.Name() != wantNames[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, a.Name(), wantNames[i])
+		}
+		if a.Doc() == "" {
+			t.Errorf("analyzer %s has no doc", a.Name())
+		}
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Full local check: build, vet, race-enabled tests, and a short fuzz smoke
+# over every fuzz target. This is what CI runs; run it before pushing.
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime  per-target fuzzing budget (default 10s; "0" skips fuzzing)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-10s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+    # Go only allows one -fuzz target per invocation; run each explicitly.
+    echo "==> fuzz smoke (${FUZZTIME} per target)"
+    go test -run='^$' -fuzz='^FuzzCompileAndMatch$' -fuzztime="$FUZZTIME" ./internal/rex
+    go test -run='^$' -fuzz='^FuzzParseLine$' -fuzztime="$FUZZTIME" ./internal/lexgen
+    go test -run='^$' -fuzz='^FuzzScan$' -fuzztime="$FUZZTIME" ./internal/lexgen
+    go test -run='^$' -fuzz='^FuzzWildcardMatch$' -fuzztime="$FUZZTIME" ./internal/baselines
+fi
+
+echo "==> all checks passed"

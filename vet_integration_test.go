@@ -1,0 +1,125 @@
+package aarohi_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAarohivetCLI builds the aarohivet binary and runs it over the bundled
+// example rulesets: the clean quickstart model must exit 0 with no findings;
+// the seeded-defect model must exit 1 and report every seeded defect class,
+// in both the human and the JSON rendering.
+func TestAarohivetCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "aarohivet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/aarohivet")
+	cmd.Env = os.Environ()
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building aarohivet: %v\n%s", err, msg)
+	}
+
+	runVet := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("aarohivet %v: %v\n%s", args, err, out)
+			}
+			code = ee.ExitCode()
+		}
+		return string(out), code
+	}
+
+	// Clean model: exit 0, zero findings.
+	out, code := runVet("-chains", "examples/vet/chains.json",
+		"-templates", "examples/vet/templates.json")
+	if code != 0 {
+		t.Errorf("clean model: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 error(s), 0 warning(s)") {
+		t.Errorf("clean model output missing zero summary:\n%s", out)
+	}
+
+	// Bad model: exit 1, with every seeded defect class reported.
+	out, code = runVet("-chains", "examples/vet/bad-chains.json",
+		"-templates", "examples/vet/bad-templates.json")
+	if code != 1 {
+		t.Errorf("bad model: exit %d, want 1\n%s", code, out)
+	}
+	for _, frag := range []string{
+		"error: [chains] FC-long",      // prefix shadow
+		"error: [deltat] FC-gap",       // unsatisfiable ΔT budget
+		"error: [inventory] FC-orphan", // phrase missing from inventory
+		"error: [overlap] template 2",  // covered template
+		"warning: [grammar]",           // LALR conflict from factoring
+		"dead template",                // unused inventory template
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("bad model output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// JSON rendering: decodable, counts consistent, subjects non-empty.
+	out, code = runVet("-chains", "examples/vet/bad-chains.json",
+		"-templates", "examples/vet/bad-templates.json", "-json")
+	if code != 1 {
+		t.Errorf("bad model -json: exit %d, want 1", code)
+	}
+	var rep struct {
+		Findings []struct {
+			Check    string   `json:"check"`
+			Severity string   `json:"severity"`
+			Subject  string   `json:"subject"`
+			Message  string   `json:"message"`
+			Related  []string `json:"related"`
+		} `json:"findings"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v\n%s", err, out)
+	}
+	if rep.Errors == 0 || len(rep.Findings) == 0 {
+		t.Fatalf("JSON report empty: %s", out)
+	}
+	errs := 0
+	for _, f := range rep.Findings {
+		if f.Subject == "" || f.Message == "" || f.Check == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+		if f.Severity == "error" {
+			errs++
+		}
+	}
+	if errs != rep.Errors {
+		t.Errorf("errors count %d != error findings %d", rep.Errors, errs)
+	}
+
+	// Check filtering: restricting to deltat hides the chains error.
+	out, code = runVet("-chains", "examples/vet/bad-chains.json",
+		"-templates", "examples/vet/bad-templates.json", "-checks", "deltat")
+	if code != 1 {
+		t.Errorf("-checks deltat: exit %d, want 1 (FC-gap error remains)", code)
+	}
+	if strings.Contains(out, "[chains]") {
+		t.Errorf("-checks deltat still ran the chains check:\n%s", out)
+	}
+
+	// Usage errors exit 2.
+	if _, code = runVet(); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if _, code = runVet("-chains", filepath.Join(dir, "missing.json")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
