@@ -34,6 +34,7 @@ import (
 	"repro/internal/lexgen"
 	"repro/internal/parser"
 	"repro/internal/predictor"
+	"repro/internal/serve"
 	"repro/internal/trainer"
 	"repro/internal/vet"
 )
@@ -87,6 +88,39 @@ type (
 	Stats = predictor.Stats
 )
 
+// Streaming-service types (the cmd/aarohid deployment shape).
+type (
+	// Manager is the sharded cluster-wide predictor: per-node drivers
+	// distributed across worker goroutines, results on a channel.
+	Manager = predictor.Manager
+	// ServeConfig parameterizes the streaming ingestion server.
+	ServeConfig = serve.Config
+	// Server exposes a Manager as a network service: TCP line protocol,
+	// HTTP ingest/predictions/health endpoints, graceful drain.
+	Server = serve.Server
+	// ServeStatus is the /statusz document: server counters plus the live
+	// Manager stats.
+	ServeStatus = serve.Status
+	// ServeClient talks to a Server's HTTP API.
+	ServeClient = serve.Client
+	// Subscription is one attached prediction consumer.
+	Subscription = serve.Subscription
+	// OverflowPolicy says what a full ingest queue does.
+	OverflowPolicy = serve.OverflowPolicy
+)
+
+// Ingest-queue overflow policies.
+const (
+	// OverflowBlock applies backpressure to producers; nothing accepted is
+	// ever dropped.
+	OverflowBlock = serve.Block
+	// OverflowShed drops on a full queue and counts the loss.
+	OverflowShed = serve.Shed
+)
+
+// ErrManagerClosed is returned by Manager.Process* after Close.
+var ErrManagerClosed = predictor.ErrClosed
+
 // Phase-1 types.
 type (
 	// TrainConfig parameterizes failure-chain mining.
@@ -138,6 +172,21 @@ func VetHook(inventory []Template, cfg VetConfig) func(*RuleSet) error {
 // and reported as an ObservedFailure.
 func New(chains []FailureChain, inventory []Template, opts Options) (*Predictor, error) {
 	return predictor.New(chains, inventory, opts)
+}
+
+// NewManager builds the sharded concurrent predictor (0 workers →
+// GOMAXPROCS). Per-node event order is preserved across workers.
+func NewManager(chains []FailureChain, inventory []Template, opts Options, workers int) (*Manager, error) {
+	return predictor.NewManager(chains, inventory, opts, workers)
+}
+
+// NewServer wraps a Manager in the streaming ingestion service: a TCP
+// line-protocol listener and an HTTP API (POST /ingest, GET /predictions,
+// /healthz, /readyz, /statusz) over a bounded ingest queue with an explicit
+// overflow policy. Start it with Start or Run; Shutdown drains gracefully.
+// cmd/aarohid is the stand-alone daemon built on this.
+func NewServer(m *Manager, cfg ServeConfig) *Server {
+	return serve.New(m, cfg)
 }
 
 // Train mines failure chains from a time-sorted, labeled token stream — the

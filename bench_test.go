@@ -4,6 +4,7 @@
 package aarohi_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loggen"
 	"repro/internal/predictor"
+	"repro/internal/serve"
 	"repro/internal/trainer"
 )
 
@@ -317,6 +319,66 @@ func BenchmarkFig15NodeStream(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// --- serving: loopback TCP ingest throughput of the aarohid core ------------
+
+// BenchmarkServeIngest measures the full daemon ingest path — TCP line
+// protocol → bounded queue → sharded Manager — over loopback, per overflow
+// policy. One iteration streams the whole generated log and drains.
+func BenchmarkServeIngest(b *testing.B) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 4, Duration: 2 * time.Hour,
+		Nodes: 32, Failures: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := log.Lines()
+	var bytes int64
+	for _, line := range lines {
+		bytes += int64(len(line)) + 1
+	}
+	for _, policy := range []aarohi.OverflowPolicy{aarohi.OverflowBlock, aarohi.OverflowShed} {
+		b.Run(string(policy), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				mgr, err := aarohi.NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), aarohi.Options{}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := aarohi.NewServer(mgr, aarohi.ServeConfig{
+					HTTPAddr: "off", Overflow: policy, QueueSize: 4096,
+				})
+				if err := srv.Start(); err != nil {
+					b.Fatal(err)
+				}
+				conn, err := serve.DialLines(srv.TCPAddr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, line := range lines {
+					if err := conn.Send(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := conn.Close(); err != nil {
+					b.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				if err := srv.Shutdown(ctx); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+				st := srv.Status()
+				if st.LinesAccepted+st.LinesDropped != int64(len(lines)) {
+					b.Fatalf("accepted %d + dropped %d != sent %d",
+						st.LinesAccepted, st.LinesDropped, len(lines))
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,142 @@
+// Command aarohid runs the online node-failure predictor as a long-lived
+// streaming daemon — the paper's Fig. 16 deployment: a service on the SMW
+// consuming the live aggregate HSS log stream.
+//
+// Usage:
+//
+//	aarohid -chains chains.json -templates templates.json \
+//	        [-tcp :7743] [-http :7780] [-queue 4096] [-overflow block|shed]
+//
+// Log lines arrive over the TCP line protocol (newline-framed, same format
+// as cmd/aarohi stdin — `loggen -stream` is a ready-made load source) or as
+// NDJSON batches on POST /ingest. Predictions stream to any number of
+// subscribers on GET /predictions; /healthz, /readyz and /statusz expose
+// liveness, drain state and live counters. SIGINT/SIGTERM triggers a
+// graceful drain: accepted lines are flushed through the predictor before
+// the final stats report prints.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	aarohi "repro"
+	"repro/internal/predictor"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		chainsPath = flag.String("chains", "", "failure chains JSON (required)")
+		tplPath    = flag.String("templates", "", "template inventory JSON (required)")
+		timeout    = flag.Duration("timeout", 0, "ΔT timeout override (default 4m)")
+		noFactor   = flag.Bool("no-factoring", false, "disable subchain factoring (ablation)")
+		workers    = flag.Int("workers", 0, "predictor worker goroutines (0 = GOMAXPROCS)")
+		tcpAddr    = flag.String("tcp", ":7743", "TCP line-protocol listen address (\"off\" disables)")
+		httpAddr   = flag.String("http", ":7780", "HTTP listen address (\"off\" disables)")
+		queueSize  = flag.Int("queue", 4096, "ingest queue depth (lines)")
+		overflow   = flag.String("overflow", "block", "queue-full policy: block (backpressure) or shed (drop+count)")
+		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline")
+		maxLine    = flag.Int("max-line", 1<<20, "maximum log line length (bytes)")
+		grace      = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if *chainsPath == "" || *tplPath == "" {
+		fatalf("-chains and -templates are required")
+	}
+	var policy serve.OverflowPolicy
+	switch *overflow {
+	case "block":
+		policy = serve.Block
+	case "shed":
+		policy = serve.Shed
+	default:
+		fatalf("-overflow must be block or shed, not %q", *overflow)
+	}
+
+	chains := readChains(*chainsPath)
+	inventory := readTemplates(*tplPath)
+
+	mgr, err := predictor.NewManager(chains, inventory, aarohi.Options{
+		Timeout: *timeout, DisableFactoring: *noFactor,
+	}, *workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	srv := serve.New(mgr, serve.Config{
+		TCPAddr:     *tcpAddr,
+		HTTPAddr:    *httpAddr,
+		QueueSize:   *queueSize,
+		Overflow:    policy,
+		ReadTimeout: *readTO,
+		MaxLineLen:  *maxLine,
+		Logf:        log.Printf,
+	})
+	if err := srv.Start(); err != nil {
+		fatalf("%v", err)
+	}
+	if a := srv.TCPAddr(); a != nil {
+		log.Printf("aarohid: tcp line protocol on %s", a)
+	}
+	if a := srv.HTTPAddr(); a != nil {
+		log.Printf("aarohid: http api on %s (/ingest /predictions /healthz /readyz /statusz)", a)
+	}
+	log.Printf("aarohid: %d chains, queue=%d overflow=%s", len(chains), *queueSize, policy)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop()
+	log.Printf("aarohid: draining (budget %s)...", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("aarohid: shutdown: %v", err)
+	}
+
+	st := srv.Status()
+	fmt.Println("--- final stats ---")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func readChains(path string) []aarohi.FailureChain {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	chains, err := aarohi.ReadChains(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return chains
+}
+
+func readTemplates(path string) []aarohi.Template {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	ts, err := aarohi.ReadTemplates(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return ts
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aarohid: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -9,19 +9,29 @@
 // The raw log goes to -out (stdout by default); -truth records the injected
 // ground truth; -chains and -templates export the dialect's failure chains
 // and template inventory for use with fctrain/aarohi.
+//
+// With -stream addr the log is instead sent over TCP to a running aarohid
+// daemon as newline-framed lines, paced at -rate lines/sec (0 = as fast as
+// the connection allows) — end-to-end load testing without intermediate
+// files:
+//
+//	loggen -dialect xc30 -nodes 32 -failures 4 -stream 127.0.0.1:7743 -rate 5000
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/loggen"
+	"repro/internal/serve"
 )
 
 func dialects() map[string]*loggen.Dialect {
@@ -51,6 +61,8 @@ func main() {
 		truthPath   = flag.String("truth", "", "write injected ground truth JSON here")
 		chainsPath  = flag.String("chains", "", "write the dialect's failure chains JSON here")
 		tplPath     = flag.String("templates", "", "write the dialect's template inventory JSON here")
+		streamAddr  = flag.String("stream", "", "stream the log over TCP to this aarohid address instead of writing -out")
+		rate        = flag.Float64("rate", 0, "with -stream: target lines/sec (0 = unpaced)")
 	)
 	flag.Parse()
 
@@ -67,17 +79,21 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var out io.Writer = os.Stdout
-	if *outPath != "-" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fatalf("%v", err)
+	if *streamAddr != "" {
+		streamLog(log, *streamAddr, *rate)
+	} else {
+		var out io.Writer = os.Stdout
+		if *outPath != "-" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			out = f
 		}
-		defer f.Close()
-		out = f
-	}
-	if _, err := log.WriteTo(out); err != nil {
-		fatalf("writing log: %v", err)
+		if _, err := log.WriteTo(out); err != nil {
+			fatalf("writing log: %v", err)
+		}
 	}
 
 	if *truthPath != "" {
@@ -105,6 +121,27 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loggen: %d events, %d injected failures on %s\n",
 		len(log.Events), len(log.Failures), d.Name)
+}
+
+// streamLog sends every line to a listening aarohid over the TCP line
+// protocol, paced at rate lines/sec. Ctrl-C aborts the stream cleanly.
+func streamLog(log *loggen.Log, addr string, rate float64) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	conn, err := serve.DialLines(addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer conn.Close()
+	lines := log.Lines()
+	start := time.Now()
+	if err := serve.StreamLines(ctx, conn, lines, rate); err != nil {
+		fatalf("streaming to %s: %v", addr, err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "loggen: streamed %d lines to %s in %s (%.0f lines/sec)\n",
+		len(lines), addr, elapsed.Round(time.Millisecond),
+		float64(len(lines))/elapsed.Seconds())
 }
 
 func dialectNames() []string {

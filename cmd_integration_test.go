@@ -1,11 +1,20 @@
 package aarohi_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCLIPipeline builds the three operational binaries and runs the full
@@ -77,6 +86,140 @@ func TestCLIPipeline(t *testing.T) {
 	out = run(t, aarohiBin, "-chains", minedChains, "-templates", minedTpl, "-in", testLog)
 	if !strings.Contains(out, "PREDICTION") {
 		t.Errorf("unsupervised CLI path made no predictions:\n%s", tail(out))
+	}
+}
+
+// TestAarohidDaemon exercises the streaming daemon end to end as real
+// processes: boot aarohid on ephemeral loopback ports, load it over TCP with
+// `loggen -stream`, confirm /statusz accounts for every line, then SIGTERM
+// and check the graceful drain's final stats report.
+func TestAarohidDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	loggenBin := build("loggen")
+	aarohidBin := build("aarohid")
+
+	// Export the model and a reference copy of the log that -stream will
+	// regenerate (same seed and parameters → identical lines).
+	templates := filepath.Join(dir, "templates.json")
+	chains := filepath.Join(dir, "chains.json")
+	refLog := filepath.Join(dir, "ref.log")
+	genArgs := []string{"-dialect", "xc30", "-nodes", "6", "-duration", "1h",
+		"-failures", "2", "-seed", "9"}
+	run(t, loggenBin, append(genArgs, "-out", refLog, "-templates", templates, "-chains", chains)...)
+	refBytes, err := os.ReadFile(refLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := strings.Count(string(refBytes), "\n")
+
+	daemon := exec.Command(aarohidBin, "-chains", chains, "-templates", templates,
+		"-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0", "-grace", "20s")
+	var stdout bytes.Buffer
+	daemon.Stdout = &stdout
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// The daemon logs its bound addresses on stderr; scrape them.
+	addrRe := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	var tcpAddr, httpAddr string
+	var stderrTail strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() && (tcpAddr == "" || httpAddr == "") {
+		line := sc.Text()
+		stderrTail.WriteString(line + "\n")
+		if m := addrRe.FindStringSubmatch(line); m != nil {
+			switch {
+			case strings.Contains(line, "tcp line protocol"):
+				tcpAddr = m[1]
+			case strings.Contains(line, "http api"):
+				httpAddr = m[1]
+			}
+		}
+	}
+	if tcpAddr == "" || httpAddr == "" {
+		t.Fatalf("daemon never reported its addresses; stderr:\n%s", stderrTail.String())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	waitHTTP(t, "http://"+httpAddr+"/readyz")
+	run(t, loggenBin, append(genArgs, "-stream", tcpAddr)...)
+
+	// statusz must reconcile: every streamed line accepted (block mode).
+	var status struct {
+		Accepted int64 `json:"lines_accepted"`
+		Dropped  int64 `json:"lines_dropped"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + httpAddr + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.Accepted+status.Dropped >= int64(wantLines) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if status.Accepted != int64(wantLines) || status.Dropped != 0 {
+		t.Fatalf("statusz accepted=%d dropped=%d, want accepted=%d dropped=0",
+			status.Accepted, status.Dropped, wantLines)
+	}
+
+	// SIGTERM → graceful drain → final stats on stdout → clean exit.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v\nstdout:\n%s", err, stdout.String())
+	}
+	final := stdout.String()
+	if !strings.Contains(final, "--- final stats ---") {
+		t.Errorf("no final stats report:\n%s", final)
+	}
+	if !strings.Contains(final, fmt.Sprintf(`"lines_accepted": %d`, wantLines)) {
+		t.Errorf("final stats do not account for %d accepted lines:\n%s", wantLines, final)
+	}
+}
+
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready: %v", url, err)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

@@ -1,6 +1,7 @@
 package predictor
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -9,6 +10,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/lexgen"
 )
+
+// ErrClosed is returned by ProcessLine/ProcessToken after Close: the manager
+// no longer accepts events.
+var ErrClosed = errors.New("predictor: manager closed")
 
 // Manager processes an aggregate cluster log stream concurrently: nodes are
 // sharded across worker goroutines by node-ID hash, each worker owning the
@@ -19,14 +24,26 @@ import (
 // This is the deployment shape of the paper's Fig. 16: the SMW ingests the
 // whole machine's logs, and per-node predictor instances run independently;
 // sharding turns that independence into multicore throughput.
+//
+// Lifecycle: ProcessLine/ProcessToken may be called from any number of
+// goroutines concurrently with each other, with Stats, and with Close. After
+// Close, Process* calls return ErrClosed.
 type Manager struct {
 	workers []*managerWorker
 	results chan Output
 	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed; held (R) across worker sends
+	closed bool
 }
 
 type managerWorker struct {
-	in   chan managerEvent
+	in chan managerEvent
+
+	// mu is held by the worker goroutine while it mutates pred, and by
+	// Stats() while it snapshots pred's counters. It is effectively
+	// uncontended on the hot path (the worker is the only steady holder).
+	mu   sync.Mutex
 	pred *Predictor
 }
 
@@ -60,12 +77,14 @@ func NewManager(chains []core.FailureChain, inventory []core.Template, opts Opti
 func (m *Manager) run(w *managerWorker) {
 	defer m.wg.Done()
 	for ev := range w.in {
+		w.mu.Lock()
 		var out Output
 		if ev.msg != "" {
 			id, ok := w.pred.Scanner().Scan(ev.msg)
 			w.pred.linesScanned++
 			if !ok {
 				w.pred.discarded++
+				w.mu.Unlock()
 				continue
 			}
 			w.pred.tokens++
@@ -74,14 +93,17 @@ func (m *Manager) run(w *managerWorker) {
 		} else {
 			out = w.pred.ProcessToken(ev.tok)
 		}
+		w.mu.Unlock()
 		if out.Prediction != nil || out.Failure != nil {
 			m.results <- out
 		}
 	}
 }
 
-// Results delivers predictions and observed failures. It is closed by Close
-// after all pending events drain.
+// Results delivers predictions and observed failures. Close arranges for it
+// to be closed once every pending event has drained through the workers —
+// which may happen after Close has already returned, so consume with range
+// rather than assuming the channel is closed when Close returns.
 func (m *Manager) Results() <-chan Output { return m.results }
 
 func (m *Manager) workerFor(node string) *managerWorker {
@@ -91,28 +113,50 @@ func (m *Manager) workerFor(node string) *managerWorker {
 }
 
 // ProcessLine routes one raw log line to its node's worker. Scanning happens
-// inside the worker, in parallel across shards.
+// inside the worker, in parallel across shards. Safe for concurrent use;
+// returns ErrClosed after Close.
 func (m *Manager) ProcessLine(line string) error {
 	ts, node, msg, err := lexgen.ParseLine(line)
 	if err != nil {
 		return err
 	}
-	m.workerFor(node).in <- managerEvent{
+	return m.send(m.workerFor(node), managerEvent{
 		tok: core.Token{Time: ts, Node: node},
 		msg: msg,
+	})
+}
+
+// ProcessToken routes one pre-scanned token to its node's worker. Safe for
+// concurrent use; returns ErrClosed after Close.
+func (m *Manager) ProcessToken(tok core.Token) error {
+	return m.send(m.workerFor(tok.Node), managerEvent{tok: tok})
+}
+
+// send enqueues an event while holding the read side of the close lock, so a
+// concurrent Close can never close a worker channel mid-send.
+func (m *Manager) send(w *managerWorker, ev managerEvent) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
 	}
+	w.in <- ev
 	return nil
 }
 
-// ProcessToken routes one pre-scanned token to its node's worker.
-func (m *Manager) ProcessToken(tok core.Token) {
-	m.workerFor(tok.Node).in <- managerEvent{tok: tok}
-}
-
-// Close drains every worker and closes Results. The caller must consume
-// Results concurrently (or after Close returns the channel is fully
-// buffered-drained-closed — consume with range).
+// Close stops the manager: subsequent Process* calls return ErrClosed, every
+// already-enqueued event still drains through its worker, and Results is
+// closed once that drain completes (possibly after Close returns). Close is
+// idempotent — extra calls are no-ops. The caller should consume Results
+// with range until it closes.
 func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
 	for _, w := range m.workers {
 		close(w.in)
 	}
@@ -122,12 +166,16 @@ func (m *Manager) Close() {
 	}()
 }
 
-// Stats aggregates the counters of every worker. Call only after Close and
-// Results drain (workers must be quiescent).
+// Stats aggregates the counters of every worker. Safe to call at any time —
+// concurrently with Process* and Close — and returns a consistent per-worker
+// snapshot (each worker is paused briefly between events while its counters
+// are read).
 func (m *Manager) Stats() Stats {
 	var st Stats
 	for _, w := range m.workers {
+		w.mu.Lock()
 		ws := w.pred.Stats()
+		w.mu.Unlock()
 		st.LinesScanned += ws.LinesScanned
 		st.Tokens += ws.Tokens
 		st.Discarded += ws.Discarded

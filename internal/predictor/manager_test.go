@@ -3,6 +3,7 @@ package predictor
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -44,7 +45,9 @@ func TestManagerMatchesSerialPredictor(t *testing.T) {
 			}
 		}()
 		for _, e := range log.Events {
-			m.ProcessToken(core.Token{Phrase: e.Phrase, Time: e.Time, Node: e.Node})
+			if err := m.ProcessToken(core.Token{Phrase: e.Phrase, Time: e.Time, Node: e.Node}); err != nil {
+				t.Fatal(err)
+			}
 		}
 		m.Close()
 		<-done
@@ -127,6 +130,82 @@ func TestManagerDefaultsWorkers(t *testing.T) {
 	}
 	m.Close()
 	for range m.Results() {
+	}
+}
+
+func TestManagerCloseIdempotent(t *testing.T) {
+	m, err := NewManager(loggen.DialectXC30.Chains(), loggen.DialectXC30.Inventory(), Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // must not panic on double-close of worker channels
+	for range m.Results() {
+	}
+	m.Close() // and still a no-op after the drain completes
+	if err := m.ProcessToken(core.Token{Node: "c0-0c0s0n0"}); err != ErrClosed {
+		t.Fatalf("ProcessToken after Close: err = %v, want ErrClosed", err)
+	}
+	if err := m.ProcessLine("2015-03-14T04:58:57.640Z c0-0c0s0n0 hello"); err != ErrClosed {
+		t.Fatalf("ProcessLine after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestManagerConcurrentProcessClose hammers ProcessLine/ProcessToken/Stats
+// from many goroutines while Close races in — run under -race this covers the
+// shutdown path of the serve daemon. Lines routed after Close must fail with
+// ErrClosed instead of panicking on a closed channel; everything accepted
+// before Close must drain to Results.
+func TestManagerConcurrentProcessClose(t *testing.T) {
+	log := genLog(t, 21, 10, 4)
+	lines := log.Lines()
+	for trial := 0; trial < 4; trial++ {
+		m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drained := make(chan int)
+		go func() {
+			n := 0
+			for range m.Results() {
+				n++
+			}
+			drained <- n
+		}()
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := g; i < len(lines); i += 4 {
+					if err := m.ProcessLine(lines[i]); err != nil {
+						if err == ErrClosed {
+							return
+						}
+						t.Errorf("ProcessLine: %v", err)
+						return
+					}
+					if i%64 == 0 {
+						m.Stats() // live stats must be race-free
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Close partway through the stream, concurrently with senders.
+			m.Close()
+			m.Close()
+		}()
+		close(start)
+		wg.Wait()
+		<-drained
+		m.Stats() // and after the drain too
 	}
 }
 

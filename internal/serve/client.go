@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/predictor"
+)
+
+// LineConn is a client for the TCP line protocol: dial, Send raw log lines,
+// Close. Writes are buffered; Close flushes.
+type LineConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// DialLines connects to a Server's TCP line-protocol listener.
+func DialLines(addr string) (*LineConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &LineConn{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+// Send writes one raw log line as a newline-terminated frame.
+func (c *LineConn) Send(line string) error {
+	if _, err := c.bw.WriteString(line); err != nil {
+		return err
+	}
+	return c.bw.WriteByte('\n')
+}
+
+// Flush pushes buffered frames to the socket.
+func (c *LineConn) Flush() error { return c.bw.Flush() }
+
+// Close flushes, then acts as a delivery barrier: the write side is
+// half-closed and Close blocks until the server has read every line and
+// closed its end (the daemon only closes a connection after ingesting all
+// of its frames). When Close returns nil, every sent line was accepted or
+// shed by the server — none are in flight — so a subsequent drain is
+// guaranteed to cover them.
+func (c *LineConn) Close() error {
+	if err := c.bw.Flush(); err != nil {
+		c.conn.Close()
+		return err
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err == nil {
+			tc.SetReadDeadline(time.Now().Add(30 * time.Second))
+			io.Copy(io.Discard, tc)
+		}
+	}
+	return c.conn.Close()
+}
+
+// Client talks to a Server's HTTP API.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7780".
+	Base string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Ingest posts a batch of raw log lines as NDJSON frames.
+func (c *Client) Ingest(ctx context.Context, lines []string) (IngestResult, error) {
+	var body strings.Builder
+	for _, line := range lines {
+		frame, err := json.Marshal(struct {
+			Line string `json:"line"`
+		}{line})
+		if err != nil {
+			return IngestResult{}, err
+		}
+		body.Write(frame)
+		body.WriteByte('\n')
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/ingest", strings.NewReader(body.String()))
+	if err != nil {
+		return IngestResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return IngestResult{}, fmt.Errorf("serve: ingest: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return IngestResult{}, err
+	}
+	return res, nil
+}
+
+// Predictions subscribes to GET /predictions and delivers decoded outputs on
+// the returned channel until the stream ends (server drain) or ctx is
+// cancelled; both returned channels are then closed. A stream or decode
+// error arrives on errc (at most one) before the channels close.
+func (c *Client) Predictions(ctx context.Context) (<-chan predictor.Output, <-chan error, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/predictions", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("serve: predictions: %s", resp.Status)
+	}
+	outc := make(chan predictor.Output, 64)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(errc)
+		defer close(outc)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var out predictor.Output
+			if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+				errc <- fmt.Errorf("serve: decoding prediction: %w", err)
+				return
+			}
+			select {
+			case outc <- out:
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err := sc.Err(); err != nil && ctx.Err() == nil {
+			errc <- err
+		}
+	}()
+	return outc, errc, nil
+}
+
+// Status fetches /statusz.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/statusz", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("serve: statusz: %s", resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Ready polls /readyz until it answers 200, the timeout elapses, or ctx is
+// cancelled — a convenience for tests and scripts that just started a
+// daemon.
+func (c *Client) Ready(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: not ready after %s", timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// StreamLines sends lines over an established line connection at a target
+// rate (lines/sec; 0 → unpaced), flushing in small batches. It is the
+// engine behind `loggen -stream`.
+func StreamLines(ctx context.Context, c *LineConn, lines []string, rate float64) error {
+	if rate <= 0 {
+		for _, line := range lines {
+			if err := c.Send(line); err != nil {
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		return c.Flush()
+	}
+	// Pace in 10ms slices: send the number of lines that keeps the running
+	// average at the target rate, then sleep the remainder of the slice.
+	interval := 10 * time.Millisecond
+	start := time.Now()
+	sent := 0
+	for sent < len(lines) {
+		due := int(rate * time.Since(start).Seconds())
+		if due > len(lines) {
+			due = len(lines)
+		}
+		for ; sent < due; sent++ {
+			if err := c.Send(lines[sent]); err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		if sent >= len(lines) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+	return c.Flush()
+}

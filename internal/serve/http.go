@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// httpState bundles the HTTP listener and server so Start/Shutdown can own
+// their lifecycle together.
+type httpState struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// IngestResult is the POST /ingest response body.
+type IngestResult struct {
+	// Accepted lines were enqueued toward the Manager.
+	Accepted int `json:"accepted"`
+	// Dropped lines hit a full queue under the Shed policy.
+	Dropped int `json:"dropped"`
+	// Malformed lines were JSON-framed but undecodable (never enqueued;
+	// they count toward neither accepted nor dropped).
+	Malformed int `json:"malformed"`
+}
+
+func (s *Server) startHTTP() error {
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("serve: http listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /predictions", s.handlePredictions)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.httpState = httpState{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		defer close(s.httpDone)
+		if err := s.httpState.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.cfg.Logf("serve: http: %v", err)
+		}
+	}()
+	return nil
+}
+
+func (s *Server) stopHTTP(ctx context.Context) error {
+	if s.httpState.srv == nil {
+		return nil
+	}
+	err := s.httpState.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with streams still open — force them closed.
+		s.httpState.srv.Close()
+	}
+	<-s.httpDone
+	return err
+}
+
+// handleIngest accepts an NDJSON batch: one frame per line, each either a
+// JSON object {"line": "<raw log line>"} or, for convenience, a bare raw log
+// line (anything not starting with '{'). The whole batch runs under one
+// producer registration, so a drain never strands half a batch: either the
+// batch is rejected with 503 up front, or every accepted line is flushed.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.beginProduce() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.endProduce()
+
+	var res IngestResult
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineLen)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "{") {
+			var frame struct {
+				Line string `json:"line"`
+			}
+			if err := json.Unmarshal([]byte(line), &frame); err != nil || frame.Line == "" {
+				res.Malformed++
+				continue
+			}
+			line = frame.Line
+		}
+		if s.ingest(line) {
+			res.Accepted++
+		} else {
+			res.Dropped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, fmt.Sprintf("reading batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handlePredictions streams predictor.Output values as NDJSON for as long
+// as the client stays connected (or until the server drains and the hub
+// closes). Each subscriber gets an independent buffered subscription —
+// attach/detach never disturbs other consumers.
+func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.Subscribe(0)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case out, ok := <-sub.Out():
+			if !ok {
+				return // server drained
+			}
+			if err := enc.Encode(out); err != nil {
+				return // client gone
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports whether the server is accepting traffic: 503 once a
+// drain has begun, so load balancers stop routing before connections break.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

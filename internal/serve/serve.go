@@ -1,0 +1,396 @@
+// Package serve exposes the Aarohi predictor as a long-running network
+// service — the deployment shape of the paper's Fig. 2/Fig. 16, where the
+// predictor sits on the SMW consuming the live aggregate HSS log stream
+// rather than replaying files.
+//
+// A Server wraps a predictor.Manager behind two front ends: a TCP
+// line-protocol listener (newline-framed raw log lines, the cmd/aarohi stdin
+// format) and an HTTP server (POST /ingest batches, GET /predictions NDJSON
+// subscription stream, /healthz, /readyz, /statusz). All ingest paths feed
+// one bounded queue whose overflow policy is explicit — Block applies
+// backpressure to producers, Shed drops and counts — and Shutdown drains
+// gracefully: stop accepting, flush every accepted line through the Manager,
+// then close the prediction fan-out.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/predictor"
+)
+
+// OverflowPolicy says what happens when the ingest queue is full.
+type OverflowPolicy string
+
+const (
+	// Block makes producers wait for queue space — backpressure propagates
+	// to TCP senders through the kernel socket buffers. No accepted line is
+	// ever dropped.
+	Block OverflowPolicy = "block"
+	// Shed drops the line immediately and counts it in lines_dropped —
+	// bounded latency at the cost of loss under overload.
+	Shed OverflowPolicy = "shed"
+)
+
+// Config parameterizes a Server. The zero value serves HTTP and TCP on
+// ephemeral loopback ports with a 4096-line blocking queue.
+type Config struct {
+	// TCPAddr is the line-protocol listen address ("127.0.0.1:0" default;
+	// "off" disables the TCP listener).
+	TCPAddr string
+	// HTTPAddr is the HTTP listen address ("127.0.0.1:0" default; "off"
+	// disables the HTTP server).
+	HTTPAddr string
+	// QueueSize bounds the ingest queue (default 4096).
+	QueueSize int
+	// Overflow is the queue-full policy (default Block).
+	Overflow OverflowPolicy
+	// ReadTimeout is the per-connection idle read deadline; a TCP client
+	// silent for longer is disconnected (default 5m).
+	ReadTimeout time.Duration
+	// MaxLineLen caps a single log line in bytes; longer lines terminate
+	// the connection resp. reject the batch (default 1 MiB).
+	MaxLineLen int
+	// SubscriberBuffer is the per-subscription channel depth; a consumer
+	// lagging behind it loses messages (default 256).
+	SubscriberBuffer int
+	// DrainGrace is how long Shutdown lets open TCP connections finish
+	// sending before force-closing them (default 1s).
+	DrainGrace time.Duration
+	// Logf, when non-nil, receives operational messages (accept errors,
+	// connection failures). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.TCPAddr == "" {
+		c.TCPAddr = "127.0.0.1:0"
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.Overflow == "" {
+		c.Overflow = Block
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.MaxLineLen <= 0 {
+		c.MaxLineLen = 1 << 20
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 256
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Status is the /statusz document: server counters plus the live Manager
+// snapshot. lines accepted + lines dropped always equals the lines producers
+// attempted to enqueue.
+type Status struct {
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+	Draining        bool            `json:"draining"`
+	Overflow        string          `json:"overflow"`
+	LinesAccepted   int64           `json:"lines_accepted"`
+	LinesDropped    int64           `json:"lines_dropped"`
+	ParseErrors     int64           `json:"parse_errors"`
+	OpenConns       int64           `json:"open_connections"`
+	TotalConns      int64           `json:"total_connections"`
+	QueueDepth      int             `json:"queue_depth"`
+	QueueCapacity   int             `json:"queue_capacity"`
+	Subscribers     int             `json:"subscribers"`
+	SubscriberDrops int64           `json:"subscriber_drops"`
+	Manager         predictor.Stats `json:"manager"`
+}
+
+// Server is the streaming ingestion daemon core. Construct with New, bind
+// and start with Start, stop with Shutdown (or drive both with Run).
+type Server struct {
+	cfg   Config
+	mgr   *predictor.Manager
+	queue chan string
+	hub   *hub
+	start time.Time
+
+	accepted    atomic.Int64
+	dropped     atomic.Int64
+	parseErrors atomic.Int64
+	openConns   atomic.Int64
+	totalConns  atomic.Int64
+
+	// prodMu serializes producer registration against drain start, so the
+	// ingest queue can be closed with no writer left behind.
+	prodMu   sync.Mutex
+	draining bool
+	prodWG   sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	tcpLn      net.Listener
+	acceptDone chan struct{}
+	pumpDone   chan struct{}
+	fanDone    chan struct{}
+	httpDone   chan struct{}
+
+	httpState httpState
+
+	started      bool
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// testHookPumpDelay, when non-nil, runs before each line is handed to
+	// the Manager — tests use it to hold the queue full and exercise the
+	// overflow policies deterministically.
+	testHookPumpDelay func()
+}
+
+// New builds a Server over an already-constructed Manager. The Server owns
+// the Manager's lifecycle from Start onward: Shutdown closes it and drains
+// Results.
+func New(m *predictor.Manager, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:        cfg,
+		mgr:        m,
+		queue:      make(chan string, cfg.QueueSize),
+		hub:        newHub(),
+		conns:      map[net.Conn]struct{}{},
+		acceptDone: make(chan struct{}),
+		pumpDone:   make(chan struct{}),
+		fanDone:    make(chan struct{}),
+		httpDone:   make(chan struct{}),
+	}
+}
+
+// Start binds the configured listeners and starts the ingest pump and the
+// prediction fan-out. It returns once the server is accepting traffic.
+func (s *Server) Start() error {
+	if s.started {
+		return fmt.Errorf("serve: Start called twice")
+	}
+	s.started = true
+	s.start = time.Now()
+
+	if s.cfg.TCPAddr != "off" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			return fmt.Errorf("serve: tcp listen: %w", err)
+		}
+		s.tcpLn = ln
+		go s.acceptLoop(ln)
+	} else {
+		close(s.acceptDone)
+	}
+	if s.cfg.HTTPAddr != "off" {
+		if err := s.startHTTP(); err != nil {
+			if s.tcpLn != nil {
+				s.tcpLn.Close()
+			}
+			return err
+		}
+	} else {
+		close(s.httpDone)
+	}
+
+	go s.pump()
+	go s.fanout()
+	return nil
+}
+
+// TCPAddr reports the bound line-protocol address (nil when disabled).
+func (s *Server) TCPAddr() net.Addr {
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// HTTPAddr reports the bound HTTP address (nil when disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpState.ln == nil {
+		return nil
+	}
+	return s.httpState.ln.Addr()
+}
+
+// Subscribe attaches an in-process prediction consumer. The subscription's
+// Out channel closes when the server drains or Cancel is called.
+func (s *Server) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = s.cfg.SubscriberBuffer
+	}
+	return s.hub.subscribe(buffer)
+}
+
+// pump is the single consumer of the ingest queue: every accepted line flows
+// through it into the Manager, so "queue drained + pump exited" means every
+// accepted line reached a predictor worker.
+func (s *Server) pump() {
+	defer close(s.pumpDone)
+	for line := range s.queue {
+		if s.testHookPumpDelay != nil {
+			s.testHookPumpDelay()
+		}
+		if err := s.mgr.ProcessLine(line); err != nil {
+			s.parseErrors.Add(1)
+		}
+	}
+	s.mgr.Close()
+}
+
+// fanout broadcasts Manager results to the hub until Results closes (which
+// the pump triggers via mgr.Close after the queue drains).
+func (s *Server) fanout() {
+	defer close(s.fanDone)
+	for out := range s.mgr.Results() {
+		s.hub.publish(out)
+	}
+	s.hub.close()
+}
+
+// beginProduce registers a queue producer; it fails once draining so the
+// queue can be closed safely. Callers must pair a true return with
+// endProduce.
+func (s *Server) beginProduce() bool {
+	s.prodMu.Lock()
+	defer s.prodMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.prodWG.Add(1)
+	return true
+}
+
+func (s *Server) endProduce() { s.prodWG.Done() }
+
+// ingest enqueues one raw log line under the configured overflow policy.
+// The caller must hold a producer registration. Reports whether the line
+// was accepted.
+func (s *Server) ingest(line string) bool {
+	if s.cfg.Overflow == Shed {
+		select {
+		case s.queue <- line:
+			s.accepted.Add(1)
+			return true
+		default:
+			s.dropped.Add(1)
+			return false
+		}
+	}
+	s.queue <- line
+	s.accepted.Add(1)
+	return true
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.prodMu.Lock()
+	defer s.prodMu.Unlock()
+	return s.draining
+}
+
+// Status snapshots the server counters and the live Manager stats.
+func (s *Server) Status() Status {
+	return Status{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Draining:        s.isDraining(),
+		Overflow:        string(s.cfg.Overflow),
+		LinesAccepted:   s.accepted.Load(),
+		LinesDropped:    s.dropped.Load(),
+		ParseErrors:     s.parseErrors.Load(),
+		OpenConns:       s.openConns.Load(),
+		TotalConns:      s.totalConns.Load(),
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   cap(s.queue),
+		Subscribers:     s.hub.count(),
+		SubscriberDrops: s.hub.dropped.Load(),
+		Manager:         s.mgr.Stats(),
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting connections and
+// batches, give open TCP connections DrainGrace to finish sending, flush
+// every accepted line through the Manager, close the prediction fan-out
+// (subscribers' Out channels close), and stop the HTTP server. In Block
+// mode no accepted line is lost. Shutdown is idempotent; the first call's
+// result is returned to all callers. The context bounds the final HTTP
+// teardown — ingest flushing itself always runs to completion.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.shutdown(ctx) })
+	return s.shutdownErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	// 1. Refuse new producers; nothing else registers from here on.
+	s.prodMu.Lock()
+	s.draining = true
+	s.prodMu.Unlock()
+
+	// 2. Stop accepting TCP connections.
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+		<-s.acceptDone
+	}
+
+	// 3. Give open connections a grace window to flush what their clients
+	// already sent, then force-close stragglers.
+	deadline := time.Now().Add(s.cfg.DrainGrace)
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.connMu.Unlock()
+	prodIdle := make(chan struct{})
+	go func() { s.prodWG.Wait(); close(prodIdle) }()
+	select {
+	case <-prodIdle:
+	case <-time.After(s.cfg.DrainGrace + time.Second):
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-prodIdle
+	}
+
+	// 4. No producers remain: close the queue, let the pump flush every
+	// accepted line into the Manager and close it, then wait for the
+	// result fan-out to deliver everything and release subscribers.
+	close(s.queue)
+	<-s.pumpDone
+	<-s.fanDone
+
+	// 5. Tear down HTTP last so /statusz and /predictions stay observable
+	// through the drain.
+	return s.stopHTTP(ctx)
+}
+
+// Run starts the server and blocks until ctx is cancelled, then drains with
+// the given grace period (0 → 30s) and returns Shutdown's error.
+func (s *Server) Run(ctx context.Context, grace time.Duration) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return s.Shutdown(sctx)
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// The TCP front end speaks the same protocol as cmd/aarohi's stdin: one raw
+// log line ("RFC3339-ms node message...") per newline-terminated frame.
+// There is no response stream — predictions are consumed over HTTP — so a
+// plain `loggen -stream` or `nc` can feed the daemon. Backpressure in Block
+// mode is the ingest queue: when it is full the reader stops pulling from
+// the socket and the kernel's flow control throttles the sender.
+
+// acceptLoop accepts line-protocol connections until the listener closes.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer close(s.acceptDone)
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if !s.isDraining() {
+				s.cfg.Logf("serve: tcp accept: %v", err)
+			}
+			return
+		}
+		if !s.beginProduce() {
+			c.Close() // raced with drain start
+			continue
+		}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.openConns.Add(1)
+		s.totalConns.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// handleConn reads newline-framed log lines off one connection and enqueues
+// them. It exits on EOF, a read error, an over-long line, or the idle
+// deadline; the producer registration taken in acceptLoop is released on
+// return, which is what lets Shutdown know the connection's lines are all
+// in the queue.
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		s.openConns.Add(-1)
+		c.Close()
+		s.endProduce()
+	}()
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineLen)
+	for {
+		// Per-read idle deadline — but never extend past a drain deadline
+		// already set by Shutdown.
+		if !s.isDraining() {
+			c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil && !s.isDraining() {
+				s.cfg.Logf("serve: %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if line := sc.Text(); line != "" {
+			s.ingest(line)
+		}
+	}
+}

@@ -14,11 +14,17 @@ FUZZTIME="${1:-10s}"
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go build ./cmd/aarohid (serving daemon)"
+go build -o /dev/null ./cmd/aarohid
+
 echo "==> go vet ./..."
 go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> serve integration (race): loopback daemon end-to-end"
+go test -race -run 'TestServe|TestAarohidDaemon' ./internal/serve .
 
 if [ "$FUZZTIME" != "0" ]; then
     # Go only allows one -fuzz target per invocation; run each explicitly.
