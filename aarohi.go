@@ -37,6 +37,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/trainer"
 	"repro/internal/vet"
+	"repro/internal/wal"
 )
 
 // Core data-model types.
@@ -117,6 +118,33 @@ const (
 	// OverflowShed drops on a full queue and counts the loss.
 	OverflowShed = serve.Shed
 )
+
+// Durability types (the write-ahead journal + snapshot layer a Server runs
+// when ServeConfig.DataDir is set).
+type (
+	// SyncPolicy says when the write-ahead journal calls fsync.
+	SyncPolicy = wal.SyncPolicy
+	// WALStatus is the /statusz "wal" block: journal and snapshot counters.
+	WALStatus = serve.WALStatus
+	// RecoveryStatus is the /statusz "recovery" block describing the
+	// boot-time snapshot restore + journal replay.
+	RecoveryStatus = serve.RecoveryStatus
+)
+
+// Journal fsync policies.
+const (
+	// SyncBatch groups fsyncs on a short ticker: bounded loss window,
+	// near-SyncOff throughput. The default.
+	SyncBatch = wal.SyncBatch
+	// SyncAlways fsyncs before acknowledging every append: no accepted line
+	// is ever lost.
+	SyncAlways = wal.SyncAlways
+	// SyncOff leaves flushing to the OS page cache.
+	SyncOff = wal.SyncOff
+)
+
+// ParseSyncPolicy parses "always", "batch" or "off" (the -fsync flag values).
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // ErrManagerClosed is returned by Manager.Process* after Close.
 var ErrManagerClosed = predictor.ErrClosed

@@ -6,6 +6,7 @@ package aarohi_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -340,43 +341,62 @@ func BenchmarkServeIngest(b *testing.B) {
 	for _, line := range lines {
 		bytes += int64(len(line)) + 1
 	}
+	iter := func(b *testing.B, cfg aarohi.ServeConfig) {
+		b.Helper()
+		mgr, err := aarohi.NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), aarohi.Options{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := aarohi.NewServer(mgr, cfg)
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		conn, err := serve.DialLines(srv.TCPAddr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, line := range lines {
+			if err := conn.Send(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := conn.Close(); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+		st := srv.Status()
+		if st.LinesAccepted+st.LinesDropped != int64(len(lines)) {
+			b.Fatalf("accepted %d + dropped %d != sent %d",
+				st.LinesAccepted, st.LinesDropped, len(lines))
+		}
+	}
 	for _, policy := range []aarohi.OverflowPolicy{aarohi.OverflowBlock, aarohi.OverflowShed} {
 		b.Run(string(policy), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(bytes)
 			for i := 0; i < b.N; i++ {
-				mgr, err := aarohi.NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), aarohi.Options{}, 0)
-				if err != nil {
-					b.Fatal(err)
-				}
-				srv := aarohi.NewServer(mgr, aarohi.ServeConfig{
+				iter(b, aarohi.ServeConfig{
 					HTTPAddr: "off", Overflow: policy, QueueSize: 4096,
 				})
-				if err := srv.Start(); err != nil {
-					b.Fatal(err)
-				}
-				conn, err := serve.DialLines(srv.TCPAddr().String())
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, line := range lines {
-					if err := conn.Send(line); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if err := conn.Close(); err != nil {
-					b.Fatal(err)
-				}
-				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-				if err := srv.Shutdown(ctx); err != nil {
-					b.Fatal(err)
-				}
-				cancel()
-				st := srv.Status()
-				if st.LinesAccepted+st.LinesDropped != int64(len(lines)) {
-					b.Fatalf("accepted %d + dropped %d != sent %d",
-						st.LinesAccepted, st.LinesDropped, len(lines))
-				}
+			}
+		})
+	}
+	// Durability cost: same path with the write-ahead journal on, per fsync
+	// policy (EXPERIMENTS.md "durability cost" row). Each iteration gets a
+	// fresh data dir so recovery replay never pollutes the measurement.
+	for _, sync := range []aarohi.SyncPolicy{aarohi.SyncOff, aarohi.SyncBatch, aarohi.SyncAlways} {
+		b.Run("wal-fsync="+sync.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				iter(b, aarohi.ServeConfig{
+					HTTPAddr: "off", Overflow: aarohi.OverflowBlock, QueueSize: 4096,
+					DataDir: filepath.Join(b.TempDir(), fmt.Sprint(i)), Fsync: sync,
+				})
 			}
 		})
 	}

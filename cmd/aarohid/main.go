@@ -30,6 +30,7 @@ import (
 	aarohi "repro"
 	"repro/internal/predictor"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -46,6 +47,9 @@ func main() {
 		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline")
 		maxLine    = flag.Int("max-line", 1<<20, "maximum log line length (bytes)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM/SIGINT")
+		dataDir    = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty disables persistence")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "period between parse-state snapshots (0 = only on graceful shutdown)")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always (no acked loss), batch (bounded loss), off")
 	)
 	flag.Parse()
 	if *chainsPath == "" || *tplPath == "" {
@@ -61,6 +65,11 @@ func main() {
 		fatalf("-overflow must be block or shed, not %q", *overflow)
 	}
 
+	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	chains := readChains(*chainsPath)
 	inventory := readTemplates(*tplPath)
 
@@ -72,16 +81,24 @@ func main() {
 	}
 
 	srv := serve.New(mgr, serve.Config{
-		TCPAddr:     *tcpAddr,
-		HTTPAddr:    *httpAddr,
-		QueueSize:   *queueSize,
-		Overflow:    policy,
-		ReadTimeout: *readTO,
-		MaxLineLen:  *maxLine,
-		Logf:        log.Printf,
+		TCPAddr:          *tcpAddr,
+		HTTPAddr:         *httpAddr,
+		QueueSize:        *queueSize,
+		Overflow:         policy,
+		ReadTimeout:      *readTO,
+		MaxLineLen:       *maxLine,
+		Logf:             log.Printf,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapEvery,
+		Fsync:            syncPolicy,
 	})
 	if err := srv.Start(); err != nil {
 		fatalf("%v", err)
+	}
+	if st := srv.Status(); st.Recovery != nil && st.Recovery.Performed {
+		log.Printf("aarohid: recovered snapshot@%d + %d replayed lines (%d outputs) in %.3fs",
+			st.Recovery.SnapshotIndex, st.Recovery.ReplayedRecords,
+			st.Recovery.RecoveredOutputs, st.Recovery.DurationSeconds)
 	}
 	if a := srv.TCPAddr(); a != nil {
 		log.Printf("aarohid: tcp line protocol on %s", a)
@@ -90,6 +107,9 @@ func main() {
 		log.Printf("aarohid: http api on %s (/ingest /predictions /healthz /readyz /statusz)", a)
 	}
 	log.Printf("aarohid: %d chains, queue=%d overflow=%s", len(chains), *queueSize, policy)
+	if *dataDir != "" {
+		log.Printf("aarohid: durability on: data-dir=%s fsync=%s snapshot-interval=%s", *dataDir, syncPolicy, *snapEvery)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	<-ctx.Done()

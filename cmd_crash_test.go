@@ -1,0 +1,390 @@
+package aarohi_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestAarohidCrashRecovery is the kill-and-restart harness for the daemon's
+// durability layer: stream a labeled corpus into aarohid running with
+// -data-dir and -fsync always, SIGKILL it at 20 randomized offsets, restart
+// each time, resume streaming from the durable journal offset, and assert
+// that the union of predictions across all runs (live streams plus the
+// /predictions?replay=recovered lists) equals an uninterrupted run's —
+// nothing lost, nothing fabricated, per-node order preserved — with the
+// recovery replay visible in /statusz after every restart.
+func TestAarohidCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries, kills processes")
+	}
+	dir := t.TempDir()
+	build := func(name string, extra ...string) string {
+		out := filepath.Join(dir, name)
+		args := append([]string{"build"}, extra...)
+		args = append(args, "-o", out, "./cmd/"+name)
+		cmd := exec.Command("go", args...)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	loggenBin := build("loggen")
+	aarohidBin := build("aarohid", testBuildRaceFlag()...)
+
+	templates := filepath.Join(dir, "templates.json")
+	chains := filepath.Join(dir, "chains.json")
+	refLog := filepath.Join(dir, "ref.log")
+	run(t, loggenBin, "-dialect", "xc30", "-nodes", "8", "-duration", "2h",
+		"-failures", "5", "-seed", "77", "-out", refLog, "-templates", templates, "-chains", chains)
+	raw, err := os.ReadFile(refLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	t.Logf("corpus: %d lines", len(lines))
+
+	modelArgs := []string{"-chains", chains, "-templates", templates,
+		"-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0", "-grace", "30s"}
+
+	// Uninterrupted reference run (no persistence).
+	var refKeys []string
+	{
+		d := startAarohid(t, aarohidBin, modelArgs...)
+		col := subscribePredictions(t, d.httpAddr)
+		streamLines(t, d.tcpAddr, lines)
+		d.sigterm(t)
+		refKeys = col.wait()
+		if len(refKeys) == 0 {
+			t.Fatal("reference run produced no predictions")
+		}
+		sort.Strings(refKeys)
+		if dup := firstDuplicate(refKeys); dup != "" {
+			t.Fatalf("reference run delivered duplicate prediction %s", dup)
+		}
+	}
+
+	// Crash run: 20 SIGKILLs at randomized stream offsets, then a final
+	// graceful run for the tail. -snapshot-interval 0 → snapshots only on
+	// graceful drain, so every restart replays the whole journal and
+	// re-fires every prediction: the union must cover everything.
+	dataDir := filepath.Join(dir, "data")
+	durArgs := append([]string{"-data-dir", dataDir, "-fsync", "always", "-snapshot-interval", "0"}, modelArgs...)
+	rng := rand.New(rand.NewSource(7))
+	union := map[string]bool{}
+	pos := 0
+	const kills = 20
+	for iter := 0; iter < kills; iter++ {
+		d := startAarohid(t, aarohidBin, durArgs...)
+		st := statusz(t, d.httpAddr)
+		if st.WAL == nil {
+			t.Fatalf("iteration %d: no wal block in statusz", iter)
+		}
+		durable := int(st.WAL.LastIndex)
+		if durable > pos {
+			t.Fatalf("iteration %d: journal has %d lines but only %d were ever sent", iter, durable, pos)
+		}
+		if iter > 0 {
+			// Recovery replay must be visible: everything durable was
+			// replayed (no snapshot exists before the final graceful stop).
+			if st.Recovery == nil || st.Recovery.ReplayedRecords != uint64(durable) {
+				t.Fatalf("iteration %d: statusz recovery = %+v, want %d replayed records",
+					iter, st.Recovery, durable)
+			}
+		}
+		pos = durable // resume from the durable offset; the rest was lost pre-journal
+
+		col := subscribePredictions(t, d.httpAddr)
+		remainingKills := kills - iter
+		budget := len(lines) - pos - remainingKills // keep ≥1 line per later kill
+		chunk := 0
+		if budget > 0 && rng.Intn(100) >= 15 { // 15%: kill with no new lines (replay-only crash)
+			chunk = 1 + rng.Intn(budget/remainingKills+1)
+		}
+		if chunk > 0 {
+			streamLines(t, d.tcpAddr, lines[pos:pos+chunk])
+			pos += chunk
+		}
+		time.Sleep(time.Duration(rng.Intn(60)) * time.Millisecond) // land kills mid-processing
+		d.sigkill(t)
+		for _, k := range col.wait() {
+			union[k] = true
+		}
+	}
+
+	// Final run: resume from the durable offset once more (the last kill
+	// likely lost part of its chunk too), stream the tail, drain gracefully
+	// (which writes the snapshot).
+	d := startAarohid(t, aarohidBin, durArgs...)
+	st := statusz(t, d.httpAddr)
+	if st.WAL == nil || int(st.WAL.LastIndex) > pos {
+		t.Fatalf("final boot: wal status %+v inconsistent with %d sent lines", st.WAL, pos)
+	}
+	pos = int(st.WAL.LastIndex)
+	col := subscribePredictions(t, d.httpAddr)
+	streamLines(t, d.tcpAddr, lines[pos:])
+	d.sigterm(t)
+	finalKeys := col.wait()
+	if dup := firstDuplicate(append([]string(nil), finalKeys...)); dup != "" {
+		t.Errorf("final run delivered duplicate prediction %s within one stream", dup)
+	}
+	for _, k := range finalKeys {
+		union[k] = true
+	}
+
+	got := make([]string, 0, len(union))
+	for k := range union {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(refKeys, "\n") {
+		t.Fatalf("union of predictions across %d crashes diverges from uninterrupted run:\n got %d: %v\nwant %d: %v",
+			kills, len(got), got, len(refKeys), refKeys)
+	}
+
+	// One more boot: recovery must now come from the graceful snapshot with
+	// zero replay, proving the snapshot path end to end.
+	d = startAarohid(t, aarohidBin, durArgs...)
+	st = statusz(t, d.httpAddr)
+	if st.Recovery == nil || !st.Recovery.Performed {
+		t.Fatal("post-drain boot reported no recovery")
+	}
+	if st.Recovery.SnapshotIndex != uint64(len(lines)) || st.Recovery.ReplayedRecords != 0 {
+		t.Errorf("post-drain boot: snapshot@%d with %d replayed, want snapshot@%d with 0",
+			st.Recovery.SnapshotIndex, st.Recovery.ReplayedRecords, len(lines))
+	}
+	d.sigterm(t)
+}
+
+// testBuildRaceFlag builds the daemon with the race detector when the test
+// itself runs under -race, so crash-recovery code paths are race-checked in
+// the real process too.
+func testBuildRaceFlag() []string {
+	if raceEnabled {
+		return []string{"-race"}
+	}
+	return nil
+}
+
+// daemonProc wraps a running aarohid with its scraped addresses.
+type daemonProc struct {
+	cmd      *exec.Cmd
+	stdout   *bytes.Buffer
+	tcpAddr  string
+	httpAddr string
+}
+
+var daemonAddrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+func startAarohid(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	d := &daemonProc{cmd: cmd, stdout: &stdout}
+	var tail strings.Builder
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() && (d.tcpAddr == "" || d.httpAddr == "") {
+		line := sc.Text()
+		tail.WriteString(line + "\n")
+		if m := daemonAddrRe.FindStringSubmatch(line); m != nil {
+			switch {
+			case strings.Contains(line, "tcp line protocol"):
+				d.tcpAddr = m[1]
+			case strings.Contains(line, "http api"):
+				d.httpAddr = m[1]
+			}
+		}
+	}
+	if d.tcpAddr == "" || d.httpAddr == "" {
+		cmd.Process.Kill()
+		t.Fatalf("daemon never reported its addresses; stderr:\n%s", tail.String())
+	}
+	go io.Copy(io.Discard, stderr)
+	waitHTTP(t, "http://"+d.httpAddr+"/readyz")
+	return d
+}
+
+func (d *daemonProc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait() // reap; exit status is necessarily non-zero
+}
+
+func (d *daemonProc) sigterm(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v\nstdout:\n%s", err, d.stdout.String())
+	}
+}
+
+// daemonStatus mirrors the /statusz fields the harness checks.
+type daemonStatus struct {
+	WAL *struct {
+		LastIndex         uint64 `json:"last_index"`
+		FirstIndex        uint64 `json:"first_index"`
+		SnapshotsWritten  int64  `json:"snapshots_written"`
+		LastSnapshotIndex uint64 `json:"last_snapshot_index"`
+	} `json:"wal"`
+	Recovery *struct {
+		Performed       bool   `json:"performed"`
+		SnapshotIndex   uint64 `json:"snapshot_index"`
+		ReplayedRecords uint64 `json:"replayed_records"`
+	} `json:"recovery"`
+}
+
+func statusz(t *testing.T, httpAddr string) daemonStatus {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st daemonStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// streamLines writes lines over the TCP line protocol. Write errors are
+// tolerated — the daemon may be killed underneath us; the journal decides
+// what was durable.
+func streamLines(t *testing.T, addr string, lines []string) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	for _, line := range lines {
+		if _, err := bw.WriteString(line + "\n"); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+	// Half-close and wait for the daemon to drain the connection, so the
+	// kernel has handed every line to the server before we return.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		io.Copy(io.Discard, conn)
+	}
+}
+
+// predCollector drains a /predictions?replay=recovered NDJSON stream,
+// checking per-node ordering as outputs arrive.
+type predCollector struct {
+	mu   sync.Mutex
+	keys []string
+	err  error
+	done chan struct{}
+	t    *testing.T
+}
+
+func subscribePredictions(t *testing.T, httpAddr string) *predCollector {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/predictions?replay=recovered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("/predictions status %d", resp.StatusCode)
+	}
+	c := &predCollector{done: make(chan struct{}), t: t}
+	go func() {
+		defer close(c.done)
+		defer resp.Body.Close()
+		lastMatched := map[string]time.Time{}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			var out struct {
+				Prediction *struct {
+					Node      string
+					ChainName string
+					FirstAt   time.Time
+					MatchedAt time.Time
+					Length    int
+				}
+			}
+			if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+				c.mu.Lock()
+				c.err = fmt.Errorf("decoding prediction stream: %w", err)
+				c.mu.Unlock()
+				return
+			}
+			if p := out.Prediction; p != nil {
+				if prev, ok := lastMatched[p.Node]; ok && p.MatchedAt.Before(prev) {
+					c.mu.Lock()
+					c.err = fmt.Errorf("node %s: prediction at %v delivered after %v (reordered)", p.Node, p.MatchedAt, prev)
+					c.mu.Unlock()
+					return
+				}
+				lastMatched[p.Node] = p.MatchedAt
+				c.mu.Lock()
+				c.keys = append(c.keys, fmt.Sprintf("%s/%s/%d/%d/%d",
+					p.Node, p.ChainName, p.FirstAt.UnixNano(), p.MatchedAt.UnixNano(), p.Length))
+				c.mu.Unlock()
+			}
+		}
+		// Scanner errors here are expected: SIGKILL severs the stream.
+	}()
+	return c
+}
+
+// wait blocks until the stream ends (daemon death or drain) and returns the
+// collected prediction keys.
+func (c *predCollector) wait() []string {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		c.t.Error(c.err)
+	}
+	return append([]string(nil), c.keys...)
+}
+
+func firstDuplicate(sorted []string) string {
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return sorted[i]
+		}
+	}
+	return ""
+}

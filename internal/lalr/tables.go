@@ -133,7 +133,16 @@ func buildLALR(g *Grammar) (*Tables, []Conflict) {
 				}
 			}
 		}
-		for it, las := range cl {
+		// Iterate closure items in a fixed order so that which action claims
+		// a conflicted cell first — and therefore the conflict rendering —
+		// is deterministic run to run.
+		items := make([]item, 0, len(cl))
+		for it := range cl {
+			items = append(items, it)
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i].less(items[j]) })
+		for _, it := range items {
+			las := cl[it]
 			p := g.prods[it.prod]
 			if it.dot < len(p.Rhs) {
 				continue
@@ -233,6 +242,33 @@ func (m *Machine) Reset() {
 
 // Depth returns the current parse-stack depth (1 when freshly reset).
 func (m *Machine) Depth() int { return len(m.stack) }
+
+// Stack returns a copy of the parse stack, bottom (start state) first. It is
+// the serializable representation of the machine's entire mutable state, for
+// checkpointing a mid-flight parse.
+func (m *Machine) Stack() []int32 {
+	return append([]int32(nil), m.stack...)
+}
+
+// SetStack replaces the parse stack with a previously captured one,
+// validating it against the tables: it must be non-empty, rooted at the
+// start state, and name only existing states. The machine is unchanged on
+// error.
+func (m *Machine) SetStack(stack []int32) error {
+	if len(stack) == 0 {
+		return fmt.Errorf("lalr: empty parse stack")
+	}
+	if stack[0] != 0 {
+		return fmt.Errorf("lalr: parse stack not rooted at start state (bottom = %d)", stack[0])
+	}
+	for _, s := range stack {
+		if s < 0 || int(s) >= len(m.t.action) {
+			return fmt.Errorf("lalr: parse stack names state %d of %d", s, len(m.t.action))
+		}
+	}
+	m.stack = append(m.stack[:0], stack...)
+	return nil
+}
 
 // Feed advances the parse with one terminal. On Rejected the stack is
 // restored to its pre-call state.

@@ -186,7 +186,7 @@ func ParseLine(line string) (ts time.Time, node, msg string, err error) {
 	}
 	rest := line[sp1+1:]
 	sp2 := strings.IndexByte(rest, ' ')
-	if sp2 < 0 {
+	if sp2 <= 0 {
 		return time.Time{}, "", "", fmt.Errorf("lexgen: malformed line (no node): %q", truncate(line))
 	}
 	return ts, rest[:sp2], rest[sp2+1:], nil

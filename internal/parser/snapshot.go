@@ -1,0 +1,118 @@
+package parser
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lalr"
+)
+
+// Checkpoint support: a Driver or MultiDriver can be captured mid-parse and
+// later reconstituted over the same rule set, resuming the token stream with
+// byte-identical behavior. The state structs are plain data (no pointers
+// into tables), so any encoder can serialize them; the predictor package
+// uses them to build the daemon's crash snapshots.
+
+// DriverState is the complete mutable state of a Driver.
+type DriverState struct {
+	// Node is the node the driver serves, carried for integrity checking.
+	Node string
+	// Stack is the LR parse stack (bottom first).
+	Stack []int32
+	// Active, FirstAt, LastShiftAt, Length mirror the in-flight match
+	// bookkeeping of Algorithm 2 (chain start time, ΔT reference point,
+	// phrases consumed so far).
+	Active      bool
+	FirstAt     time.Time
+	LastShiftAt time.Time
+	Length      int
+	// Stats are the cumulative activity counters, including skip counts.
+	Stats Stats
+}
+
+// Snapshot captures the driver's full mutable state.
+func (d *Driver) Snapshot() DriverState {
+	return DriverState{
+		Node:        d.node,
+		Stack:       d.machine.Stack(),
+		Active:      d.active,
+		FirstAt:     d.firstAt,
+		LastShiftAt: d.lastShiftAt,
+		Length:      d.length,
+		Stats:       d.stats,
+	}
+}
+
+// Restore replaces the driver's state with a previously captured one. The
+// state must come from a driver over the same rule set (the parse stack is
+// validated against the tables) and the same node. The driver is unchanged
+// on error.
+func (d *Driver) Restore(st DriverState) error {
+	if st.Node != d.node {
+		return fmt.Errorf("parser: state for node %q restored into driver for %q", st.Node, d.node)
+	}
+	if err := d.machine.SetStack(st.Stack); err != nil {
+		return fmt.Errorf("parser: node %s: %w", d.node, err)
+	}
+	d.active = st.Active
+	d.firstAt = st.FirstAt
+	d.lastShiftAt = st.LastShiftAt
+	d.length = st.Length
+	d.stats = st.Stats
+	return nil
+}
+
+// MultiInstanceState is one live parse hypothesis of a MultiDriver.
+type MultiInstanceState struct {
+	Stack       []int32
+	FirstAt     time.Time
+	LastShiftAt time.Time
+	Length      int
+}
+
+// MultiDriverState is the complete mutable state of a MultiDriver.
+type MultiDriverState struct {
+	Node      string
+	Instances []MultiInstanceState
+	Stats     Stats
+}
+
+// Snapshot captures the multi-driver's full mutable state.
+func (d *MultiDriver) Snapshot() MultiDriverState {
+	st := MultiDriverState{Node: d.node, Stats: d.stats}
+	for _, inst := range d.instances {
+		st.Instances = append(st.Instances, MultiInstanceState{
+			Stack:       inst.m.Stack(),
+			FirstAt:     inst.firstAt,
+			LastShiftAt: inst.lastShiftAt,
+			Length:      inst.length,
+		})
+	}
+	return st
+}
+
+// Restore replaces the multi-driver's state with a previously captured one.
+// Every instance stack is validated before any of the driver's state is
+// touched, so the driver is unchanged on error.
+func (d *MultiDriver) Restore(st MultiDriverState) error {
+	if st.Node != d.node {
+		return fmt.Errorf("parser: state for node %q restored into driver for %q", st.Node, d.node)
+	}
+	if len(st.Instances) > d.maxInst {
+		return fmt.Errorf("parser: node %s: %d instances exceeds limit %d", d.node, len(st.Instances), d.maxInst)
+	}
+	insts := make([]*multiInstance, 0, len(st.Instances))
+	for i, is := range st.Instances {
+		inst := &multiInstance{m: lalr.NewMachine(d.rs.Tables)}
+		if err := inst.m.SetStack(is.Stack); err != nil {
+			return fmt.Errorf("parser: node %s instance %d: %w", d.node, i, err)
+		}
+		inst.firstAt = is.FirstAt
+		inst.lastShiftAt = is.LastShiftAt
+		inst.length = is.Length
+		insts = append(insts, inst)
+	}
+	d.instances = insts
+	d.stats = st.Stats
+	return nil
+}

@@ -1,0 +1,248 @@
+package parser
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+)
+
+// The snapshot/restore property: checkpointing a driver at any token
+// boundary and reconstituting it (through a full serialization round-trip)
+// must be invisible — predictions and stats byte-identical to the
+// uninterrupted run. Exercised over four dialect corpora, with subtests
+// running in parallel so `go test -race` covers concurrent table sharing.
+
+var snapshotDialects = []*loggen.Dialect{
+	loggen.DialectXC30, loggen.DialectXE6, loggen.DialectXK, loggen.DialectCassandra,
+}
+
+func dialectTokens(t *testing.T, d *loggen.Dialect, seed int64) (*core.RuleSet, []core.Token) {
+	t.Helper()
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: d, Seed: seed, Duration: 3 * time.Hour, Nodes: 6, Failures: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.TranslateFCs(d.Chains(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single node's stream: drivers are per-node, and a failed node's
+	// stream is guaranteed to hold at least one complete chain.
+	failed := log.FailedNodes()
+	if len(failed) == 0 {
+		t.Fatal("corpus has no failed nodes")
+	}
+	var toks []core.Token
+	for _, e := range log.NodeEvents(failed[0]) {
+		toks = append(toks, core.Token{Phrase: e.Phrase, Time: e.Time, Node: failed[0]})
+	}
+	if len(toks) < 20 {
+		t.Fatalf("only %d tokens for node %s", len(toks), failed[0])
+	}
+	return rs, toks
+}
+
+func predBytes(t *testing.T, preds []*Prediction) []byte {
+	t.Helper()
+	b, err := json.Marshal(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// roundTripDriver serializes the state and restores it into a brand-new
+// driver, proving DriverState is self-contained plain data.
+func roundTripDriver(t *testing.T, rs *core.RuleSet, d *Driver) *Driver {
+	t.Helper()
+	b, err := json.Marshal(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st DriverState
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	nd := New(rs, st.Node)
+	if err := nd.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	return nd
+}
+
+func roundTripMulti(t *testing.T, rs *core.RuleSet, d *MultiDriver) *MultiDriver {
+	t.Helper()
+	b, err := json.Marshal(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MultiDriverState
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	nd := NewMulti(rs, st.Node)
+	if err := nd.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	return nd
+}
+
+func TestSnapshotRestoreTransparent(t *testing.T) {
+	for di, dial := range snapshotDialects {
+		dial, seed := dial, int64(100+di)
+		t.Run(dial.Name, func(t *testing.T) {
+			t.Parallel()
+			rs, toks := dialectTokens(t, dial, seed)
+			node := toks[0].Node
+
+			// Uninterrupted reference run.
+			ref := New(rs, node)
+			refPreds := ref.ParseStream(toks)
+			refStats := ref.Stats()
+			if refStats.Matches == 0 {
+				t.Fatalf("reference run matched no chains (tokens=%d)", len(toks))
+			}
+			refBytes := predBytes(t, refPreds)
+
+			for _, k := range []int{1, 2, 5, 17} {
+				d := New(rs, node)
+				var preds []*Prediction
+				for i, tok := range toks {
+					if p := d.Feed(tok); p != nil {
+						preds = append(preds, p)
+					}
+					if (i+1)%k == 0 {
+						d = roundTripDriver(t, rs, d)
+					}
+				}
+				if got := predBytes(t, preds); string(got) != string(refBytes) {
+					t.Errorf("k=%d: predictions diverge:\n got %s\nwant %s", k, got, refBytes)
+				}
+				if d.Stats() != refStats {
+					t.Errorf("k=%d: stats diverge: got %+v want %+v", k, d.Stats(), refStats)
+				}
+			}
+		})
+	}
+}
+
+func TestMultiSnapshotRestoreTransparent(t *testing.T) {
+	for di, dial := range snapshotDialects {
+		dial, seed := dial, int64(200+di)
+		t.Run(dial.Name, func(t *testing.T) {
+			t.Parallel()
+			rs, toks := dialectTokens(t, dial, seed)
+			node := toks[0].Node
+
+			ref := NewMulti(rs, node)
+			refPreds := ref.ParseStream(toks)
+			refStats := ref.Stats()
+			refBytes := predBytes(t, refPreds)
+
+			for _, k := range []int{1, 3, 11} {
+				d := NewMulti(rs, node)
+				var preds []*Prediction
+				for i, tok := range toks {
+					if p := d.Feed(tok); p != nil {
+						preds = append(preds, p)
+					}
+					if (i+1)%k == 0 {
+						d = roundTripMulti(t, rs, d)
+					}
+				}
+				if got := predBytes(t, preds); string(got) != string(refBytes) {
+					t.Errorf("k=%d: predictions diverge:\n got %s\nwant %s", k, got, refBytes)
+				}
+				if d.Stats() != refStats {
+					t.Errorf("k=%d: stats diverge: got %+v want %+v", k, d.Stats(), refStats)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotCapturesMidParse(t *testing.T) {
+	rs := fc3RuleSet(t)
+	d := New(rs, "n1")
+	// Half of FC3, then snapshot mid-parse.
+	for _, tok := range toks("n1", [2]float64{174, 0}, [2]float64{140, 8}, [2]float64{129, 20}) {
+		if d.Feed(tok) != nil {
+			t.Fatal("premature prediction")
+		}
+	}
+	st := d.Snapshot()
+	if !st.Active || st.Length != 3 || len(st.Stack) < 2 {
+		t.Fatalf("snapshot state = %+v", st)
+	}
+	// Finishing the chain on the restored copy predicts; the original is
+	// untouched by the copy's progress.
+	nd := New(rs, "n1")
+	if err := nd.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	rest := toks("n1", [2]float64{175, 40}, [2]float64{134, 60}, [2]float64{127, 180})
+	var pred *Prediction
+	for _, tok := range rest {
+		if p := nd.Feed(tok); p != nil {
+			pred = p
+		}
+	}
+	if pred == nil || pred.ChainName != "FC3" || pred.Length != 6 {
+		t.Fatalf("restored driver prediction = %v", pred)
+	}
+	if !pred.FirstAt.Equal(t0) {
+		t.Errorf("FirstAt = %v, want the pre-snapshot chain start %v", pred.FirstAt, t0)
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	rs := fc3RuleSet(t)
+	d := New(rs, "n1")
+	good := d.Snapshot()
+
+	// Wrong node.
+	other := good
+	other.Node = "n2"
+	if err := d.Restore(other); err == nil {
+		t.Error("restore with mismatched node succeeded")
+	}
+	// Stack naming a non-existent state.
+	bad := good
+	bad.Stack = []int32{0, 9999}
+	if err := d.Restore(bad); err == nil {
+		t.Error("restore with out-of-range state succeeded")
+	}
+	// Stack not rooted at the start state.
+	bad.Stack = []int32{1}
+	if err := d.Restore(bad); err == nil {
+		t.Error("restore with bad root succeeded")
+	}
+	// Empty stack.
+	bad.Stack = nil
+	if err := d.Restore(bad); err == nil {
+		t.Error("restore with empty stack succeeded")
+	}
+	// Driver unchanged after failed restores.
+	if d.Stats() != good.Stats || d.Active() {
+		t.Error("driver mutated by failed restore")
+	}
+
+	md := NewMulti(rs, "n1")
+	mst := md.Snapshot()
+	mst.Instances = []MultiInstanceState{{Stack: []int32{0, 12345}}}
+	if err := md.Restore(mst); err == nil {
+		t.Error("multi restore with bad instance stack succeeded")
+	}
+	mst.Instances = make([]MultiInstanceState, MaxInstances+1)
+	for i := range mst.Instances {
+		mst.Instances[i] = MultiInstanceState{Stack: []int32{0}}
+	}
+	if err := md.Restore(mst); err == nil {
+		t.Error("multi restore exceeding instance limit succeeded")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/lexgen"
@@ -33,6 +34,11 @@ type Manager struct {
 	results chan Output
 	wg      sync.WaitGroup
 
+	// accepted counts events successfully enqueued by Process*. After
+	// Results closes, Stats().LinesScanned reconciles with it exactly:
+	// every accepted event is processed by a worker exactly once.
+	accepted atomic.Uint64
+
 	mu     sync.RWMutex // guards closed; held (R) across worker sends
 	closed bool
 }
@@ -50,6 +56,10 @@ type managerWorker struct {
 type managerEvent struct {
 	tok core.Token
 	msg string // raw message body; scanned in the worker when non-empty
+
+	// flush is a barrier marker (see Flush): the worker forwards it through
+	// the results channel instead of processing it.
+	flush chan<- struct{}
 }
 
 // NewManager builds a concurrent predictor with the given worker count
@@ -77,6 +87,13 @@ func NewManager(chains []core.FailureChain, inventory []core.Template, opts Opti
 func (m *Manager) run(w *managerWorker) {
 	defer m.wg.Done()
 	for ev := range w.in {
+		if ev.flush != nil {
+			// Barrier marker: forward it through the FIFO results channel.
+			// When the consumer acks it, every output this worker emitted
+			// before the marker has been received.
+			m.results <- Output{flush: ev.flush}
+			continue
+		}
 		w.mu.Lock()
 		var out Output
 		if ev.msg != "" {
@@ -140,7 +157,42 @@ func (m *Manager) send(w *managerWorker, ev managerEvent) error {
 	if m.closed {
 		return ErrClosed
 	}
+	// Count before enqueuing: once inside the RLock with closed == false the
+	// event is guaranteed to be delivered, and counting first keeps the
+	// invariant Accepted() >= processed at every instant (Stats readers
+	// observe the two in that order).
+	m.accepted.Add(1)
 	w.in <- ev
+	return nil
+}
+
+// Accepted returns the number of events Process* has successfully enqueued.
+// Once Results has closed (all workers drained), Stats().LinesScanned equals
+// Accepted() exactly — the invariant that no accepted event is lost or
+// double-processed during shutdown.
+func (m *Manager) Accepted() uint64 { return m.accepted.Load() }
+
+// Flush is a full-pipeline barrier: it injects a marker into every worker
+// queue and blocks until the Results consumer has acked all of them (via
+// Output.Ack). On return, every event enqueued before the Flush call has
+// been processed AND its output received by the consumer. The caller must
+// ensure Results is being drained (the markers travel through it) and must
+// not call Flush from the consumer goroutine itself. Returns ErrClosed after
+// Close.
+func (m *Manager) Flush() error {
+	ack := make(chan struct{}, len(m.workers))
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return ErrClosed
+	}
+	for _, w := range m.workers {
+		w.in <- managerEvent{flush: ack}
+	}
+	m.mu.RUnlock()
+	for range m.workers {
+		<-ack
+	}
 	return nil
 }
 

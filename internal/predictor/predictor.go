@@ -51,6 +51,24 @@ type Output struct {
 	Prediction *parser.Prediction
 	// Failure is non-nil when a terminal failed message was observed.
 	Failure *ObservedFailure
+
+	// flush is non-nil on barrier markers injected by Manager.Flush; such
+	// outputs carry no prediction or failure and must be acked by the
+	// Results consumer.
+	flush chan<- struct{}
+}
+
+// IsFlush reports whether this output is a Manager.Flush barrier marker
+// rather than a prediction or failure. The Results consumer must call Ack on
+// every marker it receives.
+func (o Output) IsFlush() bool { return o.flush != nil }
+
+// Ack acknowledges a flush barrier marker, unblocking the Flush caller once
+// every worker's marker is acked. No-op on ordinary outputs.
+func (o Output) Ack() {
+	if o.flush != nil {
+		o.flush <- struct{}{}
+	}
 }
 
 // Predictor is the cluster-wide online predictor.
@@ -61,6 +79,10 @@ type Predictor struct {
 	terminal map[core.PhraseID]bool
 
 	drivers map[string]*parser.Driver
+
+	// fingerprint identifies the model (chains + inventory + options) so a
+	// snapshot taken under one model is never restored under another.
+	fingerprint uint64
 
 	linesScanned int
 	tokens       int
@@ -151,11 +173,12 @@ func New(chains []core.FailureChain, inventory []core.Template, opts Options) (*
 	}
 
 	return &Predictor{
-		rules:    rs,
-		scanner:  scanner,
-		chains:   append([]core.FailureChain(nil), chains...),
-		terminal: terminal,
-		drivers:  map[string]*parser.Driver{},
+		rules:       rs,
+		scanner:     scanner,
+		chains:      append([]core.FailureChain(nil), chains...),
+		terminal:    terminal,
+		drivers:     map[string]*parser.Driver{},
+		fingerprint: modelFingerprint(chains, inventory, opts),
 	}, nil
 }
 
@@ -305,6 +328,7 @@ func (p *Predictor) Update(chains []core.FailureChain, inventory []core.Template
 	p.scanner = fresh.scanner
 	p.chains = fresh.chains
 	p.terminal = fresh.terminal
+	p.fingerprint = fresh.fingerprint
 	p.drivers = map[string]*parser.Driver{}
 	return nil
 }

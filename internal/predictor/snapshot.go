@@ -1,0 +1,219 @@
+package predictor
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// Checkpoint support for the daemon's crash recovery: the complete mutable
+// state of a Predictor — and, via a quiesce barrier, of a sharded Manager —
+// can be serialized and later restored into a freshly built instance over
+// the same model, resuming every in-flight parse exactly where it stopped.
+
+// State is the serializable mutable state of a Predictor. It is plain data:
+// the rules, scanner and tables are NOT captured (they are deterministic
+// functions of the model inputs) — only a fingerprint of the model, so a
+// restore into a predictor built from different chains or templates fails
+// loudly instead of resuming garbage parses.
+type State struct {
+	// Fingerprint identifies the model (chains + inventory + options) the
+	// state was captured under.
+	Fingerprint uint64
+	// LinesScanned, Tokens, Discarded are the scanner-level counters.
+	LinesScanned int
+	Tokens       int
+	Discarded    int
+	// Drivers holds every per-node parse driver, sorted by node.
+	Drivers []parser.DriverState
+}
+
+// modelFingerprint hashes everything that determines online behavior:
+// chains (names, phrase sequences, per-chain timeouts), the template
+// inventory (IDs, patterns, classes), and the construction options.
+func modelFingerprint(chains []core.FailureChain, inventory []core.Template, opts Options) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	num := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		num(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	num(int64(len(chains)))
+	for _, fc := range chains {
+		str(fc.Name)
+		num(int64(len(fc.Phrases)))
+		for _, p := range fc.Phrases {
+			num(int64(p))
+		}
+		num(int64(fc.Timeout))
+	}
+	num(int64(len(inventory)))
+	for _, t := range inventory {
+		num(int64(t.ID))
+		str(t.Pattern)
+		num(int64(t.Class))
+	}
+	num(int64(opts.Timeout))
+	flags := int64(0)
+	if opts.DisableFactoring {
+		flags |= 1
+	}
+	if opts.KeepTerminal {
+		flags |= 2
+	}
+	num(flags)
+	return h.Sum64()
+}
+
+// Fingerprint returns the model fingerprint (chains + inventory + options).
+func (p *Predictor) Fingerprint() uint64 { return p.fingerprint }
+
+// Snapshot captures the predictor's complete mutable state.
+func (p *Predictor) Snapshot() State {
+	st := State{
+		Fingerprint:  p.fingerprint,
+		LinesScanned: p.linesScanned,
+		Tokens:       p.tokens,
+		Discarded:    p.discarded,
+		Drivers:      make([]parser.DriverState, 0, len(p.drivers)),
+	}
+	for _, d := range p.drivers {
+		st.Drivers = append(st.Drivers, d.Snapshot())
+	}
+	sort.Slice(st.Drivers, func(i, j int) bool { return st.Drivers[i].Node < st.Drivers[j].Node })
+	return st
+}
+
+// Restore replaces the predictor's mutable state with a previously captured
+// one. The state must have been captured under the same model (fingerprint
+// checked) and every driver stack is validated against the tables before
+// anything is committed — the predictor is unchanged on error.
+func (p *Predictor) Restore(st State) error {
+	if st.Fingerprint != p.fingerprint {
+		return fmt.Errorf("predictor: snapshot fingerprint %016x does not match model %016x (different chains, templates or options)",
+			st.Fingerprint, p.fingerprint)
+	}
+	drivers := make(map[string]*parser.Driver, len(st.Drivers))
+	for _, ds := range st.Drivers {
+		if _, dup := drivers[ds.Node]; dup {
+			return fmt.Errorf("predictor: snapshot holds node %q twice", ds.Node)
+		}
+		d := parser.New(p.rules, ds.Node)
+		if err := d.Restore(ds); err != nil {
+			return err
+		}
+		drivers[ds.Node] = d
+	}
+	p.drivers = drivers
+	p.linesScanned = st.LinesScanned
+	p.tokens = st.Tokens
+	p.discarded = st.Discarded
+	return nil
+}
+
+// snapshotVersion versions the gob payload written by Manager.Snapshot.
+const snapshotVersion = 1
+
+// managerState is the on-disk form of a Manager snapshot: worker shards are
+// merged into one flat state, so a snapshot taken with one worker count
+// restores cleanly into a manager with another (nodes re-shard on restore).
+type managerState struct {
+	Version int
+	State   State
+}
+
+// Snapshot quiesces the manager and serializes its complete state to w. It
+// first runs a Flush barrier — so every event accepted before the call is
+// fully processed and its output received by the Results consumer — then
+// captures all worker shards under their locks. The caller must pause
+// producers for the duration if it needs the snapshot to correspond to a
+// known ingest offset, and must keep the Results consumer running (Flush's
+// markers travel through it). Returns ErrClosed after Close.
+func (m *Manager) Snapshot(w io.Writer) error {
+	if err := m.Flush(); err != nil {
+		return err
+	}
+	merged := State{Fingerprint: m.workers[0].pred.fingerprint}
+	for _, mw := range m.workers {
+		mw.mu.Lock()
+		ws := mw.pred.Snapshot()
+		mw.mu.Unlock()
+		merged.LinesScanned += ws.LinesScanned
+		merged.Tokens += ws.Tokens
+		merged.Discarded += ws.Discarded
+		merged.Drivers = append(merged.Drivers, ws.Drivers...)
+	}
+	sort.Slice(merged.Drivers, func(i, j int) bool { return merged.Drivers[i].Node < merged.Drivers[j].Node })
+	if err := gob.NewEncoder(w).Encode(managerState{Version: snapshotVersion, State: merged}); err != nil {
+		return fmt.Errorf("predictor: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a Manager.Snapshot stream into this manager, re-sharding
+// nodes across the current worker count (which need not match the count the
+// snapshot was taken with). It must be called before any events are
+// processed; the fingerprint and every parse stack are validated before
+// anything is committed.
+func (m *Manager) Restore(r io.Reader) error {
+	var ms managerState
+	if err := gob.NewDecoder(r).Decode(&ms); err != nil {
+		return fmt.Errorf("predictor: decoding snapshot: %w", err)
+	}
+	if ms.Version != snapshotVersion {
+		return fmt.Errorf("predictor: unsupported snapshot version %d", ms.Version)
+	}
+
+	// Split the merged state into per-worker shards using the same hash
+	// Process* routes with.
+	shards := make([]State, len(m.workers))
+	for i := range shards {
+		shards[i].Fingerprint = ms.State.Fingerprint
+	}
+	for _, ds := range ms.State.Drivers {
+		var wi int
+		for i, w := range m.workers {
+			if m.workerFor(ds.Node) == w {
+				wi = i
+				break
+			}
+		}
+		shards[wi].Drivers = append(shards[wi].Drivers, ds)
+	}
+	// Aggregate counters live on worker 0; Stats() sums across workers, so
+	// totals come out right regardless of the shard layout.
+	shards[0].LinesScanned = ms.State.LinesScanned
+	shards[0].Tokens = ms.State.Tokens
+	shards[0].Discarded = ms.State.Discarded
+
+	// Validate every shard against a throwaway restore before committing
+	// any worker, so a bad snapshot leaves the manager untouched.
+	for i, mw := range m.workers {
+		mw.mu.Lock()
+		fresh := *mw.pred
+		mw.mu.Unlock()
+		fresh.drivers = map[string]*parser.Driver{}
+		if err := fresh.Restore(shards[i]); err != nil {
+			return err
+		}
+	}
+	for i, mw := range m.workers {
+		mw.mu.Lock()
+		err := mw.pred.Restore(shards[i])
+		mw.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

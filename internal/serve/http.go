@@ -123,6 +123,19 @@ func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 
 	enc := json.NewEncoder(w)
+	// ?replay=recovered prepends the outputs re-derived by boot-time WAL
+	// replay, so a subscriber that reconnects after a crash sees every
+	// prediction the dead process had fired but not delivered. Recovery
+	// completes before listeners open, so the list is final and disjoint
+	// from the live stream this handler switches to afterwards.
+	if r.URL.Query().Get("replay") == "recovered" {
+		for _, out := range s.Recovered() {
+			if err := enc.Encode(out); err != nil {
+				return
+			}
+		}
+		fl.Flush()
+	}
 	for {
 		select {
 		case out, ok := <-sub.Out():

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/predictor"
+	"repro/internal/wal"
+)
+
+// Durability: when Config.DataDir is set, every accepted line is appended to
+// a write-ahead journal before it reaches the Manager, and the Manager's
+// complete parse state is periodically checkpointed. On boot, Start loads
+// the newest valid snapshot, replays the journal tail through the Manager —
+// all before any listener opens — so a SIGKILL at any instant costs at most
+// the lines the fsync policy permits, and never a mid-flight parse.
+//
+// Consistency protocol: the pump holds snapMu around each (WAL append,
+// ProcessLine) pair; a snapshot takes snapMu, reads the WAL tip, runs the
+// Manager's Flush barrier (every output for lines ≤ tip published), and only
+// then serializes. The snapshot therefore never covers an output that has
+// not already been delivered to subscribers, and always covers exactly the
+// lines up to its recorded offset.
+
+// WALStatus is the /statusz journal block.
+type WALStatus struct {
+	Enabled           bool   `json:"enabled"`
+	Sync              string `json:"sync"`
+	FirstIndex        uint64 `json:"first_index"`
+	LastIndex         uint64 `json:"last_index"`
+	Segments          int    `json:"segments"`
+	SnapshotsWritten  int64  `json:"snapshots_written"`
+	LastSnapshotIndex uint64 `json:"last_snapshot_index"`
+}
+
+// RecoveryStatus is the /statusz recovery block, describing what boot-time
+// replay did.
+type RecoveryStatus struct {
+	Performed        bool    `json:"performed"`
+	SnapshotIndex    uint64  `json:"snapshot_index"`
+	ReplayedRecords  uint64  `json:"replayed_records"`
+	ReplayErrors     uint64  `json:"replay_errors"`
+	RecoveredOutputs int     `json:"recovered_outputs"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+}
+
+func (s *Server) walDir() string  { return filepath.Join(s.cfg.DataDir, "wal") }
+func (s *Server) snapDir() string { return filepath.Join(s.cfg.DataDir, "snapshots") }
+
+// openPersistence loads the newest valid snapshot into the Manager, opens
+// the journal, and replays the tail. Called from Start before any listener
+// binds; the fan-out must already be running (replay outputs travel through
+// it into the recovered buffer, and the snapshot barrier needs its acks).
+func (s *Server) openPersistence() error {
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return fmt.Errorf("serve: data dir: %w", err)
+	}
+	began := time.Now()
+	rec := RecoveryStatus{}
+
+	off, payload, ok, err := wal.LatestSnapshot(s.snapDir())
+	if err != nil {
+		return fmt.Errorf("serve: loading snapshot: %w", err)
+	}
+	if ok {
+		if err := s.mgr.Restore(bytes.NewReader(payload)); err != nil {
+			return fmt.Errorf("serve: restoring snapshot (offset %d): %w", off, err)
+		}
+		rec.Performed = true
+		rec.SnapshotIndex = off
+	}
+
+	wl, err := wal.Open(s.walDir(), wal.Options{
+		Sync:        s.cfg.Fsync,
+		SegmentSize: s.cfg.WALSegmentSize,
+	})
+	if err != nil {
+		return err
+	}
+	if last := wl.LastIndex(); last < off {
+		wl.Close()
+		return fmt.Errorf("serve: snapshot covers WAL offset %d but journal ends at %d: data dir is inconsistent", off, last)
+	}
+
+	// Replay the tail through the Manager. The listeners are not open yet,
+	// so the only producer is this loop; outputs are captured in the
+	// recovered buffer by the fan-out for /predictions?replay=recovered.
+	s.recoveryActive.Store(true)
+	err = wl.Replay(off+1, func(idx uint64, payload []byte) error {
+		rec.ReplayedRecords++
+		if perr := s.mgr.ProcessLine(string(payload)); perr != nil {
+			// The line was malformed when first accepted too; it counted as
+			// a parse error then and does again now.
+			rec.ReplayErrors++
+		}
+		return nil
+	})
+	if err != nil {
+		wl.Close()
+		return fmt.Errorf("serve: replaying journal: %w", err)
+	}
+	if rec.ReplayedRecords > 0 {
+		rec.Performed = true
+	}
+	// Barrier: every replayed output is in the recovered buffer before the
+	// daemon reports ready.
+	if err := s.mgr.Flush(); err != nil {
+		wl.Close()
+		return fmt.Errorf("serve: flushing replay: %w", err)
+	}
+	s.recoveryActive.Store(false)
+
+	s.recMu.Lock()
+	rec.RecoveredOutputs = len(s.recovered)
+	s.recMu.Unlock()
+	rec.DurationSeconds = time.Since(began).Seconds()
+
+	s.wlog = wl
+	s.recovery = &rec
+	s.lastSnapshotIdx.Store(off)
+	if rec.Performed {
+		s.cfg.Logf("serve: recovered from snapshot@%d + %d replayed lines (%d outputs) in %.3fs",
+			rec.SnapshotIndex, rec.ReplayedRecords, rec.RecoveredOutputs, rec.DurationSeconds)
+	}
+	return nil
+}
+
+// snapshot checkpoints the Manager's state, stamps it with the WAL offset it
+// covers, and truncates journal segments the snapshot made redundant. Safe
+// to call concurrently with live ingest: the pump is paused via snapMu for
+// the duration.
+func (s *Server) snapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.wlog == nil {
+		return fmt.Errorf("serve: persistence not enabled")
+	}
+	idx := s.wlog.LastIndex()
+	var buf bytes.Buffer
+	// Manager.Snapshot runs the Flush barrier first: every output for lines
+	// ≤ idx is published before the state is captured.
+	if err := s.mgr.Snapshot(&buf); err != nil {
+		return err
+	}
+	// The journal must be durable up to the snapshot's offset before old
+	// segments go away, whatever the fsync policy says.
+	if err := s.wlog.Sync(); err != nil {
+		return err
+	}
+	if _, err := wal.WriteSnapshotFile(s.snapDir(), idx, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := s.wlog.TruncateBefore(idx + 1); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	s.lastSnapshotIdx.Store(idx)
+	return nil
+}
+
+// snapshotLoop writes periodic snapshots until stopped.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapLoopDone)
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.snapshot(); err != nil {
+				s.cfg.Logf("serve: snapshot: %v", err)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// walStatus assembles the /statusz journal block (nil when disabled).
+func (s *Server) walStatus() *WALStatus {
+	if s.wlog == nil {
+		return nil
+	}
+	return &WALStatus{
+		Enabled:           true,
+		Sync:              s.cfg.Fsync.String(),
+		FirstIndex:        s.wlog.FirstIndex(),
+		LastIndex:         s.wlog.LastIndex(),
+		Segments:          s.wlog.Segments(),
+		SnapshotsWritten:  s.snapshots.Load(),
+		LastSnapshotIndex: s.lastSnapshotIdx.Load(),
+	}
+}
+
+// Recovered returns the outputs re-derived during boot-time replay, in
+// arrival order. HTTP subscribers can fetch them with
+// GET /predictions?replay=recovered; embedded callers use this accessor.
+func (s *Server) Recovered() []predictor.Output {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return append([]predictor.Output(nil), s.recovered...)
+}

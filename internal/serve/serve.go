@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/predictor"
+	"repro/internal/wal"
 )
 
 // OverflowPolicy says what happens when the ingest queue is full.
@@ -65,6 +66,22 @@ type Config struct {
 	// Logf, when non-nil, receives operational messages (accept errors,
 	// connection failures). Nil discards them.
 	Logf func(format string, args ...any)
+
+	// DataDir enables durability: a write-ahead journal of every accepted
+	// line plus periodic parse-state snapshots live under it, and Start
+	// recovers from them before opening listeners. Empty disables
+	// persistence entirely.
+	DataDir string
+	// SnapshotInterval is the period between automatic snapshots. 0 writes
+	// a snapshot only during graceful shutdown — crash recovery then
+	// replays the whole journal, re-firing every prediction since the last
+	// clean stop.
+	SnapshotInterval time.Duration
+	// Fsync is the journal sync policy (default wal.SyncBatch).
+	Fsync wal.SyncPolicy
+	// WALSegmentSize overrides the journal segment size (default 64 MiB;
+	// mainly for tests).
+	WALSegmentSize int64
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +132,10 @@ type Status struct {
 	Subscribers     int             `json:"subscribers"`
 	SubscriberDrops int64           `json:"subscriber_drops"`
 	Manager         predictor.Stats `json:"manager"`
+	// WAL and Recovery describe the durability layer; nil when DataDir is
+	// unset (WAL) or no recovery context exists (Recovery).
+	WAL      *WALStatus      `json:"wal,omitempty"`
+	Recovery *RecoveryStatus `json:"recovery,omitempty"`
 }
 
 // Server is the streaming ingestion daemon core. Construct with New, bind
@@ -149,6 +170,22 @@ type Server struct {
 
 	httpState httpState
 
+	// Durability state (nil / zero when DataDir is unset). snapMu pairs
+	// each (WAL append, ProcessLine) step in the pump against snapshots.
+	wlog            *wal.Log
+	snapMu          sync.Mutex
+	snapshots       atomic.Int64
+	lastSnapshotIdx atomic.Uint64
+	recovery        *RecoveryStatus
+	snapStop        chan struct{}
+	snapLoopDone    chan struct{}
+
+	// recoveryActive routes fan-out outputs into the recovered buffer while
+	// boot-time replay runs (no listener is open yet, so nothing is lost).
+	recoveryActive atomic.Bool
+	recMu          sync.Mutex
+	recovered      []predictor.Output
+
 	started      bool
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -157,6 +194,9 @@ type Server struct {
 	// the Manager — tests use it to hold the queue full and exercise the
 	// overflow policies deterministically.
 	testHookPumpDelay func()
+	// testSkipFinalSnapshot suppresses the shutdown snapshot, emulating a
+	// crash for recovery tests.
+	testSkipFinalSnapshot bool
 }
 
 // New builds a Server over an already-constructed Manager. The Server owns
@@ -177,8 +217,11 @@ func New(m *predictor.Manager, cfg Config) *Server {
 	}
 }
 
-// Start binds the configured listeners and starts the ingest pump and the
-// prediction fan-out. It returns once the server is accepting traffic.
+// Start recovers persisted state (when DataDir is set), then binds the
+// configured listeners and starts the ingest pump and the prediction
+// fan-out. It returns once the server is accepting traffic — recovery
+// happens strictly before any listener opens, so a client that can connect
+// always sees the fully recovered parse state.
 func (s *Server) Start() error {
 	if s.started {
 		return fmt.Errorf("serve: Start called twice")
@@ -186,10 +229,43 @@ func (s *Server) Start() error {
 	s.started = true
 	s.start = time.Now()
 
+	// The fan-out must run before recovery: replayed outputs travel through
+	// it into the recovered buffer, and snapshot barriers need its acks.
+	go s.fanout()
+	if s.cfg.DataDir != "" {
+		if err := s.openPersistence(); err != nil {
+			s.mgr.Close()
+			<-s.fanDone
+			return err
+		}
+		if s.cfg.SnapshotInterval > 0 {
+			s.snapStop = make(chan struct{})
+			s.snapLoopDone = make(chan struct{})
+			go s.snapshotLoop()
+		}
+	}
+
+	// On listener failure, unwind what Start already spun up so no
+	// goroutine or journal handle leaks.
+	fail := func(err error) error {
+		if s.tcpLn != nil {
+			s.tcpLn.Close()
+		}
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapLoopDone
+		}
+		s.mgr.Close()
+		<-s.fanDone
+		if s.wlog != nil {
+			s.wlog.Close()
+		}
+		return err
+	}
 	if s.cfg.TCPAddr != "off" {
 		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
 		if err != nil {
-			return fmt.Errorf("serve: tcp listen: %w", err)
+			return fail(fmt.Errorf("serve: tcp listen: %w", err))
 		}
 		s.tcpLn = ln
 		go s.acceptLoop(ln)
@@ -198,17 +274,13 @@ func (s *Server) Start() error {
 	}
 	if s.cfg.HTTPAddr != "off" {
 		if err := s.startHTTP(); err != nil {
-			if s.tcpLn != nil {
-				s.tcpLn.Close()
-			}
-			return err
+			return fail(err)
 		}
 	} else {
 		close(s.httpDone)
 	}
 
 	go s.pump()
-	go s.fanout()
 	return nil
 }
 
@@ -239,25 +311,57 @@ func (s *Server) Subscribe(buffer int) *Subscription {
 
 // pump is the single consumer of the ingest queue: every accepted line flows
 // through it into the Manager, so "queue drained + pump exited" means every
-// accepted line reached a predictor worker.
+// accepted line reached a predictor worker. With persistence on, the line is
+// journaled first — under snapMu, so a snapshot always sits on an exact
+// (journal offset, parse state) boundary.
 func (s *Server) pump() {
 	defer close(s.pumpDone)
 	for line := range s.queue {
 		if s.testHookPumpDelay != nil {
 			s.testHookPumpDelay()
 		}
-		if err := s.mgr.ProcessLine(line); err != nil {
+		s.snapMu.Lock()
+		if s.wlog != nil {
+			if _, err := s.wlog.Append([]byte(line)); err != nil {
+				// Journal failure is fatal for durability but not for
+				// prediction: log loudly and keep serving.
+				s.cfg.Logf("serve: wal append: %v", err)
+			}
+		}
+		err := s.mgr.ProcessLine(line)
+		s.snapMu.Unlock()
+		if err != nil {
 			s.parseErrors.Add(1)
+		}
+	}
+	// Queue drained. Checkpoint the final state while the Manager (and the
+	// fan-out its barrier needs) is still alive, so a clean restart resumes
+	// from the snapshot without replay.
+	if s.wlog != nil && !s.testSkipFinalSnapshot {
+		if err := s.snapshot(); err != nil {
+			s.cfg.Logf("serve: final snapshot: %v", err)
 		}
 	}
 	s.mgr.Close()
 }
 
 // fanout broadcasts Manager results to the hub until Results closes (which
-// the pump triggers via mgr.Close after the queue drains).
+// the pump triggers via mgr.Close after the queue drains). It also acks
+// Flush barrier markers (snapshots depend on this) and, during boot-time
+// recovery, records outputs into the recovered buffer.
 func (s *Server) fanout() {
 	defer close(s.fanDone)
 	for out := range s.mgr.Results() {
+		if out.IsFlush() {
+			out.Ack()
+			continue
+		}
+		if s.recoveryActive.Load() {
+			s.recMu.Lock()
+			s.recovered = append(s.recovered, out)
+			s.recMu.Unlock()
+			continue
+		}
 		s.hub.publish(out)
 	}
 	s.hub.close()
@@ -320,6 +424,8 @@ func (s *Server) Status() Status {
 		Subscribers:     s.hub.count(),
 		SubscriberDrops: s.hub.dropped.Load(),
 		Manager:         s.mgr.Stats(),
+		WAL:             s.walStatus(),
+		Recovery:        s.recovery,
 	}
 }
 
@@ -368,12 +474,23 @@ func (s *Server) shutdown(ctx context.Context) error {
 		<-prodIdle
 	}
 
-	// 4. No producers remain: close the queue, let the pump flush every
-	// accepted line into the Manager and close it, then wait for the
-	// result fan-out to deliver everything and release subscribers.
+	// 4. No producers remain: stop the periodic snapshotter, close the
+	// queue, let the pump flush every accepted line into the Manager, write
+	// the final snapshot and close the Manager, then wait for the result
+	// fan-out to deliver everything and release subscribers. The journal
+	// closes last — nothing appends after the pump exits.
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapLoopDone
+	}
 	close(s.queue)
 	<-s.pumpDone
 	<-s.fanDone
+	if s.wlog != nil {
+		if err := s.wlog.Close(); err != nil {
+			s.cfg.Logf("serve: wal close: %v", err)
+		}
+	}
 
 	// 5. Tear down HTTP last so /statusz and /predictions stay observable
 	// through the drain.

@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot container: a single self-validating blob holding an opaque
+// payload (the predictor manager's serialized state) plus the WAL offset it
+// covers. Layout:
+//
+//	magic "AARSNP1\n" (8) | version u32 | walOffset u64 |
+//	payload length u32 | payload CRC32C u32 | payload
+//
+// Files are written atomically (temp + rename) and named by the offset they
+// cover, so the newest valid snapshot is simply the highest-named one that
+// decodes.
+
+const (
+	snapMagic   = "AARSNP1\n"
+	snapVersion = 1
+	snapHdrSize = 8 + 4 + 8 + 4 + 4
+	snapSuffix  = ".snap"
+
+	// maxSnapshotSize bounds the payload so a corrupt length field cannot
+	// drive a giant allocation during decode.
+	maxSnapshotSize = 256 << 20
+)
+
+// EncodeSnapshot frames payload into the container format, stamping the WAL
+// offset (index of the last journal record the payload reflects).
+func EncodeSnapshot(w io.Writer, walOffset uint64, payload []byte) error {
+	if len(payload) > maxSnapshotSize {
+		return fmt.Errorf("wal: snapshot of %d bytes exceeds limit", len(payload))
+	}
+	hdr := make([]byte, 0, snapHdrSize)
+	hdr = append(hdr, snapMagic...)
+	hdr = binary.BigEndian.AppendUint32(hdr, snapVersion)
+	hdr = binary.BigEndian.AppendUint64(hdr, walOffset)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("wal: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wal: writing snapshot payload: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot validates a container and returns the WAL offset and
+// payload. Truncated, bit-flipped or garbage input returns an error wrapping
+// ErrCorrupt; it never panics and never accepts a bad checksum.
+func DecodeSnapshot(r io.Reader) (walOffset uint64, payload []byte, err error) {
+	var hdr [snapHdrSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot header truncated: %w", ErrCorrupt)
+	}
+	if string(hdr[:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("wal: bad snapshot magic: %w", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != snapVersion {
+		return 0, nil, fmt.Errorf("wal: unsupported snapshot version %d: %w", v, ErrCorrupt)
+	}
+	walOffset = binary.BigEndian.Uint64(hdr[12:20])
+	n := binary.BigEndian.Uint32(hdr[20:24])
+	if n > maxSnapshotSize {
+		return 0, nil, fmt.Errorf("wal: snapshot length %d exceeds limit: %w", n, ErrCorrupt)
+	}
+	want := binary.BigEndian.Uint32(hdr[24:28])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot payload truncated: %w", ErrCorrupt)
+	}
+	// Trailing bytes after the payload mean the file is not what the header
+	// claims — reject rather than silently ignore.
+	var one [1]byte
+	if _, err := r.Read(one[:]); err != io.EOF {
+		return 0, nil, fmt.Errorf("wal: trailing bytes after snapshot payload: %w", ErrCorrupt)
+	}
+	if crc32.Checksum(payload, crcTable) != want {
+		return 0, nil, fmt.Errorf("wal: snapshot checksum mismatch: %w", ErrCorrupt)
+	}
+	return walOffset, payload, nil
+}
+
+func snapName(walOffset uint64) string { return fmt.Sprintf("%016x%s", walOffset, snapSuffix) }
+
+// WriteSnapshotFile atomically writes a snapshot container into dir, fsyncs
+// it, and removes older snapshot files. Returns the final path.
+func WriteSnapshotFile(dir string, walOffset uint64, payload []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	final := filepath.Join(dir, snapName(walOffset))
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := EncodeSnapshot(tmp, walOffset, payload); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("wal: %w", err)
+	}
+	// Older snapshots are now redundant; losing this cleanup to a crash is
+	// harmless (LatestSnapshot picks the newest valid one).
+	offsets, _ := listSnapshots(dir)
+	for _, off := range offsets {
+		if off < walOffset {
+			os.Remove(filepath.Join(dir, snapName(off)))
+		}
+	}
+	return final, nil
+}
+
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var offsets []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != snapSuffix {
+			continue
+		}
+		var off uint64
+		if _, err := fmt.Sscanf(name, "%016x"+snapSuffix, &off); err != nil || snapName(off) != name {
+			continue
+		}
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	return offsets, nil
+}
+
+// LatestSnapshot finds the newest snapshot file in dir that decodes cleanly
+// and returns its WAL offset and payload. ok is false when dir holds no
+// usable snapshot (including when it does not exist yet); invalid files are
+// skipped in favor of older valid ones, matching the write-then-clean-up
+// protocol of WriteSnapshotFile.
+func LatestSnapshot(dir string) (walOffset uint64, payload []byte, ok bool, err error) {
+	offsets, err := listSnapshots(dir)
+	if err != nil {
+		if os.IsNotExist(err) || errorsIsNotExist(err) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	for i := len(offsets) - 1; i >= 0; i-- {
+		f, err := os.Open(filepath.Join(dir, snapName(offsets[i])))
+		if err != nil {
+			continue
+		}
+		off, payload, derr := DecodeSnapshot(f)
+		f.Close()
+		if derr == nil {
+			return off, payload, true, nil
+		}
+	}
+	return 0, nil, false, nil
+}
+
+func errorsIsNotExist(err error) bool {
+	for err != nil {
+		if os.IsNotExist(err) {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,554 @@
+// Package wal implements the durability substrate of the aarohid daemon: a
+// segmented, checksummed write-ahead journal plus a versioned snapshot
+// container. Every accepted ingest line is appended to the journal before it
+// is handed to the predictor manager, so a crash at any instant loses at most
+// the lines the configured fsync policy permits; on restart the daemon loads
+// the latest snapshot and replays the journal tail through the manager,
+// restoring every in-flight parse.
+//
+// The journal is a directory of segment files. Each segment starts with a
+// fixed header (magic + the index of its first record) and is followed by
+// length-prefixed, CRC32C-protected records. Indices are assigned
+// contiguously starting at 1 and never reused; TruncateBefore removes whole
+// segments that a snapshot has made redundant. A torn final record — the
+// normal result of crashing mid-write — is detected on Open and truncated
+// away; corruption anywhere else is reported, never silently skipped.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncBatch (the default) fsyncs in the background every BatchInterval:
+	// bounded loss (at most one interval of lines) at near-SyncOff append
+	// cost.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs before Append returns, group-committing concurrent
+	// appenders under one fsync. Nothing acknowledged is ever lost.
+	SyncAlways
+	// SyncOff never fsyncs explicitly; the OS flushes the page cache at its
+	// leisure. A machine crash may lose recent records, a process crash
+	// loses nothing (writes are already in the kernel).
+	SyncOff
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy parses the flag spelling ("always", "batch", "off").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, batch or off)", s)
+}
+
+// Options configure a Log.
+type Options struct {
+	// SegmentSize is the byte size past which a new segment is started
+	// (default 64 MiB).
+	SegmentSize int64
+	// Sync is the fsync policy (default SyncBatch).
+	Sync SyncPolicy
+	// BatchInterval is the background fsync period under SyncBatch
+	// (default 50ms).
+	BatchInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 64 << 20
+	}
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = 50 * time.Millisecond
+	}
+	return o
+}
+
+// ErrCorrupt reports a record whose checksum or framing is invalid anywhere
+// other than the reparable tail of the final segment.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const (
+	segMagic   = "AARWAL1\n"
+	headerSize = 16 // magic (8) + first index (8)
+	recHdrSize = 8  // payload length (4) + CRC32C (4)
+	segSuffix  = ".wal"
+
+	// maxRecordSize bounds a single record so a corrupt length prefix can
+	// never drive a giant allocation.
+	maxRecordSize = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only journal. Append/Sync/TruncateBefore/Replay are safe
+// for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	segs    []uint64 // base index of every live segment, ascending; last is active
+	segSize int64    // bytes written to the active segment
+	next    uint64   // index the next Append receives
+	buf     []byte
+	closed  bool
+
+	// syncMu serializes fsyncs; synced is the group-commit watermark: the
+	// highest index known durable.
+	syncMu sync.Mutex
+	synced uint64
+
+	stopBatch chan struct{}
+	batchDone chan struct{}
+}
+
+func segName(base uint64) string { return fmt.Sprintf("%016x%s", base, segSuffix) }
+
+// Open opens (creating if needed) the journal in dir, repairs a torn tail
+// left by a crash, and positions for appending after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+
+	bases, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(bases) == 0 {
+		if err := l.startSegment(1); err != nil {
+			return nil, err
+		}
+		l.segs = []uint64{1}
+		l.next = 1
+	} else {
+		// Verify every header cheaply; scan only the final segment for the
+		// tail position (earlier segments are immutable once rolled).
+		for _, base := range bases[:len(bases)-1] {
+			if err := checkHeader(filepath.Join(dir, segName(base)), base); err != nil {
+				return nil, err
+			}
+		}
+		last := bases[len(bases)-1]
+		end, count, err := scanTail(filepath.Join(dir, segName(last)), last)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if fi, err := f.Stat(); err == nil && fi.Size() > end {
+			// Torn or corrupt tail from a crash mid-append: cut it off so the
+			// segment ends on a record boundary again.
+			if err := f.Truncate(end); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: repairing tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+		l.segs = bases
+		l.segSize = end
+		l.next = last + count
+	}
+	l.synced = l.next - 1
+
+	if opts.Sync == SyncBatch {
+		l.stopBatch = make(chan struct{})
+		l.batchDone = make(chan struct{})
+		go l.batchLoop()
+	}
+	return l, nil
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var bases []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != segSuffix {
+			continue
+		}
+		var base uint64
+		if _, err := fmt.Sscanf(name, "%016x"+segSuffix, &base); err != nil || segName(base) != name {
+			continue // foreign file; leave it alone
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+func checkHeader(path string, base uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return fmt.Errorf("wal: %s: reading header: %w", filepath.Base(path), err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return fmt.Errorf("wal: %s: bad magic: %w", filepath.Base(path), ErrCorrupt)
+	}
+	if got := binary.BigEndian.Uint64(hdr[8:]); got != base {
+		return fmt.Errorf("wal: %s: header base %d does not match name: %w", filepath.Base(path), got, ErrCorrupt)
+	}
+	return nil
+}
+
+// scanTail walks the records of the final segment, returning the offset just
+// past the last intact record and the number of intact records. Anything
+// unreadable past that point is a torn tail for Open to truncate.
+func scanTail(path string, base uint64) (end int64, count uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := checkHeader(path, base); err != nil {
+		return 0, 0, err
+	}
+	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	end = headerSize
+	r := &countReader{r: f}
+	for {
+		_, ok, err := readRecord(r, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !ok {
+			return end, count, nil
+		}
+		count++
+		end = headerSize + r.n
+	}
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readRecord reads one record into buf (grown as needed), returning
+// (payload, true) on success and (nil, false) on a clean EOF, a torn tail,
+// or a checksum mismatch — the caller decides whether "not a record" is an
+// error for its position.
+func readRecord(r io.Reader, buf []byte) ([]byte, bool, error) {
+	var hdr [recHdrSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, false, nil // EOF or torn header
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxRecordSize {
+		return nil, false, nil
+	}
+	want := binary.BigEndian.Uint32(hdr[4:])
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, false, nil // torn payload
+	}
+	if crc32.Checksum(buf, crcTable) != want {
+		return nil, false, nil
+	}
+	return buf, true, nil
+}
+
+// startSegment creates and opens a fresh segment whose first record will
+// carry index base. Caller holds l.mu (or is Open, single-threaded).
+func (l *Log) startSegment(base uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(base)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], segMagic)
+	binary.BigEndian.PutUint64(hdr[8:], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segSize = headerSize
+	return nil
+}
+
+// Append writes one record and returns its index (the first record is 1).
+// Under SyncAlways it returns only once the record is fsynced; under
+// SyncBatch/SyncOff it returns as soon as the kernel has the bytes.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	rec := int64(recHdrSize + len(payload))
+	if l.segSize > headerSize && l.segSize+rec > l.opts.SegmentSize {
+		// Roll: make the finished segment durable before moving on, so
+		// TruncateBefore and recovery can trust everything behind the
+		// active segment unconditionally.
+		if err := l.f.Sync(); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		if err := l.startSegment(l.next); err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
+		l.segs = append(l.segs, l.next)
+	}
+	l.buf = l.buf[:0]
+	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(payload)))
+	l.buf = binary.BigEndian.AppendUint32(l.buf, crc32.Checksum(payload, crcTable))
+	l.buf = append(l.buf, payload...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	idx := l.next
+	l.next++
+	l.segSize += rec
+	l.mu.Unlock()
+
+	if l.opts.Sync == SyncAlways {
+		if err := l.ensureSynced(idx); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// ensureSynced group-commits: whoever wins syncMu fsyncs once and advances
+// the watermark past every record written so far, releasing all waiters.
+func (l *Log) ensureSynced(idx uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced >= idx {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	l.mu.Lock()
+	f := l.f
+	top := l.next - 1
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	// A roll between the capture and this Sync is harmless: rolling fsyncs
+	// the finished segment first, so records up to top are durable either
+	// in the rolled file or in f.
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	if top > l.synced {
+		l.synced = top
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) batchLoop() {
+	defer close(l.batchDone)
+	t := time.NewTicker(l.opts.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.Sync() // best effort; Append surfaces hard write errors
+		case <-l.stopBatch:
+			return
+		}
+	}
+}
+
+// FirstIndex returns the index of the oldest retained record (0 when the
+// journal has never held one).
+func (l *Log) FirstIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 || l.segs[0] >= l.next {
+		return 0
+	}
+	return l.segs[0]
+}
+
+// LastIndex returns the index of the most recently appended record (0 when
+// none exists yet).
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Replay calls fn for every intact record with index ≥ from, in index order.
+// A torn tail on the final segment ends the replay cleanly; corruption
+// anywhere else returns an error wrapping ErrCorrupt. Stop early by
+// returning an error from fn (it is returned verbatim).
+func (l *Log) Replay(from uint64, fn func(index uint64, payload []byte) error) error {
+	l.mu.Lock()
+	bases := append([]uint64(nil), l.segs...)
+	next := l.next
+	l.mu.Unlock()
+
+	var buf []byte
+	for si, base := range bases {
+		if si+1 < len(bases) && bases[si+1] <= from {
+			continue // segment wholly before the replay window
+		}
+		path := filepath.Join(l.dir, segName(base))
+		if err := checkHeader(path, base); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		err = func() error {
+			defer f.Close()
+			if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			idx := base
+			segEnd := next // records this segment should hold, per its successor
+			if si+1 < len(bases) {
+				segEnd = bases[si+1]
+			}
+			r := &countReader{r: f}
+			for idx < segEnd {
+				payload, ok, err := readRecord(r, buf)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					if si == len(bases)-1 {
+						return nil // reparable tail; Open truncates it
+					}
+					return fmt.Errorf("wal: %s: record %d unreadable: %w", segName(base), idx, ErrCorrupt)
+				}
+				buf = payload[:0]
+				if idx >= from {
+					if err := fn(idx, payload); err != nil {
+						return err
+					}
+				}
+				idx++
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateBefore removes segments every record of which has index < idx —
+// the reclamation step after a snapshot covering idx-1. The active segment
+// is never removed.
+func (l *Log) TruncateBefore(idx uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.segs) > 1 && l.segs[1] <= idx {
+		if err := os.Remove(filepath.Join(l.dir, segName(l.segs[0]))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.segs = l.segs[1:]
+	}
+	return nil
+}
+
+// Close stops the background fsync loop (if any), syncs, and closes the
+// active segment. The log is unusable afterwards.
+func (l *Log) Close() error {
+	if l.stopBatch != nil {
+		close(l.stopBatch)
+		<-l.batchDone
+	}
+	syncErr := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncErr
+}

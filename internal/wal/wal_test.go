@@ -1,0 +1,396 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	if err := l.Replay(from, func(idx uint64, payload []byte) error {
+		got[idx] = string(payload)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		idx, err := l.Append([]byte(fmt.Sprintf("line %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i+1) {
+			t.Fatalf("Append #%d: index %d, want %d", i, idx, i+1)
+		}
+	}
+	if got := l.LastIndex(); got != n {
+		t.Fatalf("LastIndex = %d, want %d", got, n)
+	}
+	got := collect(t, l, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[uint64(i+1)] != fmt.Sprintf("line %d", i) {
+			t.Fatalf("record %d = %q", i+1, got[uint64(i+1)])
+		}
+	}
+	// Replay from an offset skips everything before it.
+	tail := collect(t, l, 90)
+	if len(tail) != 11 {
+		t.Fatalf("replay from 90: %d records, want 11", len(tail))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenContinuesIndices(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.LastIndex(); got != 10 {
+		t.Fatalf("LastIndex after reopen = %d, want 10", got)
+	}
+	idx, err := l.Append([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 11 {
+		t.Fatalf("Append after reopen: index %d, want 11", idx)
+	}
+}
+
+func TestSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force frequent rolls.
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("expected multiple segments, got %d", l.Segments())
+	}
+	got := collect(t, l, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d, want %d", len(got), n)
+	}
+
+	if err := l.TruncateBefore(30); err != nil {
+		t.Fatal(err)
+	}
+	first := l.FirstIndex()
+	if first == 0 || first > 30 {
+		t.Fatalf("FirstIndex after truncate = %d, want in (0, 30]", first)
+	}
+	got = collect(t, l, 30)
+	for i := uint64(30); i <= n; i++ {
+		if _, ok := got[i]; !ok {
+			t.Fatalf("record %d missing after truncate", i)
+		}
+	}
+	// Truncating everything never removes the active segment.
+	if err := l.TruncateBefore(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() != 1 {
+		t.Fatalf("Segments after full truncate = %d, want 1", l.Segments())
+	}
+	// Indices keep continuing after reopen even with truncated history.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{Sync: SyncOff, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if idx, err := l.Append([]byte("post")); err != nil || idx != n+1 {
+		t.Fatalf("Append after truncate+reopen: idx=%d err=%v, want %d", idx, err, n+1)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("intact")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a dangling half record at the tail.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 99, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatalf("Open with torn tail: %v", err)
+	}
+	defer l.Close()
+	if got := l.LastIndex(); got != 5 {
+		t.Fatalf("LastIndex = %d, want 5", got)
+	}
+	if idx, err := l.Append([]byte("after")); err != nil || idx != 6 {
+		t.Fatalf("Append after repair: idx=%d err=%v", idx, err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != 6 || got[6] != "after" {
+		t.Fatalf("replay after repair: %v", got)
+	}
+}
+
+func TestBitFlipMidLogDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 2 {
+		t.Fatalf("need ≥2 segments, got %d", l.Segments())
+	}
+	// Flip a payload byte in the FIRST segment — mid-log corruption, not a
+	// reparable tail.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+recHdrSize+2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Replay(0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over flipped byte: err=%v, want ErrCorrupt", err)
+	}
+	l.Close()
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncBatch, SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			l, err := Open(t.TempDir(), Options{Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						if _, err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+							t.Errorf("Append: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if got := l.LastIndex(); got != 100 {
+				t.Fatalf("LastIndex = %d, want 100", got)
+			}
+			if len(collect(t, l, 0)) != 100 {
+				t.Fatal("concurrent appends lost records")
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"batch", SyncBatch}, {"off", SyncOff}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("ParseSyncPolicy(bogus) succeeded")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("state"), 1000)
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	off, got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: off=%d len=%d", off, len(got))
+	}
+}
+
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, 7, []byte("hello snapshot payload")); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Every truncation must fail.
+	for n := 0; n < len(good); n++ {
+		if _, _, err := DecodeSnapshot(bytes.NewReader(good[:n])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err=%v, want ErrCorrupt", n, err)
+		}
+	}
+	// Every single-bit flip must fail.
+	for i := 0; i < len(good); i++ {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x01
+		if _, _, err := DecodeSnapshot(bytes.NewReader(bad)); err == nil {
+			// A flip in the walOffset field changes the offset but stays
+			// structurally valid only if nothing else is protected — the
+			// offset is header data covered by no checksum by design, so a
+			// decode may succeed; everything else must fail.
+			if i < 12 || i >= 20 {
+				t.Fatalf("bit flip at %d accepted", i)
+			}
+		}
+	}
+	// Trailing garbage must fail.
+	if _, _, err := DecodeSnapshot(bytes.NewReader(append(append([]byte(nil), good...), 'x'))); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestSnapshotFilesLatestWins(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, ok, err := LatestSnapshot(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if _, err := WriteSnapshotFile(dir, 10, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshotFile(dir, 25, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	off, payload, ok, err := LatestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshot: ok=%v err=%v", ok, err)
+	}
+	if off != 25 || string(payload) != "new" {
+		t.Fatalf("got off=%d payload=%q", off, payload)
+	}
+	// Older files were cleaned up by the newer write.
+	offsets, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 1 || offsets[0] != 25 {
+		t.Fatalf("snapshots on disk: %v", offsets)
+	}
+	// A corrupt newest file falls back to an older valid one.
+	if _, err := WriteSnapshotFile(dir, 30, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite 25 (WriteSnapshotFile(30,...) removed it) then corrupt 30.
+	if err := os.WriteFile(filepath.Join(dir, snapName(25)), mustSnap(t, 25, []byte("new")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(30)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off, payload, ok, err = LatestSnapshot(dir)
+	if err != nil || !ok || off != 25 || string(payload) != "new" {
+		t.Fatalf("fallback: off=%d payload=%q ok=%v err=%v", off, payload, ok, err)
+	}
+}
+
+func mustSnap(t *testing.T, off uint64, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, off, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotMissingDir(t *testing.T) {
+	_, _, ok, err := LatestSnapshot(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || ok {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package aarohi_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package aarohi_test
+
+// raceEnabled mirrors the -race build flag so subprocess-spawning tests can
+// build their binaries with the same instrumentation.
+const raceEnabled = true

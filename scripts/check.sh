@@ -24,7 +24,7 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> serve integration (race): loopback daemon end-to-end"
-go test -race -run 'TestServe|TestAarohidDaemon' ./internal/serve .
+go test -race -run 'TestServe|TestAarohid' ./internal/serve .
 
 if [ "$FUZZTIME" != "0" ]; then
     # Go only allows one -fuzz target per invocation; run each explicitly.
@@ -33,6 +33,8 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzParseLine$' -fuzztime="$FUZZTIME" ./internal/lexgen
     go test -run='^$' -fuzz='^FuzzScan$' -fuzztime="$FUZZTIME" ./internal/lexgen
     go test -run='^$' -fuzz='^FuzzWildcardMatch$' -fuzztime="$FUZZTIME" ./internal/baselines
+    go test -run='^$' -fuzz='^FuzzWALDecode$' -fuzztime="$FUZZTIME" ./internal/wal
+    go test -run='^$' -fuzz='^FuzzSnapshotDecode$' -fuzztime="$FUZZTIME" ./internal/wal
 fi
 
 echo "==> all checks passed"
