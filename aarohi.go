@@ -34,6 +34,7 @@ import (
 	"repro/internal/lexgen"
 	"repro/internal/parser"
 	"repro/internal/predictor"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/trainer"
 	"repro/internal/vet"
@@ -130,6 +131,32 @@ type (
 	// boot-time snapshot restore + journal replay.
 	RecoveryStatus = serve.RecoveryStatus
 )
+
+// Model-lifecycle types (the registry a Server runs when ServeConfig.Model
+// is set: versioned vet-gated model store, zero-loss hot-swap, shadow
+// evaluation, rollback).
+type (
+	// Model is a complete predictor model: chains + template inventory +
+	// construction options, the unit of registry versioning.
+	Model = registry.Model
+	// ModelEntry describes one admitted model version.
+	ModelEntry = registry.Entry
+	// ModelRegistry is the versioned, content-addressed model store.
+	ModelRegistry = registry.Registry
+	// SwapReport describes one completed model hot-swap.
+	SwapReport = serve.SwapReport
+	// ModelStatus is the /statusz "model" block.
+	ModelStatus = serve.ModelStatus
+	// ShadowStatus is the /statusz "shadow" block: the candidate model
+	// running in parallel and its agreement with the primary.
+	ShadowStatus = serve.ShadowStatus
+	// ModelUpload is the POST /model document.
+	ModelUpload = serve.ModelUpload
+)
+
+// ErrModelRejected is returned (wrapped) when a model fails the vet gate at
+// registry admission; the accompanying VetReport carries the findings.
+var ErrModelRejected = registry.ErrRejected
 
 // Journal fsync policies.
 const (

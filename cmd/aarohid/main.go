@@ -14,11 +14,19 @@
 // liveness, drain state and live counters. SIGINT/SIGTERM triggers a
 // graceful drain: accepted lines are flushed through the predictor before
 // the final stats report prints.
+//
+// The model is hot-swappable while the daemon runs: the admin API
+// (POST /model, /model/activate, /model/rollback, /model/shadow) manages
+// versioned models through the registry, SIGHUP re-reads -chains and
+// -templates and activates the result, and -watch polls those files for
+// changes and does the same automatically. Swaps lose no accepted lines —
+// ingest pauses at a line boundary while per-node parse state migrates.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +37,7 @@ import (
 
 	aarohi "repro"
 	"repro/internal/predictor"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -50,10 +59,11 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty disables persistence")
 		snapEvery  = flag.Duration("snapshot-interval", 0, "period between parse-state snapshots (0 = only on graceful shutdown)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always (no acked loss), batch (bounded loss), off")
+		watch      = flag.Duration("watch", 0, "poll -chains/-templates for changes at this interval and hot-reload (0 = off)")
 	)
 	flag.Parse()
 	if *chainsPath == "" || *tplPath == "" {
-		fatalf("-chains and -templates are required")
+		fatalUsage("-chains and -templates are required")
 	}
 	var policy serve.OverflowPolicy
 	switch *overflow {
@@ -62,20 +72,22 @@ func main() {
 	case "shed":
 		policy = serve.Shed
 	default:
-		fatalf("-overflow must be block or shed, not %q", *overflow)
+		fatalUsage("-overflow must be block or shed, not %q", *overflow)
 	}
 
 	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
-		fatalf("%v", err)
+		fatalUsage("-fsync must be always, batch or off, not %q", *fsync)
+	}
+	if *watch < 0 {
+		fatalUsage("-watch must be a non-negative duration, not %s", *watch)
 	}
 
 	chains := readChains(*chainsPath)
 	inventory := readTemplates(*tplPath)
+	opts := aarohi.Options{Timeout: *timeout, DisableFactoring: *noFactor}
 
-	mgr, err := predictor.NewManager(chains, inventory, aarohi.Options{
-		Timeout: *timeout, DisableFactoring: *noFactor,
-	}, *workers)
+	mgr, err := predictor.NewManager(chains, inventory, opts, *workers)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -91,7 +103,14 @@ func main() {
 		DataDir:          *dataDir,
 		SnapshotInterval: *snapEvery,
 		Fsync:            syncPolicy,
+		Model:            &registry.Model{Chains: chains, Templates: inventory, Options: opts},
+		Workers:          *workers,
 	})
+	// Catch shutdown signals before the listeners open: once /readyz answers,
+	// a SIGTERM must always drain gracefully, never hit the default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if err := srv.Start(); err != nil {
 		fatalf("%v", err)
 	}
@@ -110,10 +129,53 @@ func main() {
 	if *dataDir != "" {
 		log.Printf("aarohid: durability on: data-dir=%s fsync=%s snapshot-interval=%s", *dataDir, syncPolicy, *snapEvery)
 	}
+	if st := srv.Status(); st.Model != nil {
+		log.Printf("aarohid: model registry active=%s (%d versions); POST /model, SIGHUP and -watch hot-swap",
+			st.Model.Active, st.Model.Versions)
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Hot-reload sources: SIGHUP re-reads -chains/-templates on demand; -watch
+	// polls their mtimes. Both funnel into reloadModel, which vets, admits and
+	// activates the files' current contents with zero accepted-line loss.
+	stopReload := make(chan struct{})
+	reloadDone := make(chan struct{})
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		defer close(reloadDone)
+		var last [2]fileStamp
+		if *watch > 0 {
+			last[0], last[1] = stampFile(*chainsPath), stampFile(*tplPath)
+		}
+		ticker := time.NewTicker(watchInterval(*watch))
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopReload:
+				return
+			case <-hup:
+				reloadModel(srv, *chainsPath, *tplPath, opts, "sighup")
+				if *watch > 0 {
+					last[0], last[1] = stampFile(*chainsPath), stampFile(*tplPath)
+				}
+			case <-ticker.C:
+				if *watch == 0 {
+					continue
+				}
+				cur := [2]fileStamp{stampFile(*chainsPath), stampFile(*tplPath)}
+				if cur != last && cur[0].ok && cur[1].ok {
+					last = cur
+					reloadModel(srv, *chainsPath, *tplPath, opts, "watch")
+				}
+			}
+		}
+	}()
+
 	<-ctx.Done()
 	stop()
+	signal.Stop(hup)
+	close(stopReload)
+	<-reloadDone
 	log.Printf("aarohid: draining (budget %s)...", *grace)
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
@@ -130,13 +192,66 @@ func main() {
 	}
 }
 
-func readChains(path string) []aarohi.FailureChain {
-	f, err := os.Open(path)
-	if err != nil {
-		fatalf("%v", err)
+// watchInterval sizes the poll ticker; a disabled watcher still needs a live
+// (but inert) ticker so the reload loop's select stays simple.
+func watchInterval(d time.Duration) time.Duration {
+	if d > 0 {
+		return d
 	}
-	defer f.Close()
-	chains, err := aarohi.ReadChains(f)
+	return time.Hour
+}
+
+// fileStamp is the change-detection identity of a watched file.
+type fileStamp struct {
+	ok      bool
+	size    int64
+	modTime time.Time
+}
+
+func stampFile(path string) fileStamp {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileStamp{}
+	}
+	return fileStamp{ok: true, size: fi.Size(), modTime: fi.ModTime()}
+}
+
+// reloadModel re-reads the chains and templates files and admits + activates
+// the result as the live model. Errors are logged, never fatal: a reload that
+// fails to parse, is rejected by the vet gate, or does not compile leaves the
+// running model untouched.
+func reloadModel(srv *serve.Server, chainsPath, tplPath string, opts aarohi.Options, trigger string) {
+	chains, err := loadChains(chainsPath)
+	if err != nil {
+		log.Printf("aarohid: %s reload: %v", trigger, err)
+		return
+	}
+	inventory, err := loadTemplates(tplPath)
+	if err != nil {
+		log.Printf("aarohid: %s reload: %v", trigger, err)
+		return
+	}
+	m := registry.Model{Chains: chains, Templates: inventory, Options: opts}
+	entry, rep, swap, err := srv.LoadModel(m, trigger, true)
+	if err != nil {
+		if errors.Is(err, registry.ErrRejected) && rep != nil {
+			for _, f := range rep.Findings {
+				log.Printf("aarohid: %s reload: vet %s: [%s] %s: %s", trigger, f.Severity, f.Check, f.Subject, f.Message)
+			}
+		}
+		log.Printf("aarohid: %s reload failed, keeping current model: %v", trigger, err)
+		return
+	}
+	if swap == nil || swap.From == swap.To {
+		log.Printf("aarohid: %s reload: model %s already active", trigger, entry.Fingerprint)
+		return
+	}
+	log.Printf("aarohid: %s reload: swapped %s -> %s (state carried=%v migrated=%d reset=%d pause=%.3fs)",
+		trigger, swap.From, swap.To, swap.StateCarried, swap.MigratedNodes, swap.ResetNodes, swap.PauseSeconds)
+}
+
+func readChains(path string) []aarohi.FailureChain {
+	chains, err := loadChains(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -144,19 +259,40 @@ func readChains(path string) []aarohi.FailureChain {
 }
 
 func readTemplates(path string) []aarohi.Template {
-	f, err := os.Open(path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer f.Close()
-	ts, err := aarohi.ReadTemplates(f)
+	ts, err := loadTemplates(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	return ts
 }
 
+func loadChains(path string) ([]aarohi.FailureChain, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aarohi.ReadChains(f)
+}
+
+func loadTemplates(path string) ([]aarohi.Template, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aarohi.ReadTemplates(f)
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aarohid: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalUsage reports a flag error the way the flag package does: the message,
+// then the full usage text, then exit 2.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aarohid: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

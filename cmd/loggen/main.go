@@ -63,8 +63,16 @@ func main() {
 		tplPath     = flag.String("templates", "", "write the dialect's template inventory JSON here")
 		streamAddr  = flag.String("stream", "", "stream the log over TCP to this aarohid address instead of writing -out")
 		rate        = flag.Float64("rate", 0, "with -stream: target lines/sec (0 = unpaced)")
+		retries     = flag.Int("retries", 5, "with -stream: reconnect attempts after a refused or dropped connection")
+		backoff     = flag.Duration("retry-backoff", 500*time.Millisecond, "with -stream: initial reconnect delay, doubled per consecutive failure (capped at 30s)")
 	)
 	flag.Parse()
+	if *retries < 0 {
+		fatalf("-retries must be non-negative, not %d", *retries)
+	}
+	if *backoff <= 0 {
+		fatalf("-retry-backoff must be positive, not %s", *backoff)
+	}
 
 	d, ok := dialects()[*dialectName]
 	if !ok {
@@ -80,7 +88,7 @@ func main() {
 	}
 
 	if *streamAddr != "" {
-		streamLog(log, *streamAddr, *rate)
+		streamLog(log, *streamAddr, *rate, *retries, *backoff)
 	} else {
 		var out io.Writer = os.Stdout
 		if *outPath != "-" {
@@ -124,19 +132,53 @@ func main() {
 }
 
 // streamLog sends every line to a listening aarohid over the TCP line
-// protocol, paced at rate lines/sec. Ctrl-C aborts the stream cleanly.
-func streamLog(log *loggen.Log, addr string, rate float64) {
+// protocol, paced at rate lines/sec. Refused and dropped connections are
+// retried with exponential backoff up to `retries` consecutive failures,
+// resuming from the first undelivered line; any delivered line resets the
+// failure budget. Ctrl-C aborts the stream cleanly.
+func streamLog(log *loggen.Log, addr string, rate float64, retries int, backoff time.Duration) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	conn, err := serve.DialLines(addr)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	defer conn.Close()
 	lines := log.Lines()
+	left := lines
+	failures := 0
 	start := time.Now()
-	if err := serve.StreamLines(ctx, conn, lines, rate); err != nil {
-		fatalf("streaming to %s: %v", addr, err)
+	for {
+		conn, err := serve.DialLines(addr)
+		if err == nil {
+			var sent int
+			sent, err = serve.StreamLines(ctx, conn, left, rate)
+			if cerr := conn.Close(); err == nil && cerr != nil {
+				// Everything was flushed; a barrier failure only means
+				// delivery of the tail is unconfirmed. Not worth re-sending.
+				fmt.Fprintf(os.Stderr, "loggen: closing stream to %s: %v\n", addr, cerr)
+			}
+			left = left[sent:]
+			if sent > 0 {
+				failures = 0
+			}
+			if err == nil {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			fatalf("interrupted: %d/%d lines delivered to %s", len(lines)-len(left), len(lines), addr)
+		}
+		if failures >= retries {
+			fatalf("streaming to %s: %v (gave up after %d consecutive failures, %d/%d lines delivered)",
+				addr, err, failures, len(lines)-len(left), len(lines))
+		}
+		delay := backoff << uint(min(failures, 16)) // shift cap avoids overflow
+		if delay <= 0 || delay > 30*time.Second {
+			delay = 30 * time.Second
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "loggen: stream to %s failed: %v; retry %d/%d in %s (%d/%d lines delivered)\n",
+			addr, err, failures, retries, delay, len(lines)-len(left), len(lines))
+		select {
+		case <-ctx.Done():
+		case <-time.After(delay):
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "loggen: streamed %d lines to %s in %s (%.0f lines/sec)\n",

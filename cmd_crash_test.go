@@ -250,6 +250,10 @@ func (d *daemonProc) sigterm(t *testing.T) {
 
 // daemonStatus mirrors the /statusz fields the harness checks.
 type daemonStatus struct {
+	LinesAccepted int64 `json:"lines_accepted"`
+	Manager       struct {
+		LinesScanned int `json:"LinesScanned"`
+	} `json:"manager"`
 	WAL *struct {
 		LastIndex         uint64 `json:"last_index"`
 		FirstIndex        uint64 `json:"first_index"`
@@ -260,7 +264,13 @@ type daemonStatus struct {
 		Performed       bool   `json:"performed"`
 		SnapshotIndex   uint64 `json:"snapshot_index"`
 		ReplayedRecords uint64 `json:"replayed_records"`
+		ReplayedSwaps   uint64 `json:"replayed_swaps"`
 	} `json:"recovery"`
+	Model *struct {
+		Active   string `json:"active"`
+		Versions int    `json:"versions"`
+		Swaps    int64  `json:"swaps"`
+	} `json:"model"`
 }
 
 func statusz(t *testing.T, httpAddr string) daemonStatus {

@@ -81,7 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := serve.StreamLines(ctx, conn, lines, 0); err != nil {
+	if _, err := serve.StreamLines(ctx, conn, lines, 0); err != nil {
 		log.Fatal(err)
 	}
 	if err := conn.Close(); err != nil { // barrier: all lines accepted

@@ -34,6 +34,11 @@ type Manager struct {
 	results chan Output
 	wg      sync.WaitGroup
 
+	// fpHex is the hex form of the model fingerprint, stamped onto every
+	// emitted Output so consumers can attribute predictions to a model
+	// version across hot-swaps.
+	fpHex string
+
 	// accepted counts events successfully enqueued by Process*. After
 	// Results closes, Stats().LinesScanned reconciles with it exactly:
 	// every accepted event is processed by a worker exactly once.
@@ -81,8 +86,21 @@ func NewManager(chains []core.FailureChain, inventory []core.Template, opts Opti
 		m.wg.Add(1)
 		go m.run(w)
 	}
+	m.fpHex = fmt.Sprintf("%016x", m.workers[0].pred.fingerprint)
 	return m, nil
 }
+
+// Fingerprint returns the model fingerprint (chains + inventory + options).
+func (m *Manager) Fingerprint() uint64 { return m.workers[0].pred.fingerprint }
+
+// FingerprintHex returns the fingerprint in the canonical 16-hex-digit form
+// used by the model registry, /statusz and Output.Model.
+func (m *Manager) FingerprintHex() string { return m.fpHex }
+
+// RulesFingerprint returns the automaton fingerprint (rule phrase sequences +
+// factoring mode) — the key that decides whether parse stacks can migrate
+// into another model (see AdoptState).
+func (m *Manager) RulesFingerprint() uint64 { return m.workers[0].pred.rulesFingerprint }
 
 func (m *Manager) run(w *managerWorker) {
 	defer m.wg.Done()
@@ -112,6 +130,7 @@ func (m *Manager) run(w *managerWorker) {
 		}
 		w.mu.Unlock()
 		if out.Prediction != nil || out.Failure != nil {
+			out.Model = m.fpHex
 			m.results <- out
 		}
 	}

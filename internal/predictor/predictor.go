@@ -51,6 +51,10 @@ type Output struct {
 	Prediction *parser.Prediction
 	// Failure is non-nil when a terminal failed message was observed.
 	Failure *ObservedFailure
+	// Model is the hex fingerprint of the model that produced this output,
+	// stamped by Manager so consumers can attribute predictions across
+	// hot-swaps. Empty for outputs from a bare Predictor.
+	Model string `json:"model,omitempty"`
 
 	// flush is non-nil on barrier markers injected by Manager.Flush; such
 	// outputs carry no prediction or failure and must be acked by the
@@ -83,6 +87,11 @@ type Predictor struct {
 	// fingerprint identifies the model (chains + inventory + options) so a
 	// snapshot taken under one model is never restored under another.
 	fingerprint uint64
+	// rulesFingerprint identifies only the compiled parse automaton (the
+	// rule-chain phrase sequences and factoring mode). Two models with equal
+	// rulesFingerprint produce identical LALR tables, so parse stacks can
+	// migrate between them even when templates or timeouts differ.
+	rulesFingerprint uint64
 
 	linesScanned int
 	tokens       int
@@ -173,12 +182,13 @@ func New(chains []core.FailureChain, inventory []core.Template, opts Options) (*
 	}
 
 	return &Predictor{
-		rules:       rs,
-		scanner:     scanner,
-		chains:      append([]core.FailureChain(nil), chains...),
-		terminal:    terminal,
-		drivers:     map[string]*parser.Driver{},
-		fingerprint: modelFingerprint(chains, inventory, opts),
+		rules:            rs,
+		scanner:          scanner,
+		chains:           append([]core.FailureChain(nil), chains...),
+		terminal:         terminal,
+		drivers:          map[string]*parser.Driver{},
+		fingerprint:      modelFingerprint(chains, inventory, opts),
+		rulesFingerprint: rulesFingerprint(ruleChains, opts),
 	}, nil
 }
 
@@ -329,6 +339,7 @@ func (p *Predictor) Update(chains []core.FailureChain, inventory []core.Template
 	p.chains = fresh.chains
 	p.terminal = fresh.terminal
 	p.fingerprint = fresh.fingerprint
+	p.rulesFingerprint = fresh.rulesFingerprint
 	p.drivers = map[string]*parser.Driver{}
 	return nil
 }

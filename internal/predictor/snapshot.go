@@ -26,6 +26,11 @@ type State struct {
 	// Fingerprint identifies the model (chains + inventory + options) the
 	// state was captured under.
 	Fingerprint uint64
+	// RulesFingerprint identifies the compiled parse automaton alone. States
+	// captured under one model can migrate their parse stacks into another
+	// model with the same RulesFingerprint (see Manager.AdoptState). Zero in
+	// snapshots written before this field existed.
+	RulesFingerprint uint64
 	// LinesScanned, Tokens, Discarded are the scanner-level counters.
 	LinesScanned int
 	Tokens       int
@@ -75,17 +80,56 @@ func modelFingerprint(chains []core.FailureChain, inventory []core.Template, opt
 	return h.Sum64()
 }
 
+// rulesFingerprint hashes only what determines the compiled parse automaton:
+// the rule chains' phrase sequences (in translation order) and the factoring
+// mode. Template patterns, chain names and ΔT timeouts are deliberately
+// excluded — they change scanning or timing behavior but not the LALR tables
+// a parse stack is validated against.
+func rulesFingerprint(ruleChains []core.FailureChain, opts Options) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	num := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	num(int64(len(ruleChains)))
+	for _, fc := range ruleChains {
+		num(int64(len(fc.Phrases)))
+		for _, p := range fc.Phrases {
+			num(int64(p))
+		}
+	}
+	if opts.DisableFactoring {
+		num(1)
+	} else {
+		num(0)
+	}
+	return h.Sum64()
+}
+
+// ModelFingerprint computes the fingerprint of a model (chains + inventory +
+// options) without building a predictor — the identity key of the model
+// registry.
+func ModelFingerprint(chains []core.FailureChain, inventory []core.Template, opts Options) uint64 {
+	return modelFingerprint(chains, inventory, opts)
+}
+
 // Fingerprint returns the model fingerprint (chains + inventory + options).
 func (p *Predictor) Fingerprint() uint64 { return p.fingerprint }
+
+// RulesFingerprint returns the automaton fingerprint (rule phrase sequences +
+// factoring mode).
+func (p *Predictor) RulesFingerprint() uint64 { return p.rulesFingerprint }
 
 // Snapshot captures the predictor's complete mutable state.
 func (p *Predictor) Snapshot() State {
 	st := State{
-		Fingerprint:  p.fingerprint,
-		LinesScanned: p.linesScanned,
-		Tokens:       p.tokens,
-		Discarded:    p.discarded,
-		Drivers:      make([]parser.DriverState, 0, len(p.drivers)),
+		Fingerprint:      p.fingerprint,
+		RulesFingerprint: p.rulesFingerprint,
+		LinesScanned:     p.linesScanned,
+		Tokens:           p.tokens,
+		Discarded:        p.discarded,
+		Drivers:          make([]parser.DriverState, 0, len(p.drivers)),
 	}
 	for _, d := range p.drivers {
 		st.Drivers = append(st.Drivers, d.Snapshot())
@@ -132,18 +176,21 @@ type managerState struct {
 	State   State
 }
 
-// Snapshot quiesces the manager and serializes its complete state to w. It
+// ExportState quiesces the manager and returns its complete merged state. It
 // first runs a Flush barrier — so every event accepted before the call is
 // fully processed and its output received by the Results consumer — then
 // captures all worker shards under their locks. The caller must pause
-// producers for the duration if it needs the snapshot to correspond to a
-// known ingest offset, and must keep the Results consumer running (Flush's
-// markers travel through it). Returns ErrClosed after Close.
-func (m *Manager) Snapshot(w io.Writer) error {
+// producers for the duration if it needs the state to correspond to a known
+// ingest offset, and must keep the Results consumer running (Flush's markers
+// travel through it). Returns ErrClosed after Close.
+func (m *Manager) ExportState() (State, error) {
 	if err := m.Flush(); err != nil {
-		return err
+		return State{}, err
 	}
-	merged := State{Fingerprint: m.workers[0].pred.fingerprint}
+	merged := State{
+		Fingerprint:      m.workers[0].pred.fingerprint,
+		RulesFingerprint: m.workers[0].pred.rulesFingerprint,
+	}
 	for _, mw := range m.workers {
 		mw.mu.Lock()
 		ws := mw.pred.Snapshot()
@@ -154,10 +201,35 @@ func (m *Manager) Snapshot(w io.Writer) error {
 		merged.Drivers = append(merged.Drivers, ws.Drivers...)
 	}
 	sort.Slice(merged.Drivers, func(i, j int) bool { return merged.Drivers[i].Node < merged.Drivers[j].Node })
+	return merged, nil
+}
+
+// Snapshot quiesces the manager (see ExportState) and serializes its complete
+// state to w.
+func (m *Manager) Snapshot(w io.Writer) error {
+	merged, err := m.ExportState()
+	if err != nil {
+		return err
+	}
 	if err := gob.NewEncoder(w).Encode(managerState{Version: snapshotVersion, State: merged}); err != nil {
 		return fmt.Errorf("predictor: encoding snapshot: %w", err)
 	}
 	return nil
+}
+
+// DecodeSnapshotState reads a Manager.Snapshot stream without loading it into
+// a manager, so a caller can inspect the state's fingerprint — e.g. to
+// rebuild the matching model version — before choosing the manager to
+// ImportState into.
+func DecodeSnapshotState(r io.Reader) (State, error) {
+	var ms managerState
+	if err := gob.NewDecoder(r).Decode(&ms); err != nil {
+		return State{}, fmt.Errorf("predictor: decoding snapshot: %w", err)
+	}
+	if ms.Version != snapshotVersion {
+		return State{}, fmt.Errorf("predictor: unsupported snapshot version %d", ms.Version)
+	}
+	return ms.State, nil
 }
 
 // Restore loads a Manager.Snapshot stream into this manager, re-sharding
@@ -166,21 +238,25 @@ func (m *Manager) Snapshot(w io.Writer) error {
 // processed; the fingerprint and every parse stack are validated before
 // anything is committed.
 func (m *Manager) Restore(r io.Reader) error {
-	var ms managerState
-	if err := gob.NewDecoder(r).Decode(&ms); err != nil {
-		return fmt.Errorf("predictor: decoding snapshot: %w", err)
+	st, err := DecodeSnapshotState(r)
+	if err != nil {
+		return err
 	}
-	if ms.Version != snapshotVersion {
-		return fmt.Errorf("predictor: unsupported snapshot version %d", ms.Version)
-	}
+	return m.ImportState(st)
+}
 
+// ImportState loads a previously exported (or migrated) state into this
+// manager, re-sharding nodes across the current worker count. It must be
+// called before any events are processed; the fingerprint and every parse
+// stack are validated before anything is committed.
+func (m *Manager) ImportState(st State) error {
 	// Split the merged state into per-worker shards using the same hash
 	// Process* routes with.
 	shards := make([]State, len(m.workers))
 	for i := range shards {
-		shards[i].Fingerprint = ms.State.Fingerprint
+		shards[i].Fingerprint = st.Fingerprint
 	}
-	for _, ds := range ms.State.Drivers {
+	for _, ds := range st.Drivers {
 		var wi int
 		for i, w := range m.workers {
 			if m.workerFor(ds.Node) == w {
@@ -192,9 +268,9 @@ func (m *Manager) Restore(r io.Reader) error {
 	}
 	// Aggregate counters live on worker 0; Stats() sums across workers, so
 	// totals come out right regardless of the shard layout.
-	shards[0].LinesScanned = ms.State.LinesScanned
-	shards[0].Tokens = ms.State.Tokens
-	shards[0].Discarded = ms.State.Discarded
+	shards[0].LinesScanned = st.LinesScanned
+	shards[0].Tokens = st.Tokens
+	shards[0].Discarded = st.Discarded
 
 	// Validate every shard against a throwaway restore before committing
 	// any worker, so a bad snapshot leaves the manager untouched.

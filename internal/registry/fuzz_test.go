@@ -1,0 +1,44 @@
+package registry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzManifestDecode hardens the manifest parser — the one registry input
+// that is read back from disk and could have been corrupted or hand-edited.
+// Any byte sequence must either decode to a valid manifest or return an
+// error; accepted manifests must round-trip through re-encoding.
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"active":"0123456789abcdef"}`))
+	f.Add([]byte(`{"version":1,"base":"0123456789abcdef","active":"fedcba9876543210","history":["0123456789abcdef"]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"active":"short"}`))
+	f.Add([]byte(`{"version":1,"active":"0123456789ABCDEF"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		for _, fp := range append([]string{man.Base, man.Active}, man.History...) {
+			if fp != "" && !validFingerprint(fp) {
+				t.Fatalf("accepted manifest names invalid fingerprint %q", fp)
+			}
+		}
+		re, err := json.Marshal(man)
+		if err != nil {
+			t.Fatalf("re-encoding accepted manifest: %v", err)
+		}
+		man2, err := decodeManifest(re)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\noriginal: %q\nre-encoded: %q", err, data, re)
+		}
+		if !reflect.DeepEqual(man, man2) {
+			t.Fatalf("round-trip mismatch:\n first: %+v\nsecond: %+v", man, man2)
+		}
+	})
+}

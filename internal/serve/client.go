@@ -210,23 +210,45 @@ func (c *Client) Ready(ctx context.Context, timeout time.Duration) error {
 // StreamLines sends lines over an established line connection at a target
 // rate (lines/sec; 0 → unpaced), flushing in small batches. It is the
 // engine behind `loggen -stream`.
-func StreamLines(ctx context.Context, c *LineConn, lines []string, rate float64) error {
+//
+// The returned count is the number of leading lines confirmed flushed to the
+// socket. On a dropped connection a caller can dial again and resume from
+// lines[sent:] for at-least-once delivery — the re-sent window is bounded by
+// one flush batch, never the whole stream.
+func StreamLines(ctx context.Context, c *LineConn, lines []string, rate float64) (int, error) {
+	const batch = 1024 // unpaced flush granularity; bounds the resume window
+	sent, flushed := 0, 0
+	flush := func() error {
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		flushed = sent
+		return nil
+	}
 	if rate <= 0 {
-		for _, line := range lines {
-			if err := c.Send(line); err != nil {
-				return err
+		for sent < len(lines) {
+			if err := c.Send(lines[sent]); err != nil {
+				return flushed, err
+			}
+			sent++
+			if sent%batch == 0 {
+				if err := flush(); err != nil {
+					return flushed, err
+				}
 			}
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return flushed, ctx.Err()
 			}
 		}
-		return c.Flush()
+		if err := flush(); err != nil {
+			return flushed, err
+		}
+		return sent, nil
 	}
 	// Pace in 10ms slices: send the number of lines that keeps the running
 	// average at the target rate, then sleep the remainder of the slice.
 	interval := 10 * time.Millisecond
 	start := time.Now()
-	sent := 0
 	for sent < len(lines) {
 		due := int(rate * time.Since(start).Seconds())
 		if due > len(lines) {
@@ -234,20 +256,23 @@ func StreamLines(ctx context.Context, c *LineConn, lines []string, rate float64)
 		}
 		for ; sent < due; sent++ {
 			if err := c.Send(lines[sent]); err != nil {
-				return err
+				return flushed, err
 			}
 		}
-		if err := c.Flush(); err != nil {
-			return err
+		if err := flush(); err != nil {
+			return flushed, err
 		}
 		if sent >= len(lines) {
 			break
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return flushed, ctx.Err()
 		case <-time.After(interval):
 		}
 	}
-	return c.Flush()
+	if err := flush(); err != nil {
+		return flushed, err
+	}
+	return sent, nil
 }

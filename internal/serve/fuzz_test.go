@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/loggen"
+	"repro/internal/predictor"
+)
+
+// FuzzModelUploadDecode hardens the POST /model body decoder — the one admin
+// input assembled by external tooling. Any byte sequence must either decode
+// to a structurally valid upload or return an error, never panic, and the
+// validation invariants must hold on every accepted document.
+func FuzzModelUploadDecode(f *testing.F) {
+	valid, err := json.Marshal(ModelUpload{
+		Chains:    loggen.DialectXC30.Chains(),
+		Templates: loggen.DialectXC30.Inventory(),
+		Options:   predictor.Options{Timeout: 4 * time.Minute},
+		Activate:  true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"chains":[],"templates":[]}`))
+	f.Add([]byte(`{"chains":[{"name":"c","phrases":[1,2]}],"templates":[{"id":1,"pattern":"x"}]}`))
+	f.Add([]byte(`{"activate":true,"shadow":true}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"chains":[{}]} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		up, err := decodeModelUpload(data)
+		if err != nil {
+			return
+		}
+		if len(up.Chains) == 0 || len(up.Templates) == 0 {
+			t.Fatalf("accepted upload with %d chains / %d templates", len(up.Chains), len(up.Templates))
+		}
+		if len(up.Chains) > maxUploadChains || len(up.Templates) > maxUploadTemplates {
+			t.Fatalf("accepted upload beyond caps: %d chains, %d templates", len(up.Chains), len(up.Templates))
+		}
+		if up.Activate && up.Shadow {
+			t.Fatal("accepted upload with both activate and shadow")
+		}
+	})
+}

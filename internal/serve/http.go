@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -39,6 +40,12 @@ func (s *Server) startHTTP() error {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("POST /model", s.handleModelUpload)
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("POST /model/activate", s.handleModelActivate)
+	mux.HandleFunc("POST /model/rollback", s.handleModelRollback)
+	mux.HandleFunc("POST /model/shadow", s.handleShadowStart)
+	mux.HandleFunc("DELETE /model/shadow", s.handleShadowStop)
 	s.httpState = httpState{ln: ln, srv: &http.Server{Handler: mux}}
 	go func() {
 		defer close(s.httpDone)
@@ -172,7 +179,26 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v without touching the status line — for handlers
+// that already wrote a non-200 header.
+func writeJSONBody(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// readBody reads a request body with a hard size cap.
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("body exceeds %d bytes", limit)
+	}
+	return data, nil
 }

@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loggen"
+	"repro/internal/predictor"
+	"repro/internal/registry"
+)
+
+// newModelTestServer boots a Server with the model lifecycle enabled over the
+// XC30 dialect.
+func newModelTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	model := registry.Model{
+		Chains:    loggen.DialectXC30.Chains(),
+		Templates: loggen.DialectXC30.Inventory(),
+	}
+	mgr, err := predictor.NewManager(model.Chains, model.Templates, model.Options, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Model = &model
+	cfg.Workers = 2
+	s := New(mgr, cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// variantModel is the XC30 model with the default ΔT written explicitly: a
+// distinct fingerprint (new version) over the identical automaton and
+// identical runtime behavior — the controlled subject for swap tests.
+func variantModel() ModelUpload {
+	return ModelUpload{
+		Chains:    loggen.DialectXC30.Chains(),
+		Templates: loggen.DialectXC30.Inventory(),
+		Options:   predictor.Options{Timeout: 4 * time.Minute},
+	}
+}
+
+// prunedModel drops the last failure chain — a different compiled automaton,
+// so swapping to it exercises the reset tier.
+func prunedModel() ModelUpload {
+	chains := loggen.DialectXC30.Chains()
+	return ModelUpload{
+		Chains:    chains[:len(chains)-1],
+		Templates: loggen.DialectXC30.Inventory(),
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func streamAll(t *testing.T, s *Server, lines []string) {
+	t.Helper()
+	conn, err := DialLines(s.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lines {
+		if err := conn.Send(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelHotSwapZeroLoss streams a log in two segments with an activation
+// swap between them: no accepted line is lost across the swap, the in-flight
+// parse state carries (identical automaton), every prediction still fires,
+// and attribution transitions monotonically from the old fingerprint to the
+// new one.
+func TestModelHotSwapZeroLoss(t *testing.T) {
+	s := newModelTestServer(t, Config{Overflow: Block, QueueSize: 64})
+	lines := genTestLog(t, 5, 3).Lines()
+	k := len(lines) * 2 / 5
+	fpA := s.manager().FingerprintHex()
+
+	cl := &Client{Base: s.httpBase()}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	outs, errc, err := cl.Predictions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamAll(t, s, lines[:k])
+
+	up := variantModel()
+	up.Activate = true
+	code, body := postJSON(t, s.httpBase()+"/model", up)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /model = %d: %s", code, body)
+	}
+	var res ModelUploadResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Swap == nil {
+		t.Fatal("activation upload returned no swap report")
+	}
+	if !res.Swap.StateCarried || res.Swap.From != fpA || res.Swap.To != res.Model.Fingerprint {
+		t.Fatalf("swap report %+v", res.Swap)
+	}
+	fpB := res.Model.Fingerprint
+
+	streamAll(t, s, lines[k:])
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var preds []predictor.Output
+	for out := range outs {
+		if out.Prediction != nil {
+			preds = append(preds, out)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("got %d predictions across the swap, want 3", len(preds))
+	}
+	// Attribution is monotonic: once the new fingerprint appears, the old one
+	// never does again.
+	sawB := false
+	for _, out := range preds {
+		switch out.Model {
+		case fpB:
+			sawB = true
+		case fpA:
+			if sawB {
+				t.Fatalf("old-model prediction after new-model prediction: %+v", preds)
+			}
+		default:
+			t.Fatalf("prediction attributed to unknown model %q", out.Model)
+		}
+	}
+	if !sawB {
+		t.Error("no prediction attributed to the new model")
+	}
+
+	st := s.Status()
+	if st.LinesAccepted != int64(len(lines)) || st.LinesDropped != 0 {
+		t.Fatalf("accepted %d dropped %d, want %d/0", st.LinesAccepted, st.LinesDropped, len(lines))
+	}
+	if st.Manager.LinesScanned != len(lines) {
+		t.Fatalf("manager scanned %d lines across the swap, want %d", st.Manager.LinesScanned, len(lines))
+	}
+	if st.Model == nil || st.Model.Active != fpB || st.Model.Swaps != 1 {
+		t.Fatalf("model status %+v", st.Model)
+	}
+}
+
+// TestModelSwapsUnderConcurrentLoad hammers the swap path while a stream is
+// in flight: repeated activations between two behavior-identical versions
+// must lose no accepted line and no prediction, whatever the interleaving.
+func TestModelSwapsUnderConcurrentLoad(t *testing.T) {
+	s := newModelTestServer(t, Config{Overflow: Block, QueueSize: 64})
+	lines := genTestLog(t, 11, 4).Lines()
+	fpA := s.manager().FingerprintHex()
+
+	up := variantModel()
+	code, body := postJSON(t, s.httpBase()+"/model", up)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /model = %d: %s", code, body)
+	}
+	var res ModelUploadResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	fpB := res.Model.Fingerprint
+
+	sub := s.Subscribe(1024)
+	streamDone := make(chan error, 1)
+	go func() {
+		conn, err := DialLines(s.TCPAddr().String())
+		if err != nil {
+			streamDone <- err
+			return
+		}
+		for _, line := range lines {
+			if err := conn.Send(line); err != nil {
+				streamDone <- err
+				return
+			}
+		}
+		streamDone <- conn.Close()
+	}()
+
+	for i := 0; i < 6; i++ {
+		fp := fpB
+		if i%2 == 1 {
+			fp = fpA
+		}
+		if sw, err := s.ActivateModel(fp); err != nil {
+			t.Fatal(err)
+		} else if !sw.StateCarried {
+			t.Fatalf("swap %d did not carry state: %+v", i, sw)
+		}
+	}
+	if err := <-streamDone; err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	preds := 0
+	for out := range sub.Out() {
+		if out.Prediction != nil {
+			preds++
+		}
+	}
+	if preds != 4 {
+		t.Fatalf("got %d predictions across 6 swaps, want 4", preds)
+	}
+	st := s.Status()
+	if st.Manager.LinesScanned != len(lines) || st.LinesDropped != 0 {
+		t.Fatalf("scanned %d dropped %d, want %d/0", st.Manager.LinesScanned, st.LinesDropped, len(lines))
+	}
+	if st.Model.Swaps != 6 || st.Model.Active != fpA {
+		t.Fatalf("model status %+v", st.Model)
+	}
+}
+
+// TestModelRollback swaps to a different automaton (reset tier) and rolls
+// back, restoring the prior version as active.
+func TestModelRollback(t *testing.T) {
+	s := newModelTestServer(t, Config{})
+	fpA := s.manager().FingerprintHex()
+
+	up := prunedModel()
+	up.Activate = true
+	code, body := postJSON(t, s.httpBase()+"/model", up)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /model = %d: %s", code, body)
+	}
+	var res ModelUploadResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Swap.StateCarried {
+		t.Fatalf("pruned automaton carried state: %+v", res.Swap)
+	}
+	if got := s.manager().FingerprintHex(); got != res.Model.Fingerprint {
+		t.Fatalf("active manager %s, want %s", got, res.Model.Fingerprint)
+	}
+
+	code, body = postJSON(t, s.httpBase()+"/model/rollback", struct{}{})
+	if code != http.StatusOK {
+		t.Fatalf("POST /model/rollback = %d: %s", code, body)
+	}
+	var sw SwapReport
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.To != fpA || sw.Trigger != "rollback" {
+		t.Fatalf("rollback report %+v", sw)
+	}
+	if got := s.manager().FingerprintHex(); got != fpA {
+		t.Fatalf("active manager after rollback %s, want %s", got, fpA)
+	}
+	// History exhausted: a second rollback is refused.
+	if code, _ = postJSON(t, s.httpBase()+"/model/rollback", struct{}{}); code != http.StatusConflict {
+		t.Fatalf("second rollback = %d, want 409", code)
+	}
+}
+
+// TestShadowEvaluationAndPromote runs a behavior-identical candidate in
+// shadow over a full log (perfect agreement expected), then promotes it warm.
+func TestShadowEvaluationAndPromote(t *testing.T) {
+	s := newModelTestServer(t, Config{Overflow: Block, QueueSize: 64})
+	lines := genTestLog(t, 7, 2).Lines()
+
+	up := variantModel()
+	up.Shadow = true
+	code, body := postJSON(t, s.httpBase()+"/model", up)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /model = %d: %s", code, body)
+	}
+	var res ModelUploadResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Shadow == nil || !res.Shadow.StateCarried {
+		t.Fatalf("shadow status %+v", res.Shadow)
+	}
+	fpB := res.Model.Fingerprint
+
+	streamAll(t, s, lines)
+	// Barriers: primary outputs through the tracker, shadow outputs through
+	// its consumer.
+	if err := s.manager().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.snapMu.Lock()
+	sh := s.shadow
+	s.snapMu.Unlock()
+	if sh == nil {
+		t.Fatal("shadow disappeared")
+	}
+	if err := sh.mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Status()
+	if st.Shadow == nil {
+		t.Fatal("no shadow block in status")
+	}
+	if st.Shadow.PrimaryPredictions != 2 || st.Shadow.ShadowPredictions != 2 || st.Shadow.Agreed != 2 {
+		t.Fatalf("agreement %+v, want 2/2/2", st.Shadow)
+	}
+	if st.Shadow.PendingPrimary != 0 || st.Shadow.PendingShadow != 0 {
+		t.Fatalf("pending disagreements: %+v", st.Shadow)
+	}
+	if st.Shadow.Manager.LinesScanned != len(lines) {
+		t.Fatalf("shadow scanned %d lines, want %d", st.Shadow.Manager.LinesScanned, len(lines))
+	}
+
+	// Promote: the shadow manager takes over warm.
+	code, body = postJSON(t, s.httpBase()+"/model/activate", map[string]string{"fingerprint": fpB})
+	if code != http.StatusOK {
+		t.Fatalf("POST /model/activate = %d: %s", code, body)
+	}
+	var sw SwapReport
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Promoted || !sw.StateCarried || sw.Trigger != "promote" {
+		t.Fatalf("promotion report %+v", sw)
+	}
+	if got := s.manager().FingerprintHex(); got != fpB {
+		t.Fatalf("active manager %s, want promoted %s", got, fpB)
+	}
+	st = s.Status()
+	if st.Shadow != nil {
+		t.Fatal("shadow still reported after promotion")
+	}
+	if st.Manager.LinesScanned != len(lines) {
+		t.Fatalf("promoted manager scanned %d, want %d", st.Manager.LinesScanned, len(lines))
+	}
+	// The shadow is gone; stopping it now is refused.
+	req, _ := http.NewRequest(http.MethodDelete, s.httpBase()+"/model/shadow", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE /model/shadow after promote = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestModelUploadVetRejected posts a model with a chain phrase missing from
+// the inventory: 422 with the vet report attached, and the version is not
+// stored.
+func TestModelUploadVetRejected(t *testing.T) {
+	s := newModelTestServer(t, Config{TCPAddr: "off"})
+	up := variantModel()
+	up.Chains = append(up.Chains, core.FailureChain{
+		Name:    "phantom",
+		Phrases: []core.PhraseID{9999, 9998},
+	})
+	code, body := postJSON(t, s.httpBase()+"/model", up)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("POST /model with bad chain = %d: %s", code, body)
+	}
+	var rej struct {
+		Error string          `json:"error"`
+		Vet   json.RawMessage `json:"vet"`
+	}
+	if err := json.Unmarshal(body, &rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.Error == "" || len(rej.Vet) == 0 {
+		t.Fatalf("rejection body %s", body)
+	}
+	if got := len(s.Registry().List()); got != 1 {
+		t.Fatalf("registry holds %d versions after rejection, want 1 (boot model)", got)
+	}
+}
+
+// TestModelEpochRecovery restarts a persisted server whose journal holds a
+// mid-stream swap: replay rebuilds the swapped-to model (each segment
+// replayed under the model that wrote it) and the manifest names it active,
+// even though the new process booted with the original flags model.
+func TestModelEpochRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Overflow: Block, DataDir: dir}
+	s := newModelTestServer(t, cfg)
+	lines := genTestLog(t, 9, 2).Lines()
+	k := len(lines) / 2
+	fpA := s.manager().FingerprintHex()
+
+	streamAll(t, s, lines[:k])
+	up := variantModel()
+	up.Activate = true
+	code, body := postJSON(t, s.httpBase()+"/model", up)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /model = %d: %s", code, body)
+	}
+	var res ModelUploadResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	fpB := res.Model.Fingerprint
+	if res.Swap.WALEpochIndex == 0 {
+		t.Fatalf("swap wrote no WAL epoch: %+v", res.Swap)
+	}
+	streamAll(t, s, lines[k:])
+
+	// Crash (no final snapshot): the whole journal replays on next boot.
+	s.testSkipFinalSnapshot = true
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newModelTestServer(t, cfg)
+	st := s2.Status()
+	if st.Model == nil || st.Model.Active != fpB {
+		t.Fatalf("recovered active model %+v, want %s", st.Model, fpB)
+	}
+	if got := s2.manager().FingerprintHex(); got != fpB {
+		t.Fatalf("recovered manager runs %s, want %s", got, fpB)
+	}
+	if st.Recovery == nil || st.Recovery.ReplayedSwaps != 1 {
+		t.Fatalf("recovery %+v, want 1 replayed swap", st.Recovery)
+	}
+	// All lines replayed (the epoch record is not a line).
+	if st.Manager.LinesScanned != len(lines) {
+		t.Fatalf("recovered manager scanned %d lines, want %d", st.Manager.LinesScanned, len(lines))
+	}
+	if got := fmt.Sprint(st.Recovery.ReplayedRecords); got != fmt.Sprint(len(lines)+1) {
+		t.Fatalf("replayed %s records, want %d lines + 1 epoch", got, len(lines)+1)
+	}
+	if base := s2.Registry().Base(); base != fpA {
+		t.Fatalf("manifest base %s, want %s", base, fpA)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/predictor"
+	"repro/internal/registry"
 	"repro/internal/wal"
 )
 
@@ -45,6 +46,10 @@ type RecoveryStatus struct {
 	ReplayErrors     uint64  `json:"replay_errors"`
 	RecoveredOutputs int     `json:"recovered_outputs"`
 	DurationSeconds  float64 `json:"duration_seconds"`
+	// ReplayedSwaps counts model-epoch records re-executed during replay:
+	// each journal segment was replayed against the model version that was
+	// live when it was written.
+	ReplayedSwaps uint64 `json:"replayed_swaps,omitempty"`
 }
 
 func (s *Server) walDir() string  { return filepath.Join(s.cfg.DataDir, "wal") }
@@ -65,12 +70,40 @@ func (s *Server) openPersistence() error {
 	if err != nil {
 		return fmt.Errorf("serve: loading snapshot: %w", err)
 	}
-	if ok {
-		if err := s.mgr.Restore(bytes.NewReader(payload)); err != nil {
+	switch {
+	case ok && s.registry != nil:
+		// Registry mode: the snapshot names the model it was taken under —
+		// rebuild that model if it is not the one the server booted with, so
+		// the state imports into matching tables and the journal tail replays
+		// against the right automaton.
+		st, err := predictor.DecodeSnapshotState(bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("serve: reading snapshot (offset %d): %w", off, err)
+		}
+		fp := registry.FormatFingerprint(st.Fingerprint)
+		if fp != s.manager().FingerprintHex() {
+			if err := s.bootSwitchModel(fp); err != nil {
+				return fmt.Errorf("serve: snapshot (offset %d) was taken under model %s: %w", off, fp, err)
+			}
+		}
+		if err := s.manager().ImportState(st); err != nil {
 			return fmt.Errorf("serve: restoring snapshot (offset %d): %w", off, err)
 		}
 		rec.Performed = true
 		rec.SnapshotIndex = off
+	case ok:
+		if err := s.manager().Restore(bytes.NewReader(payload)); err != nil {
+			return fmt.Errorf("serve: restoring snapshot (offset %d): %w", off, err)
+		}
+		rec.Performed = true
+		rec.SnapshotIndex = off
+	case s.registry != nil:
+		// No snapshot: the journal begins under the manifest's base model.
+		if base := s.registry.Base(); base != "" && base != s.manager().FingerprintHex() {
+			if err := s.bootSwitchModel(base); err != nil {
+				return fmt.Errorf("serve: journal began under model %s: %w", base, err)
+			}
+		}
 	}
 
 	wl, err := wal.Open(s.walDir(), wal.Options{
@@ -91,9 +124,25 @@ func (s *Server) openPersistence() error {
 	s.recoveryActive.Store(true)
 	err = wl.Replay(off+1, func(idx uint64, payload []byte) error {
 		rec.ReplayedRecords++
-		if perr := s.mgr.ProcessLine(string(payload)); perr != nil {
-			// The line was malformed when first accepted too; it counted as
-			// a parse error then and does again now.
+		kind, body := decodeRecord(payload)
+		switch kind {
+		case recKindLine:
+			if perr := s.manager().ProcessLine(body); perr != nil {
+				// The line was malformed when first accepted too; it counted
+				// as a parse error then and does again now.
+				rec.ReplayErrors++
+			}
+		case recKindEpoch:
+			// A model hot-swap happened here: re-execute it so the rest of
+			// the journal replays against the model it was written under.
+			if s.registry == nil {
+				return fmt.Errorf("journal holds a model-epoch record at %d but the server has no model registry (Config.Model unset)", idx)
+			}
+			if err := s.replaySwap(body); err != nil {
+				return fmt.Errorf("re-executing model swap at %d: %w", idx, err)
+			}
+			rec.ReplayedSwaps++
+		default:
 			rec.ReplayErrors++
 		}
 		return nil
@@ -107,11 +156,23 @@ func (s *Server) openPersistence() error {
 	}
 	// Barrier: every replayed output is in the recovered buffer before the
 	// daemon reports ready.
-	if err := s.mgr.Flush(); err != nil {
+	if err := s.manager().Flush(); err != nil {
 		wl.Close()
 		return fmt.Errorf("serve: flushing replay: %w", err)
 	}
 	s.recoveryActive.Store(false)
+
+	// Journal wins: if the process died between a swap's epoch append and its
+	// manifest write, the manifest still names the pre-swap model — reconcile
+	// it to what replay actually converged on.
+	if s.registry != nil {
+		if cur := s.manager().FingerprintHex(); s.registry.Active() != cur {
+			s.cfg.Logf("serve: manifest names %s but the journal ends under %s; reconciling", s.registry.Active(), cur)
+			if err := s.registry.Activate(cur); err != nil {
+				s.cfg.Logf("serve: reconciling manifest: %v", err)
+			}
+		}
+	}
 
 	s.recMu.Lock()
 	rec.RecoveredOutputs = len(s.recovered)
@@ -125,6 +186,60 @@ func (s *Server) openPersistence() error {
 		s.cfg.Logf("serve: recovered from snapshot@%d + %d replayed lines (%d outputs) in %.3fs",
 			rec.SnapshotIndex, rec.ReplayedRecords, rec.RecoveredOutputs, rec.DurationSeconds)
 	}
+	return nil
+}
+
+// bootSwitchModel replaces the boot manager with one built from a stored
+// model version, before any state exists to migrate. Boot-time only: the
+// listeners are closed, the pump is not running, and the fan-out (if started)
+// hands over generationally when the old manager closes.
+func (s *Server) bootSwitchModel(fp string) error {
+	model, _, err := s.registry.Get(fp)
+	if err != nil {
+		return err
+	}
+	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, s.workers)
+	if err != nil {
+		return fmt.Errorf("building model %s: %w", fp, err)
+	}
+	old := s.manager()
+	s.setManager(next)
+	old.Close()
+	return nil
+}
+
+// replaySwap re-executes a journaled model swap during boot replay: the
+// current manager's state migrates into the epoch's model exactly as the
+// original swap migrated it (same AdoptState tiers).
+func (s *Server) replaySwap(fp string) error {
+	old := s.manager()
+	if fp == old.FingerprintHex() {
+		return nil
+	}
+	model, _, err := s.registry.Get(fp)
+	if err != nil {
+		return err
+	}
+	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, s.workers)
+	if err != nil {
+		return fmt.Errorf("building model %s: %w", fp, err)
+	}
+	// The fan-out is consuming (recovery mode), so the barrier completes.
+	if err := old.Flush(); err != nil {
+		next.Close()
+		return err
+	}
+	st, err := old.ExportState()
+	if err != nil {
+		next.Close()
+		return err
+	}
+	if _, err := next.AdoptState(st); err != nil {
+		next.Close()
+		return fmt.Errorf("migrating state into %s: %w", fp, err)
+	}
+	s.setManager(next)
+	old.Close()
 	return nil
 }
 
@@ -142,7 +257,7 @@ func (s *Server) snapshot() error {
 	var buf bytes.Buffer
 	// Manager.Snapshot runs the Flush barrier first: every output for lines
 	// ≤ idx is published before the state is captured.
-	if err := s.mgr.Snapshot(&buf); err != nil {
+	if err := s.manager().Snapshot(&buf); err != nil {
 		return err
 	}
 	// The journal must be durable up to the snapshot's offset before old

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/predictor"
+	"repro/internal/registry"
 	"repro/internal/wal"
 )
 
@@ -82,6 +83,18 @@ type Config struct {
 	// WALSegmentSize overrides the journal segment size (default 64 MiB;
 	// mainly for tests).
 	WALSegmentSize int64
+
+	// Model, when non-nil, enables the model lifecycle: a registry of
+	// admitted model versions (persisted under DataDir/models when DataDir is
+	// set), hot-swap activation, rollback and shadow evaluation over the
+	// admin HTTP API. It must describe the same model the Manager passed to
+	// New was built from — the server re-builds managers from it on swap and
+	// recovery.
+	Model *registry.Model
+	// Workers is the predictor worker count used when the server builds a
+	// replacement Manager during a hot-swap (0 = GOMAXPROCS). It should match
+	// the worker count of the Manager passed to New.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -136,16 +149,26 @@ type Status struct {
 	// unset (WAL) or no recovery context exists (Recovery).
 	WAL      *WALStatus      `json:"wal,omitempty"`
 	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+	// Model and Shadow describe the model lifecycle; nil when Config.Model is
+	// unset (Model) or no shadow evaluation runs (Shadow).
+	Model  *ModelStatus  `json:"model,omitempty"`
+	Shadow *ShadowStatus `json:"shadow,omitempty"`
 }
 
 // Server is the streaming ingestion daemon core. Construct with New, bind
 // and start with Start, stop with Shutdown (or drive both with Run).
 type Server struct {
 	cfg   Config
-	mgr   *predictor.Manager
 	queue chan string
 	hub   *hub
 	start time.Time
+
+	// mgr is the active Manager; hot-swaps replace it, so all access goes
+	// through manager()/setManager. The pump reads it under snapMu — which a
+	// swap holds for its whole critical section — so a paused pump can never
+	// resume on a half-swapped manager.
+	mgrMu sync.RWMutex
+	mgr   *predictor.Manager
 
 	accepted    atomic.Int64
 	dropped     atomic.Int64
@@ -186,6 +209,18 @@ type Server struct {
 	recMu          sync.Mutex
 	recovered      []predictor.Output
 
+	// Model lifecycle state (nil registry when Config.Model is unset).
+	// swapMu serializes swaps, shadow starts/stops and reloads; it is always
+	// acquired before snapMu. shadow is written under swapMu+snapMu and read
+	// under either.
+	registry *registry.Registry
+	workers  int
+	swapMu   sync.Mutex
+	shadow   *shadowRun
+	tracker  atomic.Pointer[agreeTracker]
+	swaps    atomic.Int64
+	lastSwap atomic.Pointer[SwapReport]
+
 	started      bool
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -207,6 +242,7 @@ func New(m *predictor.Manager, cfg Config) *Server {
 	return &Server{
 		cfg:        cfg,
 		mgr:        m,
+		workers:    cfg.Workers,
 		queue:      make(chan string, cfg.QueueSize),
 		hub:        newHub(),
 		conns:      map[net.Conn]struct{}{},
@@ -215,6 +251,19 @@ func New(m *predictor.Manager, cfg Config) *Server {
 		fanDone:    make(chan struct{}),
 		httpDone:   make(chan struct{}),
 	}
+}
+
+// manager returns the active Manager (hot-swaps replace it).
+func (s *Server) manager() *predictor.Manager {
+	s.mgrMu.RLock()
+	defer s.mgrMu.RUnlock()
+	return s.mgr
+}
+
+func (s *Server) setManager(m *predictor.Manager) {
+	s.mgrMu.Lock()
+	s.mgr = m
+	s.mgrMu.Unlock()
 }
 
 // Start recovers persisted state (when DataDir is set), then binds the
@@ -229,12 +278,20 @@ func (s *Server) Start() error {
 	s.started = true
 	s.start = time.Now()
 
+	// The model registry opens first (no goroutines yet to unwind on error):
+	// it admits the boot model and loads the activation manifest that
+	// recovery reconciles against the journal.
+	if err := s.openRegistry(); err != nil {
+		s.manager().Close()
+		return err
+	}
+
 	// The fan-out must run before recovery: replayed outputs travel through
 	// it into the recovered buffer, and snapshot barriers need its acks.
 	go s.fanout()
 	if s.cfg.DataDir != "" {
 		if err := s.openPersistence(); err != nil {
-			s.mgr.Close()
+			s.manager().Close()
 			<-s.fanDone
 			return err
 		}
@@ -255,7 +312,7 @@ func (s *Server) Start() error {
 			close(s.snapStop)
 			<-s.snapLoopDone
 		}
-		s.mgr.Close()
+		s.manager().Close()
 		<-s.fanDone
 		if s.wlog != nil {
 			s.wlog.Close()
@@ -322,13 +379,21 @@ func (s *Server) pump() {
 		}
 		s.snapMu.Lock()
 		if s.wlog != nil {
-			if _, err := s.wlog.Append([]byte(line)); err != nil {
+			if _, err := s.wlog.Append(encodeLineRecord(line)); err != nil {
 				// Journal failure is fatal for durability but not for
 				// prediction: log loudly and keep serving.
 				s.cfg.Logf("serve: wal append: %v", err)
 			}
 		}
-		err := s.mgr.ProcessLine(line)
+		// snapMu also pins the manager pointer: a hot-swap holds it for its
+		// whole critical section, so the pump pauses at this line boundary
+		// and resumes on the fully swapped-in manager.
+		err := s.manager().ProcessLine(line)
+		if sh := s.shadow; sh != nil {
+			// The shadow sees exactly the lines the primary does; its own
+			// parse errors mirror the primary's and are not double-counted.
+			sh.mgr.ProcessLine(line)
+		}
 		s.snapMu.Unlock()
 		if err != nil {
 			s.parseErrors.Add(1)
@@ -342,27 +407,41 @@ func (s *Server) pump() {
 			s.cfg.Logf("serve: final snapshot: %v", err)
 		}
 	}
-	s.mgr.Close()
+	s.manager().Close()
 }
 
-// fanout broadcasts Manager results to the hub until Results closes (which
-// the pump triggers via mgr.Close after the queue drains). It also acks
-// Flush barrier markers (snapshots depend on this) and, during boot-time
-// recovery, records outputs into the recovered buffer.
+// fanout broadcasts Manager results to the hub until the final Results
+// channel closes (which the pump triggers via Close after the queue drains).
+// It also acks Flush barrier markers (snapshots depend on this) and, during
+// boot-time recovery, records outputs into the recovered buffer.
+//
+// Hot-swaps are handled generationally: a swap publishes the new manager
+// (setManager) before closing the old one, so when a Results channel closes
+// the loop re-reads the pointer — a changed manager means a swap, an
+// unchanged one means shutdown.
 func (s *Server) fanout() {
 	defer close(s.fanDone)
-	for out := range s.mgr.Results() {
-		if out.IsFlush() {
-			out.Ack()
-			continue
+	for {
+		mgr := s.manager()
+		for out := range mgr.Results() {
+			if out.IsFlush() {
+				out.Ack()
+				continue
+			}
+			if s.recoveryActive.Load() {
+				s.recMu.Lock()
+				s.recovered = append(s.recovered, out)
+				s.recMu.Unlock()
+				continue
+			}
+			if tr := s.tracker.Load(); tr != nil {
+				tr.record(out, true)
+			}
+			s.hub.publish(out)
 		}
-		if s.recoveryActive.Load() {
-			s.recMu.Lock()
-			s.recovered = append(s.recovered, out)
-			s.recMu.Unlock()
-			continue
+		if s.manager() == mgr {
+			break
 		}
-		s.hub.publish(out)
 	}
 	s.hub.close()
 }
@@ -423,9 +502,11 @@ func (s *Server) Status() Status {
 		QueueCapacity:   cap(s.queue),
 		Subscribers:     s.hub.count(),
 		SubscriberDrops: s.hub.dropped.Load(),
-		Manager:         s.mgr.Stats(),
+		Manager:         s.manager().Stats(),
 		WAL:             s.walStatus(),
 		Recovery:        s.recovery,
+		Model:           s.modelStatus(),
+		Shadow:          s.shadowStatus(),
 	}
 }
 
@@ -485,6 +566,17 @@ func (s *Server) shutdown(ctx context.Context) error {
 	}
 	close(s.queue)
 	<-s.pumpDone
+	// Discard a running shadow: its manager closes (no new lines can arrive)
+	// and its consumer exits when the Results channel drains.
+	s.snapMu.Lock()
+	sh := s.shadow
+	s.shadow = nil
+	s.tracker.Store(nil)
+	s.snapMu.Unlock()
+	if sh != nil {
+		sh.mgr.Close()
+		<-sh.done
+	}
 	<-s.fanDone
 	if s.wlog != nil {
 		if err := s.wlog.Close(); err != nil {

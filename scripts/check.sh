@@ -35,6 +35,8 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz='^FuzzWildcardMatch$' -fuzztime="$FUZZTIME" ./internal/baselines
     go test -run='^$' -fuzz='^FuzzWALDecode$' -fuzztime="$FUZZTIME" ./internal/wal
     go test -run='^$' -fuzz='^FuzzSnapshotDecode$' -fuzztime="$FUZZTIME" ./internal/wal
+    go test -run='^$' -fuzz='^FuzzManifestDecode$' -fuzztime="$FUZZTIME" ./internal/registry
+    go test -run='^$' -fuzz='^FuzzModelUploadDecode$' -fuzztime="$FUZZTIME" ./internal/serve
 fi
 
 echo "==> all checks passed"
