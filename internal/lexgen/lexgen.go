@@ -13,6 +13,7 @@ package lexgen
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -84,6 +85,8 @@ func TemplatePattern(template string) string {
 // Scan classifies one log message body. It returns the phrase ID of the
 // matching template and true, or false when the message matches no template
 // (a benign message, discarded).
+//
+//aarohi:hotpath
 func (s *Scanner) Scan(msg string) (core.PhraseID, bool) {
 	id, n := s.set.MatchString(msg)
 	if id < 0 || n == 0 {
@@ -93,6 +96,8 @@ func (s *Scanner) Scan(msg string) (core.PhraseID, bool) {
 }
 
 // ScanBytes is Scan over a byte slice, avoiding a copy for streaming use.
+//
+//aarohi:hotpath
 func (s *Scanner) ScanBytes(msg []byte) (core.PhraseID, bool) {
 	id, n := s.set.Match(msg)
 	if id < 0 || n == 0 {
@@ -175,21 +180,127 @@ func FCTemplates(inventory []core.Template, rs *core.RuleSet) []core.Template {
 const LineFormat = "2006-01-02T15:04:05.000Z07:00"
 
 // ParseLine splits a raw log line into timestamp, node ID and message body.
+//
+//aarohi:hotpath
 func ParseLine(line string) (ts time.Time, node, msg string, err error) {
 	sp1 := strings.IndexByte(line, ' ')
 	if sp1 < 0 {
-		return time.Time{}, "", "", fmt.Errorf("lexgen: malformed line (no timestamp): %q", truncate(line))
+		return time.Time{}, "", "", errNoTimestamp(line)
 	}
-	ts, err = time.Parse(time.RFC3339Nano, line[:sp1])
+	ts, err = parseTimestamp(line[:sp1])
 	if err != nil {
-		return time.Time{}, "", "", fmt.Errorf("lexgen: bad timestamp: %w", err)
+		return time.Time{}, "", "", errBadTimestamp(err)
 	}
 	rest := line[sp1+1:]
 	sp2 := strings.IndexByte(rest, ' ')
 	if sp2 <= 0 {
-		return time.Time{}, "", "", fmt.Errorf("lexgen: malformed line (no node): %q", truncate(line))
+		return time.Time{}, "", "", errNoNode(line)
 	}
 	return ts, rest[:sp2], rest[sp2+1:], nil
+}
+
+// ParseLineBytes is ParseLine over a byte slice: node and msg are subslices
+// of line (no copies), valid only as long as the caller keeps line alive —
+// the WAL-replay and ingest paths parse, consume, and drop them before
+// reusing the buffer.
+//
+//aarohi:hotpath
+func ParseLineBytes(line []byte) (ts time.Time, node, msg []byte, err error) {
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return time.Time{}, nil, nil, errNoTimestamp(line)
+	}
+	ts, err = parseTimestamp(line[:sp1])
+	if err != nil {
+		return time.Time{}, nil, nil, errBadTimestamp(err)
+	}
+	rest := line[sp1+1:]
+	sp2 := bytes.IndexByte(rest, ' ')
+	if sp2 <= 0 {
+		return time.Time{}, nil, nil, errNoNode(line)
+	}
+	return ts, rest[:sp2], rest[sp2+1:], nil
+}
+
+// parseTimestamp decodes the canonical UTC layout FormatLine produces
+// (2015-03-14T04:58:57.640Z — fixed width, millisecond precision, 'Z') with
+// straight digit arithmetic; anything else (other offsets, other fraction
+// widths) takes the time.Parse fallback. The fast path accepts exactly the
+// strings time.Parse(RFC3339Nano) would accept in this shape, including the
+// day-of-month range check, and allocates nothing.
+//
+//aarohi:hotpath
+func parseTimestamp[T ~string | ~[]byte](s T) (time.Time, error) {
+	if len(s) == 24 && s[4] == '-' && s[7] == '-' && s[10] == 'T' &&
+		s[13] == ':' && s[16] == ':' && s[19] == '.' && s[23] == 'Z' {
+		year, ok0 := atoi4(s, 0)
+		month, ok1 := atoi2(s, 5)
+		day, ok2 := atoi2(s, 8)
+		hour, ok3 := atoi2(s, 11)
+		min, ok4 := atoi2(s, 14)
+		sec, ok5 := atoi2(s, 17)
+		ms, ok6 := atoi3(s, 20)
+		if ok0 && ok1 && ok2 && ok3 && ok4 && ok5 && ok6 &&
+			month >= 1 && month <= 12 && day >= 1 && day <= daysIn(year, month) &&
+			hour < 24 && min < 60 && sec < 60 {
+			return time.Date(year, time.Month(month), day, hour, min, sec, ms*1e6, time.UTC), nil
+		}
+	}
+	return parseTimestampSlow(s)
+}
+
+// parseTimestampSlow is the cold fallback; the string conversion and
+// time.Parse's internals may allocate, which is fine off the fast path.
+func parseTimestampSlow[T ~string | ~[]byte](s T) (time.Time, error) {
+	return time.Parse(time.RFC3339Nano, string(s))
+}
+
+// atoi2/atoi3/atoi4 parse fixed-width ASCII decimal runs starting at i; the
+// caller guarantees the indices are in bounds.
+func atoi2[T ~string | ~[]byte](s T, i int) (int, bool) {
+	c0, c1 := s[i]-'0', s[i+1]-'0'
+	return int(c0)*10 + int(c1), c0 <= 9 && c1 <= 9
+}
+
+func atoi3[T ~string | ~[]byte](s T, i int) (int, bool) {
+	hi, ok0 := atoi2(s, i)
+	c2 := s[i+2] - '0'
+	return hi*10 + int(c2), ok0 && c2 <= 9
+}
+
+func atoi4[T ~string | ~[]byte](s T, i int) (int, bool) {
+	hi, ok0 := atoi2(s, i)
+	lo, ok1 := atoi2(s, i+2)
+	return hi*100 + lo, ok0 && ok1
+}
+
+// daysIn mirrors time.Parse's day-of-month validation.
+func daysIn(year, month int) int {
+	switch month {
+	case 4, 6, 9, 11:
+		return 30
+	case 2:
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	default:
+		return 31
+	}
+}
+
+// Cold error constructors keep fmt (and its interface boxing) out of the
+// annotated parse functions.
+func errNoTimestamp[T ~string | ~[]byte](line T) error {
+	return fmt.Errorf("lexgen: malformed line (no timestamp): %q", truncate(string(line)))
+}
+
+func errBadTimestamp(err error) error {
+	return fmt.Errorf("lexgen: bad timestamp: %w", err)
+}
+
+func errNoNode[T ~string | ~[]byte](line T) error {
+	return fmt.Errorf("lexgen: malformed line (no node): %q", truncate(string(line)))
 }
 
 // FormatLine renders a log line in the canonical layout.

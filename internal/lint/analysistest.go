@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package at dir (relative to the test's working
+// directory, e.g. "testdata/src/hotpath"), runs the analyzer over it, and
+// compares the diagnostics against `// want "regexp"` comments: every
+// expectation must be matched by a diagnostic on its line, and every
+// diagnostic must be expected. Multiple expectations on one line are
+// space-separated quoted regexps, analysistest-style:
+//
+//	s := string(b) // want `converts \[\]byte to string`
+//
+// Suppression comments participate exactly as in production, so a fixture
+// can also assert that //aarohi:allow works.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := Load("", []string{"./" + strings.TrimPrefix(dir, "./")})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := map[key][]Diagnostic{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		unmatched[k] = append(unmatched[k], d)
+	}
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants, perr := parseWants(c.Text)
+					if perr != nil {
+						t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), perr)
+					}
+					if len(wants) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, want := range wants {
+						re, rerr := regexp.Compile(want)
+						if rerr != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, want, rerr)
+						}
+						idx := -1
+						for i, d := range unmatched[k] {
+							if re.MatchString(d.Message) {
+								idx = i
+								break
+							}
+						}
+						if idx < 0 {
+							t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+								pos.Filename, pos.Line, want)
+							continue
+						}
+						unmatched[k] = append(unmatched[k][:idx], unmatched[k][idx+1:]...)
+					}
+				}
+			}
+		}
+	}
+
+	for k, ds := range unmatched {
+		for _, d := range ds {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from a `// want "..." "..."`
+// comment (also accepting backquotes). Returns nil when the comment is not a
+// want-comment.
+func parseWants(comment string) ([]string, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var wants []string
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want expectation must be quoted: %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expectation: %q", rest)
+		}
+		wants = append(wants, rest[1:1+end])
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return wants, nil
+}
+
+// fixtureFuncNames lists the function names declared in the loaded fixture —
+// a guard for fixture-integrity tests.
+func fixtureFuncNames(pkg *Package) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				names = append(names, fd.Name.Name)
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Durable flags discarded error results on the durability path: a call to a
+// WAL-package method or function that returns an error, used as a bare
+// statement (or inside go/defer), silently drops the one signal that the
+// journal — the daemon's crash-safety contract — has stopped being durable.
+// An fsync error in particular is one-shot: the kernel clears the dirty
+// state, so the caller who ignores it has lost data *and* the evidence.
+//
+// Covered calls: methods on types declared in a package named "wal"
+// (Append, Sync, Close, TruncateBefore, …), package-level functions of a
+// "wal" package returning an error, and (*os.File).Sync anywhere. An
+// explicit `_ = call()` is accepted as a deliberate, visible discard —
+// the batch-fsync loop uses it, with a comment, because Append surfaces
+// hard write errors on the next record.
+var Durable = &Analyzer{
+	Name: "durable",
+	Doc:  "flag discarded errors from WAL append/fsync/close and os.File.Sync",
+	Run:  runDurable,
+}
+
+func runDurable(pass *Pass) error {
+	check := func(call *ast.CallExpr) {
+		if name, ok := durableCall(pass, call); ok {
+			pass.Reportf(call.Pos(), "error from %s is discarded on the durability path (handle it, or assign to _ with a comment)", name)
+		}
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				check(call)
+			}
+			return false // don't re-visit the call as a generic child
+		case *ast.GoStmt:
+			check(n.Call)
+			return false
+		case *ast.DeferStmt:
+			check(n.Call)
+			return false
+		}
+		return true
+	})
+	return nil
+}
+
+// durableCall reports whether the call targets the durability surface and
+// returns an error that the bare-statement position necessarily discards.
+func durableCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	// (*os.File).Sync — fsync is fsync wherever it appears.
+	if recv := recvNamed(f); recv != nil {
+		pkg := recv.Obj().Pkg()
+		if pkg == nil {
+			return "", false
+		}
+		if pkg.Path() == "os" && recv.Obj().Name() == "File" && f.Name() == "Sync" {
+			return "(*os.File).Sync", true
+		}
+		if pkg.Name() == "wal" {
+			return pkg.Name() + "." + recv.Obj().Name() + "." + f.Name(), true
+		}
+		return "", false
+	}
+	if f.Pkg() != nil && f.Pkg().Name() == "wal" {
+		return "wal." + f.Name(), true
+	}
+	return "", false
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

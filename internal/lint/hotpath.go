@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose body must not allocate. The
+// annotation goes in the function's doc comment:
+//
+//	//aarohi:hotpath
+//	func (s *Scanner) ScanBytes(msg []byte) (core.PhraseID, bool) { ... }
+const hotpathDirective = "//aarohi:hotpath"
+
+// Hotpath flags allocation-causing constructs inside functions annotated
+// //aarohi:hotpath: the scanner DFA step, the parser driver feed, the serve
+// ingest pump and the WAL record encode are per-line/per-token code where a
+// single allocation multiplies by the log rate (ROADMAP item 2 targets
+// >100 MB/s, where "the scanner DFA is the only cost").
+//
+// The checks are syntactic proxies for the allocations the compiler would
+// emit, deliberately conservative — no escape analysis:
+//
+//   - string([]byte) / []byte(string) / []rune conversions (full copies),
+//     except a string(b) used directly as a map index, which the compiler
+//     performs without copying;
+//   - calls into fmt, and errors.New (move formatting to a cold helper);
+//   - map and slice composite literals, make, and new;
+//   - function literals (closures generally escape to the heap);
+//   - implicit interface conversions at call arguments, returns and channel
+//     sends, including the ...any slice of a variadic call (boxing).
+//
+// testing.AllocsPerRun regression tests pin the same functions at runtime;
+// the analyzer is the reviewer that explains *which* construct regressed.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocating constructs in functions annotated //aarohi:hotpath",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether the comment group contains the directive as a
+// whole comment line (directives are //-comments with no space after the
+// slashes, so they never render in godoc).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var sig *types.Signature
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path builds a closure (function literals escape to the heap)")
+			return false // the literal's body runs elsewhere; don't double-report
+
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hot path allocates a map literal")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "hot path allocates a slice literal")
+				}
+			}
+
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+
+		case *ast.ReturnStmt:
+			if sig != nil {
+				checkHotReturn(pass, sig, n)
+			}
+
+		case *ast.SendStmt:
+			if ch, ok := info.Types[n.Chan]; ok {
+				if chT, ok := ch.Type.Underlying().(*types.Chan); ok {
+					reportBoxing(pass, chT.Elem(), n.Value, "channel send")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	if isConversion(info, call) {
+		to := info.Types[call.Fun].Type
+		from := info.Types[call.Args[0]].Type
+		if copyingConversion(to, from) && !isMapIndexContext(pass, call) {
+			pass.Reportf(call.Pos(), "hot path converts %s to %s (copies the contents)",
+				types.TypeString(from, types.RelativeTo(pass.Pkg)),
+				types.TypeString(to, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path calls make (allocates)")
+			case "new":
+				pass.Reportf(call.Pos(), "hot path calls new (allocates)")
+			}
+			return
+		}
+	}
+
+	if f := calleeFunc(info, call); f != nil {
+		switch pkg := funcPkgPath(f); {
+		case pkg == "fmt":
+			pass.Reportf(call.Pos(), "hot path calls fmt.%s (allocates; format in a cold helper)", f.Name())
+		case pkg == "errors" && f.Name() == "New":
+			pass.Reportf(call.Pos(), "hot path calls errors.New (allocates; hoist to a package-level sentinel)")
+		}
+	}
+
+	// Interface boxing at the call boundary.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		// a(slice...) passes the slice through unchanged.
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			// Each boxed variadic element also implies the ...T backing
+			// slice; the per-element report is signal enough.
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else {
+			pt = params.At(i).Type()
+		}
+		reportBoxing(pass, pt, arg, "argument")
+	}
+}
+
+func checkHotReturn(pass *Pass, sig *types.Signature, ret *ast.ReturnStmt) {
+	results := sig.Results()
+	if results.Len() != len(ret.Results) {
+		return // naked return or single multi-value call
+	}
+	for i, expr := range ret.Results {
+		reportBoxing(pass, results.At(i).Type(), expr, "return")
+	}
+}
+
+// reportBoxing flags a concrete value converted to an interface at a
+// boundary. Pointer-shaped values still allocate an itab pair unless the
+// compiler can prove otherwise, so everything concrete is flagged; untyped
+// nil and values already of interface type are free.
+func reportBoxing(pass *Pass, to types.Type, expr ast.Expr, context string) {
+	if !isInterface(to) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || isInterface(tv.Type) {
+		return
+	}
+	if tv.Value != nil {
+		return // constants box into read-only statics, not per-call heap
+	}
+	pass.Reportf(expr.Pos(), "hot path boxes %s into %s at %s (allocates)",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
+		types.TypeString(to, types.RelativeTo(pass.Pkg)), context)
+}
+
+// copyingConversion reports whether a conversion from -> to copies memory:
+// string <-> []byte/[]rune in either direction.
+func copyingConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isMapIndexContext reports whether the conversion is the index operand of a
+// map access (m[string(b)]), which the compiler performs without allocating.
+func isMapIndexContext(pass *Pass, conv *ast.CallExpr) bool {
+	for _, file := range pass.Files {
+		if file.Pos() <= conv.Pos() && conv.End() <= file.End() {
+			found := false
+			ast.Inspect(file, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				idx, ok := n.(*ast.IndexExpr)
+				if !ok {
+					return true
+				}
+				if ast.Unparen(idx.Index) == conv {
+					if tv, ok := pass.TypesInfo.Types[idx.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							found = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			return found
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path   string
+	Name   string
+	Dir    string
+	Module string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool, parses the matched packages,
+// and type-checks them against compiler export data. Running `go list
+// -export` builds (or reuses from the build cache) export files for every
+// dependency, so the type-checker never re-checks dependencies from source —
+// the x/tools go/packages NeedTypes shape, on the standard library only.
+//
+// dir is the working directory for the go tool ("" for the current one);
+// only non-test files are loaded, matching what ships in the binary.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Module,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+
+	var targets []*listedPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue // empty package (e.g. a directory of only test files)
+		}
+		p := lp
+		targets = append(targets, &p)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	mod := ""
+	if lp.Module != nil {
+		mod = lp.Module.Path
+	}
+	return &Package{
+		Path:   lp.ImportPath,
+		Name:   lp.Name,
+		Dir:    lp.Dir,
+		Module: mod,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}, nil
+}
+
+// moduleRelative trims the module's directory prefix off a file path, for
+// stable diagnostic rendering in tests.
+func moduleRelative(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockBlock flags operations that can block — or that perform I/O — while a
+// sync.Mutex or sync.RWMutex is held in the same function: channel sends and
+// receives, select statements without a default case, time.Sleep, file and
+// network I/O, and fsync. A predictor that holds its ingest lock across an
+// fsync turns the paper's "real-time" into "as fast as the disk flushes";
+// internal/serve, internal/predictor and internal/wal all hold locks within
+// arm's reach of I/O, which is exactly where this rots.
+//
+// The analysis is structural, not path-sensitive: a span starts at
+// mu.Lock()/mu.RLock() and ends at the first Unlock of the same mutex
+// expression *at the same block level*. An Unlock inside a conditional branch
+// that terminates (return/break/continue) does not end the outer span — the
+// usual early-error-exit shape keeps the lock held on the fallthrough path. A
+// deferred Unlock extends the span to the end of the block. Deliberate
+// exceptions (e.g. the WAL's fsync-on-segment-roll, which must serialize with
+// appends) carry an //aarohi:allow lockblock comment with the reason.
+var LockBlock = &Analyzer{
+	Name: "lockblock",
+	Doc:  "flag blocking operations (chan ops, I/O, fsync, sleeps) while a mutex is held",
+	Run:  runLockBlock,
+}
+
+func runLockBlock(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanBlockForLocks(pass, fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+// lockSpan is one mutex known to be held at the current point.
+type lockSpan struct {
+	key string // canonical spelling of the mutex expression
+	pos ast.Node
+}
+
+// scanBlockForLocks walks one statement list carrying the set of held locks,
+// descending into nested blocks. It returns the held set as of the end of the
+// list (locks acquired here stay held for a caller's tail when the block
+// falls through — callers that know the block terminates discard it).
+func scanBlockForLocks(pass *Pass, stmts []ast.Stmt, held []lockSpan) []lockSpan {
+	held = append([]lockSpan(nil), held...)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, kind, ok := lockCall(pass, s.X); ok {
+				switch kind {
+				case "Lock", "RLock":
+					held = append(held, lockSpan{key: key, pos: s})
+					continue
+				case "Unlock", "RUnlock":
+					held = removeLock(held, key)
+					continue
+				}
+			}
+			checkStmtUnderLocks(pass, s, held)
+		case *ast.DeferStmt:
+			if key, kind, ok := lockCall(pass, s.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				// Deferred unlock: the lock stays held to the end of the
+				// function; the span simply continues.
+				_ = key
+				continue
+			}
+			// A deferred closure runs after the function's own unlocks; its
+			// body is scanned with no held set.
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				scanBlockForLocks(pass, fl.Body.List, nil)
+			}
+		case *ast.BlockStmt:
+			inner := scanBlockForLocks(pass, s.List, held)
+			held = carryOver(held, inner, s)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkStmtUnderLocks(pass, s.Init, held)
+			}
+			checkExprUnderLocks(pass, s.Cond, held)
+			inner := scanBlockForLocks(pass, s.Body.List, held)
+			if !terminates(s.Body) {
+				held = carryOver(held, inner, s.Body)
+			}
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					innerE := scanBlockForLocks(pass, e.List, held)
+					if !terminates(e) {
+						held = carryOver(held, innerE, e)
+					}
+				case *ast.IfStmt:
+					scanBlockForLocks(pass, []ast.Stmt{e}, held)
+				}
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			// Headers (init/cond/post/tag/range operand) run under the
+			// current held set; bodies are scanned structurally so inner
+			// Lock/Unlock pairs are honored. Lock-state changes inside a
+			// loop body do not propagate out (a loop that locks and unlocks
+			// per iteration is balanced).
+			for _, e := range headerExprs(s) {
+				checkExprUnderLocks(pass, e, held)
+			}
+			for _, body := range nestedBlocks(s) {
+				scanBlockForLocks(pass, body.List, held)
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				reportBlocked(pass, s, held, "select with no default case blocks")
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					scanBlockForLocks(pass, cc.Body, held)
+				}
+			}
+		default:
+			checkStmtUnderLocks(pass, stmt, held)
+		}
+	}
+	return held
+}
+
+// carryOver keeps locks acquired inside a nested block visible to the
+// caller's remainder, and honors unlocks the nested block performed.
+func carryOver(outer, inner []lockSpan, _ ast.Node) []lockSpan {
+	return inner
+}
+
+// headerExprs returns the header expressions and statements of a loop or
+// switch — the parts that execute under the surrounding lock state.
+func headerExprs(stmt ast.Stmt) []ast.Expr {
+	var out []ast.Expr
+	add := func(e ast.Expr) {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		add(s.Cond)
+	case *ast.RangeStmt:
+		add(s.X)
+	case *ast.SwitchStmt:
+		add(s.Tag)
+	}
+	return out
+}
+
+// nestedBlocks extracts the statement bodies of loop/switch statements.
+func nestedBlocks(stmt ast.Stmt) []*ast.BlockStmt {
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		return []*ast.BlockStmt{s.Body}
+	case *ast.RangeStmt:
+		return []*ast.BlockStmt{s.Body}
+	case *ast.SwitchStmt:
+		var out []*ast.BlockStmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		var out []*ast.BlockStmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// terminates reports whether a block always transfers control out (return,
+// panic, continue, break, goto) on its final statement.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func removeLock(held []lockSpan, key string) []lockSpan {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == key {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// lockCall recognizes x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() calls on a
+// sync.Mutex or sync.RWMutex (directly or embedded) and returns a canonical
+// key for the mutex expression.
+func lockCall(pass *Pass, expr ast.Expr) (key, kind string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || funcPkgPath(f) != "sync" {
+		return "", "", false
+	}
+	recv := recvNamed(f)
+	if recv == nil {
+		return "", "", false
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	// Canonical key: the receiver expression with R-flavor folded away, so
+	// mu.RLock pairs with mu.RUnlock and Lock with Unlock on the same mu.
+	return exprKey(sel.X), name, true
+}
+
+// exprKey renders an expression as a canonical string for mutex identity.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[" + exprKey(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprKey(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	}
+	return "?"
+}
+
+// checkStmtUnderLocks inspects one statement (and everything nested in it
+// that the caller did not already handle structurally) for blocking
+// operations while locks are held.
+func checkStmtUnderLocks(pass *Pass, stmt ast.Stmt, held []lockSpan) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later / elsewhere
+		case *ast.SendStmt:
+			reportBlocked(pass, n, held, "channel send blocks")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportBlocked(pass, n, held, "channel receive blocks")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				reportBlocked(pass, n, held, "select with no default case blocks")
+			}
+			return false
+		case *ast.CallExpr:
+			if msg := blockingCall(pass, n); msg != "" {
+				reportBlocked(pass, n, held, msg)
+			}
+		}
+		return true
+	})
+}
+
+func checkExprUnderLocks(pass *Pass, expr ast.Expr, held []lockSpan) {
+	if expr == nil || len(held) == 0 {
+		return
+	}
+	checkStmtUnderLocks(pass, &ast.ExprStmt{X: expr}, held)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ioPackages are packages whose exported functions count as I/O.
+var ioPackages = map[string]bool{
+	"os":       true,
+	"net":      true,
+	"io":       true,
+	"bufio":    true,
+	"net/http": true,
+}
+
+// ioMethodTypes are receiver types whose I/O-shaped methods count.
+var ioMethodTypes = map[string]map[string]bool{
+	"os.File": {
+		"Sync": true, "Write": true, "WriteString": true, "WriteAt": true,
+		"Read": true, "ReadAt": true, "ReadFrom": true, "Truncate": true,
+	},
+}
+
+// ioInterfaceMethods flag method calls through net.Conn-shaped interfaces.
+var netConnMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true,
+}
+
+// blockingCall classifies a call as blocking I/O, fsync or sleep; returns a
+// description or "".
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return ""
+	}
+	pkg := funcPkgPath(f)
+	if pkg == "time" && f.Name() == "Sleep" {
+		return "time.Sleep blocks"
+	}
+	if recv := recvNamed(f); recv != nil {
+		if recv.Obj().Pkg() != nil {
+			full := recv.Obj().Pkg().Path() + "." + recv.Obj().Name()
+			if methods, ok := ioMethodTypes[full]; ok && methods[f.Name()] {
+				if f.Name() == "Sync" {
+					return "fsync under a held lock stalls every other holder"
+				}
+				return "file I/O (" + full + "." + f.Name() + ") blocks"
+			}
+			if full == "net.netFD" || strings.HasPrefix(full, "net.") {
+				if netConnMethods[f.Name()] {
+					return "network I/O (" + full + "." + f.Name() + ") blocks"
+				}
+			}
+		}
+		return ""
+	}
+	// Package-level functions: opening/creating/reading files, dialing.
+	if ioPackages[pkg] {
+		switch f.Name() {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir",
+			"Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll",
+			"Dial", "DialTimeout", "Listen", "ReadFull", "ReadAll", "Copy",
+			"Get", "Post", "Do":
+			return pkg + "." + f.Name() + " performs I/O"
+		}
+	}
+	return ""
+}
+
+func reportBlocked(pass *Pass, n ast.Node, held []lockSpan, what string) {
+	keys := make([]string, len(held))
+	for i, h := range held {
+		keys[i] = h.key
+	}
+	pass.Reportf(n.Pos(), "%s while %s is held", what, strings.Join(keys, ", "))
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MustClose flags values of project-owned io.Closer-shaped types (predictor
+// Manager, serve Server, WAL journal, registry store, …) that a function
+// creates and then neither closes nor lets escape. A Manager that is never
+// closed leaks its worker goroutines; a WAL journal that is never closed
+// leaks its batch-fsync loop and an open segment fd — both are the kind of
+// drip that only shows up after days of uptime.
+//
+// A creation counts when a constructor-shaped call (callee named New*,
+// Open*, Create*, or a lower-case variant — getters like s.manager() hand
+// out a value someone else owns and are ignored) returns a named type (or
+// pointer to one) that (a) is declared in the same module as the package
+// under analysis and (b) has a Close method in its method set. The value is satisfied when, in
+// the same function, it appears as the receiver of a Close call, is
+// returned, is assigned to anything other than a simple local (struct field,
+// global, map/slice element), is sent on a channel, or is passed as an
+// argument to another call — the last holder is responsible, and ownership
+// transfers are explicit in this codebase. The check is function-local and
+// deliberately ignores aliasing; the fixture documents the contract.
+var MustClose = &Analyzer{
+	Name: "mustclose",
+	Doc:  "flag project Closer-typed values created but neither closed nor escaping",
+	Run:  runMustClose,
+}
+
+func runMustClose(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMustClose(pass, fd)
+		}
+	}
+	return nil
+}
+
+// creation is one tracked closer-typed local.
+type creation struct {
+	obj  types.Object
+	call *ast.CallExpr
+	name string // type name for the diagnostic
+}
+
+func checkMustClose(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: find `v := NewX(...)` / `v, err := Open(...)` creations of
+	// project closer types bound to simple local identifiers.
+	var tracked []*creation
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Only v := f(...) shapes: a plain `=` may be re-binding a value
+		// someone else owns.
+		if assign.Tok.String() != ":=" {
+			return true
+		}
+		var call *ast.CallExpr
+		if len(assign.Rhs) == 1 {
+			call, _ = ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		}
+		if call == nil || isConversion(info, call) || !constructorCall(call) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if name, ok := projectCloserType(pass, obj.Type()); ok {
+				tracked = append(tracked, &creation{obj: obj, call: call, name: name})
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: look for a Close, or an escape, of each tracked object.
+	satisfied := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Close() / v.Shutdown(...) — any method spelled on v whose
+			// name starts with Close or Shutdown counts as releasing it.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && isTracked(tracked, obj) {
+						if sel.Sel.Name == "Close" || sel.Sel.Name == "Shutdown" {
+							satisfied[obj] = true
+							return true
+						}
+					}
+				}
+			}
+			// v passed as an argument: ownership transferred.
+			for _, arg := range n.Args {
+				markUse(info, tracked, satisfied, arg)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markUse(info, tracked, satisfied, res)
+			}
+		case *ast.SendStmt:
+			markUse(info, tracked, satisfied, n.Value)
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				markUse(info, tracked, satisfied, elt)
+			}
+		case *ast.AssignStmt:
+			// v assigned onward (s.f = v, m[k] = v, outer = v): the new
+			// holder owns it. Only `x := v` aliasing to a fresh local keeps
+			// the obligation here — and then the alias is not tracked, so we
+			// conservatively treat any RHS use as an escape too. A blank
+			// `_ = v` stores nothing and keeps the obligation.
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				markUse(info, tracked, satisfied, rhs)
+			}
+		}
+		return true
+	})
+
+	for _, c := range tracked {
+		if !satisfied[c.obj] {
+			pass.Reportf(c.call.Pos(), "%s created here is never closed and never escapes (call %s.Close, or hand it off)",
+				c.name, c.obj.Name())
+		}
+	}
+}
+
+// constructorCall reports whether the callee's name looks like it mints a
+// fresh value the caller now owns. Accessors returning an existing value
+// (s.manager(), r.Store()) must not create a close obligation.
+func constructorCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	for _, prefix := range []string{"New", "new", "Open", "open", "Create", "create"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func isTracked(tracked []*creation, obj types.Object) bool {
+	for _, c := range tracked {
+		if c.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// markUse marks a tracked object satisfied when expr is (or contains at its
+// root) a bare reference to it.
+func markUse(info *types.Info, tracked []*creation, satisfied map[types.Object]bool, expr ast.Expr) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil && isTracked(tracked, obj) {
+			satisfied[obj] = true
+		}
+	case *ast.UnaryExpr:
+		markUse(info, tracked, satisfied, e.X)
+	}
+}
+
+// projectCloserType reports whether t is (a pointer to) a named type declared
+// in the analyzed package's module with a Close method, returning a display
+// name.
+func projectCloserType(pass *Pass, t types.Type) (string, bool) {
+	named := namedOrPointee(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if pass.Module == "" || !inModule(named.Obj().Pkg().Path(), pass.Module) {
+		return "", false
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if f, ok := ms.At(i).Obj().(*types.Func); ok && f.Name() == "Close" {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+		}
+	}
+	return "", false
+}
+
+// inModule reports whether pkgPath lives inside module mod.
+func inModule(pkgPath, mod string) bool {
+	return pkgPath == mod || (len(pkgPath) > len(mod) && pkgPath[:len(mod)] == mod && pkgPath[len(mod)] == '/')
+}

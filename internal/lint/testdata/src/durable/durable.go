@@ -1,0 +1,50 @@
+// Package durable is the fixture for the durable analyzer: errors from WAL
+// append/fsync/close and os.File.Sync may not be silently discarded.
+package durable
+
+import (
+	"os"
+
+	"repro/internal/lint/testdata/src/durable/wal"
+)
+
+func discards(l *wal.Log, f *os.File) {
+	l.Append(nil)       // want `error from wal.Log.Append is discarded`
+	l.Sync()            // want `error from wal.Log.Sync is discarded`
+	l.TruncateBefore(1) // want `error from wal.Log.TruncateBefore is discarded`
+	f.Sync()            // want `error from \(\*os.File\).Sync is discarded`
+}
+
+func discardsInDefer(l *wal.Log) {
+	defer l.Close() // want `error from wal.Log.Close is discarded`
+}
+
+func discardsInGo(l *wal.Log) {
+	go l.Sync() // want `error from wal.Log.Sync is discarded`
+}
+
+func discardsPackageFunc() {
+	wal.WriteSnapshotFile("", 1, nil) // want `error from wal.WriteSnapshotFile is discarded`
+}
+
+// --- non-findings ---
+
+func handled(l *wal.Log) error {
+	if _, err := l.Append(nil); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+func explicitDiscard(l *wal.Log) {
+	_ = l.Sync() // best effort, visibly acknowledged: fine
+}
+
+func errorlessCallsIgnored(l *wal.Log, f *os.File) {
+	l.LastIndex() // returns no error
+	f.Name()      // not Sync
+	_ = f.Close() // os.File.Close is not on the durability surface here
+}

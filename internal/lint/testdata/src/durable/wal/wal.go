@@ -1,0 +1,19 @@
+// Package wal is a stub journal for the durable fixture: the analyzer keys
+// on the package name, matching the real repro/internal/wal surface.
+package wal
+
+// Log is the stub journal.
+type Log struct{}
+
+func (l *Log) Append(p []byte) (uint64, error) { return 0, nil }
+func (l *Log) Sync() error                     { return nil }
+func (l *Log) Close() error                    { return nil }
+func (l *Log) TruncateBefore(idx uint64) error { return nil }
+
+// LastIndex returns no error; discarding its result is not a durability bug.
+func (l *Log) LastIndex() uint64 { return 0 }
+
+// WriteSnapshotFile is the stub of the snapshot container writer.
+func WriteSnapshotFile(dir string, idx uint64, payload []byte) (string, error) {
+	return "", nil
+}

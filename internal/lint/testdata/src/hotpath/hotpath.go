@@ -1,0 +1,95 @@
+// Package hotpath is the fixture for the hotpath analyzer: functions
+// annotated //aarohi:hotpath must not contain allocating constructs.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+type token struct {
+	id int
+}
+
+var sink any
+
+// notAnnotated allocates freely: without the directive nothing is flagged.
+func notAnnotated(b []byte) string {
+	m := map[string]int{"x": 1}
+	_ = m
+	return fmt.Sprintf("%s", string(b))
+}
+
+//aarohi:hotpath
+func conversions(b []byte, s string) int {
+	x := string(b) // want `converts \[\]byte to string`
+	y := []byte(s) // want `converts string to \[\]byte`
+	return len(x) + len(y)
+}
+
+//aarohi:hotpath
+func mapIndexExemption(m map[string]int, b []byte) int {
+	return m[string(b)] // the compiler elides this copy; no finding
+}
+
+//aarohi:hotpath
+func formatting(n int) {
+	fmt.Println(n)       // want `calls fmt.Println` `boxes int into any`
+	_ = errors.New("no") // want `calls errors.New`
+}
+
+//aarohi:hotpath
+func literalsAndMakes() int {
+	m := map[int]int{}    // want `allocates a map literal`
+	s := []int{1, 2, 3}   // want `allocates a slice literal`
+	t := make([]byte, 16) // want `calls make`
+	p := new(token)       // want `calls new`
+	return len(m) + len(s) + len(t) + p.id
+}
+
+//aarohi:hotpath
+func closures() func() int {
+	f := func() int { return 1 } // want `builds a closure`
+	return f
+}
+
+func eat(v any) { sink = v }
+
+//aarohi:hotpath
+func boxing(t token) {
+	eat(t) // want `boxes token into any`
+}
+
+//aarohi:hotpath
+func boxingReturn(t token) any {
+	return t // want `boxes token into any at return`
+}
+
+//aarohi:hotpath
+func boxingSend(ch chan any, t token) {
+	ch <- t // want `boxes token into any at channel send`
+}
+
+//aarohi:hotpath
+func constantsAreFree() {
+	eat("static") // constants box into read-only statics; no finding
+}
+
+//aarohi:hotpath
+func cleanHot(b []byte, toks []token) (int, bool) {
+	// Index loops, arithmetic, struct access, calls to non-allocating
+	// helpers: the shape hot paths are supposed to have.
+	n := 0
+	for i := 0; i < len(b); i++ {
+		n += int(b[i])
+	}
+	for _, t := range toks {
+		n += t.id
+	}
+	return n, n > 0
+}
+
+//aarohi:hotpath
+func allowed(b []byte) string {
+	return string(b) //aarohi:allow hotpath ownership handoff requires the copy
+}

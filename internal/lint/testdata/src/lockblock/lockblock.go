@@ -1,0 +1,127 @@
+// Package lockblock is the fixture for the lockblock analyzer: no blocking
+// operation (chan ops, I/O, fsync, sleep) while a mutex is held.
+package lockblock
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	f    *os.File
+	vals []int
+}
+
+func (s *server) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send blocks while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) recvUnderDeferredUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive blocks while s.mu is held`
+}
+
+func (s *server) sleepUnderRLock() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks while s.rw is held`
+	s.rw.RUnlock()
+}
+
+func (s *server) fsyncUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync() // want `fsync under a held lock`
+}
+
+func (s *server) fileWriteUnderLock(p []byte) {
+	s.mu.Lock()
+	s.f.Write(p) // want `file I/O \(os.File.Write\) blocks`
+	s.mu.Unlock()
+}
+
+func (s *server) openUnderLock() {
+	s.mu.Lock()
+	os.Open("/dev/null") // want `os.Open performs I/O while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default case blocks`
+	case v := <-s.ch:
+		s.vals = append(s.vals, v)
+	case s.ch <- 0:
+	}
+}
+
+// --- non-findings ---
+
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	s.vals = append(s.vals, 1)
+	s.mu.Unlock()
+	s.ch <- 1 // lock released: fine
+}
+
+func (s *server) earlyReturnKeepsHeld() error {
+	s.mu.Lock()
+	if len(s.vals) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.ch <- 1 // want `channel send blocks while s.mu is held`
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *server) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default: // non-blocking: fine
+	}
+}
+
+func (s *server) lockPerIteration() {
+	for i := 0; i < 3; i++ {
+		s.mu.Lock()
+		s.vals = append(s.vals, i)
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // balanced inside the loop: fine
+}
+
+func (s *server) differentMutexes() {
+	s.mu.Lock()
+	s.vals = nil
+	s.mu.Unlock()
+	s.rw.Lock()
+	s.vals = nil
+	s.rw.Unlock()
+	time.Sleep(time.Millisecond) // nothing held: fine
+}
+
+func (s *server) allowedFsync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//aarohi:allow lockblock segment roll must serialize the fsync with appends
+	s.f.Sync()
+}
+
+func (s *server) deferredClosureRunsUnlocked() {
+	s.mu.Lock()
+	defer func() {
+		s.ch <- 1 // runs after the unlock below: fine
+	}()
+	s.vals = nil
+	s.mu.Unlock()
+}

@@ -1,0 +1,129 @@
+// Package mustclose is the fixture for the mustclose analyzer: project
+// Closer-typed values created in a function must be closed or escape.
+package mustclose
+
+import "os"
+
+// journal is a project closer type (declared in this module).
+type journal struct{ open bool }
+
+func openJournal() (*journal, error) { return &journal{open: true}, nil }
+
+func (j *journal) Close() error { j.open = false; return nil }
+
+func (j *journal) Append(p []byte) error { return nil }
+
+// manager has Shutdown rather than Close on the value side, plus Close —
+// both release it.
+type manager struct{}
+
+func newManager() *manager         { return &manager{} }
+func (m *manager) Close()          {}
+func (m *manager) Shutdown() error { return nil }
+
+type holder struct{ j *journal }
+
+var global *journal
+
+func leaked() error {
+	j, err := openJournal() // want `journal created here is never closed`
+	if err != nil {
+		return err
+	}
+	return j.Append(nil)
+}
+
+func closedOnDefer() error {
+	j, err := openJournal()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	return j.Append(nil)
+}
+
+func closedExplicitly() error {
+	m := newManager()
+	m.Close()
+	return nil
+}
+
+func shutdownCounts() error {
+	m := newManager()
+	return m.Shutdown()
+}
+
+func escapesByReturn() (*journal, error) {
+	return openJournal()
+}
+
+func escapesByReturnVar() (*journal, error) {
+	j, err := openJournal()
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func consume(j *journal) {}
+
+func escapesByArgument() error {
+	j, err := openJournal()
+	if err != nil {
+		return err
+	}
+	consume(j)
+	return nil
+}
+
+func escapesByField() (*holder, error) {
+	j, err := openJournal()
+	if err != nil {
+		return nil, err
+	}
+	h := &holder{}
+	h.j = j
+	return h, nil
+}
+
+func escapesByCompositeLit() (*holder, error) {
+	j, err := openJournal()
+	if err != nil {
+		return nil, err
+	}
+	return &holder{j: j}, nil
+}
+
+func escapesByGlobal() error {
+	j, err := openJournal()
+	if err != nil {
+		return err
+	}
+	global = j
+	return nil
+}
+
+func nonProjectTypesIgnored() error {
+	f, err := os.Open("/dev/null") // os.File is not a project type
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}
+
+func leakedManager() {
+	m := newManager() // want `manager created here is never closed`
+	_ = m
+}
+
+type registry struct{ m *manager }
+
+// manager is an accessor, not a constructor: the registry still owns the
+// value, so the caller takes on no close obligation.
+func (r *registry) manager() *manager { return r.m }
+
+func accessorsAreNotCreations(r *registry) {
+	m := r.manager()
+	_ = m
+}

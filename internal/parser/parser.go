@@ -105,6 +105,8 @@ func (d *Driver) Reset() {
 
 // Feed advances the driver with one token. It returns a non-nil Prediction
 // when the token completes a failure chain.
+//
+//aarohi:hotpath
 func (d *Driver) Feed(tok core.Token) *Prediction {
 	sym, ok := d.rs.Term(tok.Phrase)
 	if !ok {

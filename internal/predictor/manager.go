@@ -3,7 +3,6 @@ package predictor
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,13 +38,57 @@ type Manager struct {
 	// version across hot-swaps.
 	fpHex string
 
-	// accepted counts events successfully enqueued by Process*. After
-	// Results closes, Stats().LinesScanned reconciles with it exactly:
-	// every accepted event is processed by a worker exactly once.
+	// accepted counts lines and events admitted by Process* — enqueued to a
+	// worker, or (ProcessLineBytes) scanned and discarded in the caller.
+	// After Results closes, Stats().LinesScanned reconciles with it exactly:
+	// every accepted event is counted by exactly one scan.
 	accepted atomic.Uint64
 
 	mu     sync.RWMutex // guards closed; held (R) across worker sends
 	closed bool
+
+	// nodes deduplicates node-name strings for the byte-slice ingest path.
+	nodes nodeIntern
+}
+
+// nodeIntern is a bounded string intern table: node names repeat endlessly
+// (a cluster has thousands of nodes, not millions), so after warm-up every
+// lookup is a copy-free map hit. The bound caps memory against garbage node
+// fields in corrupt input; past it, misses simply allocate.
+type nodeIntern struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// maxInternedNodes bounds the intern table (~64k names ≈ a few MiB).
+const maxInternedNodes = 1 << 16
+
+//aarohi:hotpath
+func (ni *nodeIntern) get(b []byte) string {
+	ni.mu.RLock()
+	s, ok := ni.m[string(b)] // compiler-recognized copy-free map lookup
+	ni.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return ni.intern(b)
+}
+
+// intern is the cold miss path: first sighting of a node name.
+func (ni *nodeIntern) intern(b []byte) string {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	if s, ok := ni.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if ni.m == nil {
+		ni.m = make(map[string]string)
+	}
+	if len(ni.m) < maxInternedNodes {
+		ni.m[s] = s
+	}
+	return s
 }
 
 type managerWorker struct {
@@ -61,6 +104,11 @@ type managerWorker struct {
 type managerEvent struct {
 	tok core.Token
 	msg string // raw message body; scanned in the worker when non-empty
+
+	// scanned marks a line-derived token already classified by the caller
+	// (ProcessLineBytes): the worker applies the line counters without
+	// re-scanning.
+	scanned bool
 
 	// flush is a barrier marker (see Flush): the worker forwards it through
 	// the results channel instead of processing it.
@@ -102,6 +150,7 @@ func (m *Manager) FingerprintHex() string { return m.fpHex }
 // into another model (see AdoptState).
 func (m *Manager) RulesFingerprint() uint64 { return m.workers[0].pred.rulesFingerprint }
 
+//aarohi:hotpath
 func (m *Manager) run(w *managerWorker) {
 	defer m.wg.Done()
 	for ev := range w.in {
@@ -125,6 +174,10 @@ func (m *Manager) run(w *managerWorker) {
 			w.pred.tokens++
 			ev.tok.Phrase = id
 			out = w.pred.processToken(ev.tok)
+		} else if ev.scanned {
+			w.pred.linesScanned++
+			w.pred.tokens++
+			out = w.pred.processToken(ev.tok)
 		} else {
 			out = w.pred.ProcessToken(ev.tok)
 		}
@@ -142,15 +195,29 @@ func (m *Manager) run(w *managerWorker) {
 // rather than assuming the channel is closed when Close returns.
 func (m *Manager) Results() <-chan Output { return m.results }
 
+//aarohi:hotpath
 func (m *Manager) workerFor(node string) *managerWorker {
-	h := fnv.New32a()
-	h.Write([]byte(node))
-	return m.workers[h.Sum32()%uint32(len(m.workers))]
+	return m.workers[fnvIndex(node, len(m.workers))]
+}
+
+// fnvIndex shards key with inlined FNV-1a: hash.Hash32 would cost an
+// interface allocation per line, and []byte(node) a copy.
+//
+//aarohi:hotpath
+func fnvIndex[T ~string | ~[]byte](key T, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // ProcessLine routes one raw log line to its node's worker. Scanning happens
 // inside the worker, in parallel across shards. Safe for concurrent use;
 // returns ErrClosed after Close.
+//
+//aarohi:hotpath
 func (m *Manager) ProcessLine(line string) error {
 	ts, node, msg, err := lexgen.ParseLine(line)
 	if err != nil {
@@ -162,8 +229,61 @@ func (m *Manager) ProcessLine(line string) error {
 	})
 }
 
+// ProcessLineBytes routes one raw log line held in a reusable byte buffer —
+// the WAL-replay shape, where every record is decoded into the same scratch
+// slice. The buffer may be reused as soon as the call returns, so the
+// message is scanned here rather than in the worker, and only the node name
+// survives (deduplicated through a bounded intern table: steady state is
+// zero allocations per line). Benign lines are counted exactly as the
+// worker-side scan would count them (accepted, scanned, discarded) but are
+// never enqueued — ok=false reports the drop, and Stats agree with what
+// ProcessLine would have produced. Safe for concurrent use; returns
+// ErrClosed after Close.
+//
+//aarohi:hotpath
+func (m *Manager) ProcessLineBytes(line []byte) (ok bool, err error) {
+	ts, node, msg, err := lexgen.ParseLineBytes(line)
+	if err != nil {
+		return false, err
+	}
+	w := m.workers[fnvIndex(node, len(m.workers))]
+	// Scanners are immutable after construction and identical across
+	// workers; worker 0's serves as the shared classifier.
+	id, matched := m.workers[0].pred.Scanner().ScanBytes(msg)
+	if !matched {
+		return false, m.noteDiscard(w)
+	}
+	return true, m.send(w, managerEvent{
+		tok:     core.Token{Phrase: id, Time: ts, Node: m.nodes.get(node)},
+		scanned: true,
+	})
+}
+
+// noteDiscard applies the line counters for a benign line classified in the
+// caller: it is "processed" the moment it is scanned, so the counters are
+// settled synchronously and LinesScanned still reconciles with Accepted at
+// drain.
+//
+//aarohi:hotpath
+func (m *Manager) noteDiscard(w *managerWorker) error {
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return ErrClosed
+	}
+	m.accepted.Add(1)
+	m.mu.RUnlock()
+	w.mu.Lock()
+	w.pred.linesScanned++
+	w.pred.discarded++
+	w.mu.Unlock()
+	return nil
+}
+
 // ProcessToken routes one pre-scanned token to its node's worker. Safe for
 // concurrent use; returns ErrClosed after Close.
+//
+//aarohi:hotpath
 func (m *Manager) ProcessToken(tok core.Token) error {
 	return m.send(m.workerFor(tok.Node), managerEvent{tok: tok})
 }
@@ -181,6 +301,7 @@ func (m *Manager) send(w *managerWorker, ev managerEvent) error {
 	// invariant Accepted() >= processed at every instant (Stats readers
 	// observe the two in that order).
 	m.accepted.Add(1)
+	//aarohi:allow lockblock worker queues are buffered and drained until Close; the RLock only excludes Close's swap, which waits for senders first
 	w.in <- ev
 	return nil
 }
@@ -206,6 +327,7 @@ func (m *Manager) Flush() error {
 		return ErrClosed
 	}
 	for _, w := range m.workers {
+		//aarohi:allow lockblock flush markers ride the same drained worker queues as events; see send
 		w.in <- managerEvent{flush: ack}
 	}
 	m.mu.RUnlock()

@@ -121,17 +121,22 @@ func setKey(set []int) string {
 	return string(buf)
 }
 
-// run scans input from the start and returns the pattern ID and length of the
-// longest match (ties broken toward the lowest ID at the same length), or
-// (noMatch, 0) when no prefix matches.
-func (d *dfa) run(input []byte) (id, length int) {
+// dfaRun scans input from the start and returns the pattern ID and length of
+// the longest match (ties broken toward the lowest ID at the same length), or
+// (noMatch, 0) when no prefix matches. It is generic over string and []byte
+// so the per-line MatchString path never copies its input: methods cannot
+// take type parameters, so the scanner step lives in a free function. The
+// loop indexes rather than ranges — ranging a string yields runes.
+//
+//aarohi:hotpath
+func dfaRun[T ~string | ~[]byte](d *dfa, input T) (id, length int) {
 	st := int32(0)
 	id, length = noMatch, 0
 	if a := d.states[0].accept; a != noMatch {
 		id, length = int(a), 0
 	}
-	for i, b := range input {
-		st = d.states[st].next[b]
+	for i := 0; i < len(input); i++ {
+		st = d.states[st].next[input[i]]
 		if st == noMatch {
 			return id, length
 		}
@@ -141,6 +146,8 @@ func (d *dfa) run(input []byte) (id, length int) {
 	}
 	return id, length
 }
+
+func (d *dfa) run(input []byte) (id, length int) { return dfaRun(d, input) }
 
 // Regexp is a compiled single pattern.
 type Regexp struct {
@@ -171,8 +178,12 @@ func (re *Regexp) Pattern() string { return re.pattern }
 
 func (re *Regexp) String() string { return fmt.Sprintf("rex(%q)", re.pattern) }
 
-// MatchString reports whether the pattern matches the entire string.
-func (re *Regexp) MatchString(s string) bool { return re.Match([]byte(s)) }
+// MatchString reports whether the pattern matches the entire string. It runs
+// the automaton over the string directly — no []byte conversion, no copy.
+func (re *Regexp) MatchString(s string) bool {
+	id, n := dfaRun(re.d, s)
+	return id != noMatch && n == len(s)
+}
 
 // Match reports whether the pattern matches the entire input.
 func (re *Regexp) Match(b []byte) bool {
@@ -228,12 +239,17 @@ func (s *Set) NumStates() int { return len(s.d.states) }
 // when no pattern matches a prefix of input.
 func (s *Set) Match(input []byte) (id, length int) {
 	if s.packed != nil {
-		return s.packed.run(input)
+		return packedRun(s.packed, input)
 	}
-	return s.d.run(input)
+	return dfaRun(s.d, input)
 }
 
-// MatchString is Match on a string.
+// MatchString is Match on a string, running the automaton over the string
+// directly — the per-line scan path must not copy every message into a
+// fresh []byte.
 func (s *Set) MatchString(input string) (id, length int) {
-	return s.Match([]byte(input))
+	if s.packed != nil {
+		return packedRun(s.packed, input)
+	}
+	return dfaRun(s.d, input)
 }

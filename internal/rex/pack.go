@@ -53,16 +53,19 @@ func (d *dfa) pack() *packedDFA {
 	return p
 }
 
-// run mirrors dfa.run on the packed representation.
-func (p *packedDFA) run(input []byte) (id, length int) {
+// packedRun mirrors dfaRun on the packed representation; generic over string
+// and []byte for the same copy-free reason (see dfaRun).
+//
+//aarohi:hotpath
+func packedRun[T ~string | ~[]byte](p *packedDFA, input T) (id, length int) {
 	st := int32(0)
 	id, length = noMatch, 0
 	if a := p.accepts[0]; a != noMatch {
 		id, length = int(a), 0
 	}
 	nc := int32(p.numClasses)
-	for i, b := range input {
-		st = p.trans[st*nc+int32(p.classOf[b])]
+	for i := 0; i < len(input); i++ {
+		st = p.trans[st*nc+int32(p.classOf[input[i]])]
 		if st == noMatch {
 			return id, length
 		}
@@ -72,6 +75,8 @@ func (p *packedDFA) run(input []byte) (id, length int) {
 	}
 	return id, length
 }
+
+func (p *packedDFA) run(input []byte) (id, length int) { return packedRun(p, input) }
 
 // tableBytes reports the transition-table footprint.
 func (p *packedDFA) tableBytes() int {

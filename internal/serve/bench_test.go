@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/loggen"
+	"repro/internal/predictor"
+)
+
+// BenchmarkServeIngest measures the full steady-state ingest path — queue,
+// WAL framing/append (in the wal variants), sharded scan, parse — in bytes
+// of raw log per second. This is the number ROADMAP item 2 tracks
+// (BENCH_ingest.json); run it via scripts/bench.sh.
+func BenchmarkServeIngest(b *testing.B) {
+	log, err := loggen.Generate(loggen.Config{
+		Dialect: loggen.DialectXC30, Seed: 7, Duration: 45 * time.Minute,
+		Nodes: 16, Failures: 6, BenignPerMinute: 20, AnomalyRate: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := log.Lines()
+	var totalBytes int64
+	for _, l := range lines {
+		totalBytes += int64(len(l))
+	}
+	avg := totalBytes / int64(len(lines))
+
+	run := func(b *testing.B, cfg Config) {
+		mgr, err := predictor.NewManager(
+			loggen.DialectXC30.Chains(), loggen.DialectXC30.Inventory(),
+			predictor.Options{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.TCPAddr, cfg.HTTPAddr = "off", "off"
+		cfg.Overflow = Block
+		s := New(mgr, cfg)
+		if err := s.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		if !s.beginProduce() {
+			b.Fatal("server already draining")
+		}
+		defer s.endProduce()
+
+		b.SetBytes(avg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ingest(lines[i%len(lines)])
+		}
+		// Barrier: every enqueued line fully processed before the clock stops.
+		if err := s.manager().Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
+
+	b.Run("nowal", func(b *testing.B) {
+		run(b, Config{})
+	})
+	b.Run("wal", func(b *testing.B) {
+		run(b, Config{DataDir: b.TempDir()})
+	})
+}

@@ -167,28 +167,39 @@ const (
 	recKindUnknown
 )
 
-func encodeLineRecord(line string) []byte {
+// encodeLineRecordInto frames line into dst's storage (dst is truncated
+// first) and returns the result — the pump passes the same scratch slice for
+// every record, so steady-state appends allocate nothing.
+//
+//aarohi:hotpath
+func encodeLineRecordInto(dst []byte, line string) []byte {
+	dst = dst[:0]
 	if len(line) > 0 && line[0] == 0 {
-		return append([]byte{0, 'l'}, line...)
+		dst = append(dst, 0, 'l')
 	}
-	return []byte(line)
+	return append(dst, line...)
 }
 
 func encodeEpochRecord(fp string) []byte {
 	return append([]byte{0, 'm'}, fp...)
 }
 
-func decodeRecord(payload []byte) (kind int, body string) {
+// decodeRecordBytes splits a journal payload into kind and body without
+// copying: body aliases payload and is only valid until the replay callback
+// returns (wal.Replay reuses its record buffer).
+//
+//aarohi:hotpath
+func decodeRecordBytes(payload []byte) (kind int, body []byte) {
 	if len(payload) == 0 || payload[0] != 0 {
-		return recKindLine, string(payload)
+		return recKindLine, payload
 	}
 	if len(payload) >= 2 && payload[1] == 'l' {
-		return recKindLine, string(payload[2:])
+		return recKindLine, payload[2:]
 	}
 	if len(payload) == 18 && payload[1] == 'm' {
-		return recKindEpoch, string(payload[2:])
+		return recKindEpoch, payload[2:]
 	}
-	return recKindUnknown, ""
+	return recKindUnknown, nil
 }
 
 // openRegistry opens the model store and admits the boot model. Called from
@@ -362,6 +373,7 @@ func (s *Server) promoteLocked(sh *shadowRun, rep *SwapReport, commit func() err
 	// Hand the shadow's Results over to the fan-out: stop its consumer while
 	// nothing is being produced (pump paused, both managers flushed).
 	close(sh.stop)
+	//aarohi:allow lockblock bounded handshake: the shadow consumer exits as soon as it sees stop, and the pump (the only other snapMu holder) is paused
 	<-sh.done
 	if err := s.appendEpochLocked(sh.fp, rep); err != nil {
 		// The consumer is already stopped; restarting it is worse than
@@ -489,6 +501,7 @@ func (s *Server) StopShadow() (*ShadowStatus, error) {
 	}
 	st := s.shadowStatusLocked(sh)
 	close(sh.stop)
+	//aarohi:allow lockblock bounded handshake: the shadow consumer exits as soon as it sees stop; see promote
 	<-sh.done
 	s.shadow = nil
 	s.tracker.Store(nil)

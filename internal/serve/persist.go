@@ -114,7 +114,7 @@ func (s *Server) openPersistence() error {
 		return err
 	}
 	if last := wl.LastIndex(); last < off {
-		wl.Close()
+		_ = wl.Close() // unwinding: the consistency error below is the one to surface
 		return fmt.Errorf("serve: snapshot covers WAL offset %d but journal ends at %d: data dir is inconsistent", off, last)
 	}
 
@@ -124,10 +124,14 @@ func (s *Server) openPersistence() error {
 	s.recoveryActive.Store(true)
 	err = wl.Replay(off+1, func(idx uint64, payload []byte) error {
 		rec.ReplayedRecords++
-		kind, body := decodeRecord(payload)
+		kind, body := decodeRecordBytes(payload)
 		switch kind {
 		case recKindLine:
-			if perr := s.manager().ProcessLine(body); perr != nil {
+			// body aliases the replay buffer; ProcessLineBytes scans before
+			// returning and interns the node name, so nothing retains it —
+			// and no per-record line copy is made. Benign lines report
+			// ok=false and simply don't re-enter the pipeline.
+			if _, perr := s.manager().ProcessLineBytes(body); perr != nil {
 				// The line was malformed when first accepted too; it counted
 				// as a parse error then and does again now.
 				rec.ReplayErrors++
@@ -138,7 +142,7 @@ func (s *Server) openPersistence() error {
 			if s.registry == nil {
 				return fmt.Errorf("journal holds a model-epoch record at %d but the server has no model registry (Config.Model unset)", idx)
 			}
-			if err := s.replaySwap(body); err != nil {
+			if err := s.replaySwap(string(body)); err != nil {
 				return fmt.Errorf("re-executing model swap at %d: %w", idx, err)
 			}
 			rec.ReplayedSwaps++
@@ -148,7 +152,7 @@ func (s *Server) openPersistence() error {
 		return nil
 	})
 	if err != nil {
-		wl.Close()
+		_ = wl.Close() // unwinding: the replay error is the one to surface
 		return fmt.Errorf("serve: replaying journal: %w", err)
 	}
 	if rec.ReplayedRecords > 0 {
@@ -157,7 +161,7 @@ func (s *Server) openPersistence() error {
 	// Barrier: every replayed output is in the recovered buffer before the
 	// daemon reports ready.
 	if err := s.manager().Flush(); err != nil {
-		wl.Close()
+		_ = wl.Close() // unwinding: the flush error is the one to surface
 		return fmt.Errorf("serve: flushing replay: %w", err)
 	}
 	s.recoveryActive.Store(false)

@@ -315,7 +315,7 @@ func (s *Server) Start() error {
 		s.manager().Close()
 		<-s.fanDone
 		if s.wlog != nil {
-			s.wlog.Close()
+			_ = s.wlog.Close() // unwinding: the listener error is the one to surface
 		}
 		return err
 	}
@@ -371,15 +371,19 @@ func (s *Server) Subscribe(buffer int) *Subscription {
 // accepted line reached a predictor worker. With persistence on, the line is
 // journaled first — under snapMu, so a snapshot always sits on an exact
 // (journal offset, parse state) boundary.
+//
+//aarohi:hotpath
 func (s *Server) pump() {
 	defer close(s.pumpDone)
+	var walBuf []byte // reused framing scratch; Append copies out of it
 	for line := range s.queue {
 		if s.testHookPumpDelay != nil {
 			s.testHookPumpDelay()
 		}
 		s.snapMu.Lock()
 		if s.wlog != nil {
-			if _, err := s.wlog.Append(encodeLineRecord(line)); err != nil {
+			walBuf = encodeLineRecordInto(walBuf, line)
+			if _, err := s.wlog.Append(walBuf); err != nil {
 				// Journal failure is fatal for durability but not for
 				// prediction: log loudly and keep serving.
 				s.cfg.Logf("serve: wal append: %v", err)

@@ -1,0 +1,28 @@
+package wal
+
+import "testing"
+
+// TestAppendAllocFree pins the //aarohi:hotpath contract on the journal
+// encode path: once the record buffer has grown to the working-set size,
+// Append under SyncOff copies, checksums, and writes without allocating.
+// (Segment rolls allocate — the default SegmentSize keeps them out of a
+// 200-iteration run.)
+func TestAppendAllocFree(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := []byte("2015-03-14T04:58:57.640Z c0-0c2s0n2 DVS: verify_filesystem: excluding server")
+	// Warm the internal buffer before measuring.
+	if _, err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("Append allocates %.1f objects per run, want 0", allocs)
+	}
+}

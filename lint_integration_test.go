@@ -1,0 +1,121 @@
+package aarohi_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAarohilintCLI builds the aarohilint binary and proves the contract the
+// CI gate depends on: a module with a seeded hot-path violation must exit 1
+// naming the violation, a clean module must exit 0, and the repository
+// itself must lint clean (the invariant this PR establishes).
+func TestAarohilintCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "aarohilint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/aarohilint")
+	cmd.Env = os.Environ()
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building aarohilint: %v\n%s", err, msg)
+	}
+
+	runLint := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("aarohilint %v: %v\n%s", args, err, out)
+			}
+			code = ee.ExitCode()
+		}
+		return string(out), code
+	}
+
+	// A scratch module with one seeded violation and one clean package.
+	mod := filepath.Join(dir, "seeded")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module seeded\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "dirty", "dirty.go"), `package dirty
+
+//aarohi:hotpath
+func copies(b []byte) string {
+	return string(b)
+}
+`)
+	writeFile(t, filepath.Join(mod, "clean", "clean.go"), `package clean
+
+//aarohi:hotpath
+func sums(b []byte) int {
+	n := 0
+	for i := 0; i < len(b); i++ {
+		n += int(b[i])
+	}
+	return n
+}
+`)
+
+	t.Run("seeded violation fails", func(t *testing.T) {
+		out, code := runLint("-C", mod, "./dirty")
+		if code != 1 {
+			t.Fatalf("exit %d over seeded violation, want 1\n%s", code, out)
+		}
+		if !strings.Contains(out, "converts []byte to string") || !strings.Contains(out, "(hotpath)") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("clean package passes", func(t *testing.T) {
+		out, code := runLint("-C", mod, "./clean")
+		if code != 0 {
+			t.Fatalf("exit %d over clean package, want 0\n%s", code, out)
+		}
+	})
+
+	t.Run("allow directive suppresses", func(t *testing.T) {
+		writeFile(t, filepath.Join(mod, "waived", "waived.go"), `package waived
+
+//aarohi:hotpath
+func copies(b []byte) string {
+	return string(b) //aarohi:allow hotpath caller requires an owned copy
+}
+`)
+		out, code := runLint("-C", mod, "./waived")
+		if code != 0 {
+			t.Fatalf("exit %d with allow directive, want 0\n%s", code, out)
+		}
+	})
+
+	t.Run("repository lints clean", func(t *testing.T) {
+		out, code := runLint("./...")
+		if code != 0 {
+			t.Fatalf("aarohilint ./... exit %d; the repo must stay lint-clean\n%s", code, out)
+		}
+	})
+
+	t.Run("json findings", func(t *testing.T) {
+		out, code := runLint("-C", mod, "-json", "./dirty")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\n%s", code, out)
+		}
+		if !strings.Contains(out, `"analyzer": "hotpath"`) {
+			t.Fatalf("JSON output missing analyzer field:\n%s", out)
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Ingest-throughput benchmark run: BenchmarkServeIngest (the full queue →
+# WAL → scan → parse path) plus the scanner microbenchmarks, rendered into
+# BENCH_ingest.json so the trajectory ROADMAP item 2 tracks lives in the
+# repo. Re-run on a quiet machine and commit the file when the numbers move
+# for a reason.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=3s scripts/bench.sh    # longer per-benchmark budget
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_ingest.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "==> BenchmarkServeIngest (${BENCHTIME})"
+go test -run='^$' -bench='^BenchmarkServeIngest$' -benchtime="$BENCHTIME" -benchmem ./internal/serve | tee -a "$TMP"
+
+echo "==> scanner benchmarks (${BENCHTIME})"
+go test -run='^$' -bench='^BenchmarkScanFCMessage$|^BenchmarkScanBenignMessage$' -benchtime="$BENCHTIME" -benchmem ./internal/lexgen | tee -a "$TMP"
+
+awk -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+    printf "{\n  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [", go_version, date
+    first = 1
+}
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = mb = bytes = allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "MB/s") mb = $(i - 1)
+        else if ($i == "B/op") bytes = $(i - 1)
+        else if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf ","
+    first = 0
+    printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (mb != "") printf ", \"mb_per_s\": %s", mb
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$TMP" > "$OUT"
+
+echo "==> wrote $OUT"

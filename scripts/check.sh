@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Full local check: build, vet, race-enabled tests, and a short fuzz smoke
-# over every fuzz target. This is what CI runs; run it before pushing.
+# Full local check: build, vet, repo-invariant lint, race-enabled tests, and
+# a short fuzz smoke over every fuzz target. This is what CI runs; run it
+# before pushing.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzzing budget (default 10s; "0" skips fuzzing)
@@ -20,6 +21,9 @@ go build -o /dev/null ./cmd/aarohid
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> aarohilint ./... (repo invariants: hotpath, lockblock, mustclose, durable)"
+go run ./cmd/aarohilint ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -28,15 +32,23 @@ go test -race -run 'TestServe|TestAarohid' ./internal/serve .
 
 if [ "$FUZZTIME" != "0" ]; then
     # Go only allows one -fuzz target per invocation; run each explicitly.
+    # One pkg:target entry per line.
+    FUZZ_TARGETS="
+        ./internal/rex:FuzzCompileAndMatch
+        ./internal/lexgen:FuzzParseLine
+        ./internal/lexgen:FuzzScan
+        ./internal/baselines:FuzzWildcardMatch
+        ./internal/wal:FuzzWALDecode
+        ./internal/wal:FuzzSnapshotDecode
+        ./internal/registry:FuzzManifestDecode
+        ./internal/serve:FuzzModelUploadDecode
+    "
     echo "==> fuzz smoke (${FUZZTIME} per target)"
-    go test -run='^$' -fuzz='^FuzzCompileAndMatch$' -fuzztime="$FUZZTIME" ./internal/rex
-    go test -run='^$' -fuzz='^FuzzParseLine$' -fuzztime="$FUZZTIME" ./internal/lexgen
-    go test -run='^$' -fuzz='^FuzzScan$' -fuzztime="$FUZZTIME" ./internal/lexgen
-    go test -run='^$' -fuzz='^FuzzWildcardMatch$' -fuzztime="$FUZZTIME" ./internal/baselines
-    go test -run='^$' -fuzz='^FuzzWALDecode$' -fuzztime="$FUZZTIME" ./internal/wal
-    go test -run='^$' -fuzz='^FuzzSnapshotDecode$' -fuzztime="$FUZZTIME" ./internal/wal
-    go test -run='^$' -fuzz='^FuzzManifestDecode$' -fuzztime="$FUZZTIME" ./internal/registry
-    go test -run='^$' -fuzz='^FuzzModelUploadDecode$' -fuzztime="$FUZZTIME" ./internal/serve
+    for entry in $FUZZ_TARGETS; do
+        pkg="${entry%%:*}"
+        target="${entry##*:}"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" "$pkg"
+    done
 fi
 
 echo "==> all checks passed"
