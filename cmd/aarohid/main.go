@@ -36,6 +36,7 @@ import (
 	"time"
 
 	aarohi "repro"
+	"repro/internal/arbiter"
 	"repro/internal/predictor"
 	"repro/internal/registry"
 	"repro/internal/serve"
@@ -60,6 +61,12 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-interval", 0, "period between parse-state snapshots (0 = only on graceful shutdown)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always (no acked loss), batch (bounded loss), off")
 		watch      = flag.Duration("watch", 0, "poll -chains/-templates for changes at this interval and hot-reload (0 = off)")
+
+		arbEnabled  = flag.Bool("arbiter", false, "enable failure arbitration: phi-accrual heartbeats fused with chain evidence into ranked alerts (/predictions?mode=alerts)")
+		horizon     = flag.Duration("horizon", 10*time.Minute, "arbiter prediction horizon M (chain evidence lifetime, TP/FP window)")
+		alertThresh = flag.Float64("alert-threshold", 0.5, "minimum fused probability for a node to alert")
+		criticality = flag.String("criticality", "", "per-node criticality tiers, \"node=tier,node=tier\" (1 = most critical)")
+		tierWeights = flag.String("tier-weights", "", "ranking weight per tier, \"4,2,1\" (highest tier first)")
 	)
 	flag.Parse()
 	if *chainsPath == "" || *tplPath == "" {
@@ -81,6 +88,26 @@ func main() {
 	}
 	if *watch < 0 {
 		fatalUsage("-watch must be a non-negative duration, not %s", *watch)
+	}
+
+	var arbCfg *arbiter.Config
+	if *arbEnabled {
+		crit, err := arbiter.ParseCriticality(*criticality)
+		if err != nil {
+			fatalUsage("-criticality: %v", err)
+		}
+		weights, err := arbiter.ParseTierWeights(*tierWeights)
+		if err != nil {
+			fatalUsage("-tier-weights: %v", err)
+		}
+		arbCfg = &arbiter.Config{
+			Horizon:        *horizon,
+			AlertThreshold: *alertThresh,
+			Criticality:    crit,
+			TierWeights:    weights,
+		}
+	} else if *criticality != "" || *tierWeights != "" {
+		fatalUsage("-criticality/-tier-weights require -arbiter")
 	}
 
 	chains := readChains(*chainsPath)
@@ -105,6 +132,7 @@ func main() {
 		Fsync:            syncPolicy,
 		Model:            &registry.Model{Chains: chains, Templates: inventory, Options: opts},
 		Workers:          *workers,
+		Arbiter:          arbCfg,
 	})
 	// Catch shutdown signals before the listeners open: once /readyz answers,
 	// a SIGTERM must always drain gracefully, never hit the default handler.
@@ -126,6 +154,9 @@ func main() {
 		log.Printf("aarohid: http api on %s (/ingest /predictions /healthz /readyz /statusz)", a)
 	}
 	log.Printf("aarohid: %d chains, queue=%d overflow=%s", len(chains), *queueSize, policy)
+	if arbCfg != nil {
+		log.Printf("aarohid: arbiter on: horizon=%s alert-threshold=%g tiers=%d", *horizon, *alertThresh, len(arbCfg.Criticality))
+	}
 	if *dataDir != "" {
 		log.Printf("aarohid: durability on: data-dir=%s fsync=%s snapshot-interval=%s", *dataDir, syncPolicy, *snapEvery)
 	}

@@ -79,6 +79,7 @@ func main() {
 		{"ext2", "aggregate-stream throughput scaling", wrapRows(experiments.Ext2Throughput)},
 		{"ext3", "dynamic rule update", wrapRows(experiments.Ext3DynamicUpdate)},
 		{"ext4", "fully unsupervised pipeline (raw logs)", wrapRows(experiments.Ext4Unsupervised)},
+		{"ext7", "fused arbitration vs chains-only alerting", wrapRows(experiments.Ext7FusedArbitration)},
 		{"obs", "re-derive the paper's observations O1-O6", wrapRows(experiments.Observations)},
 	}
 

@@ -16,6 +16,13 @@
 // files:
 //
 //	loggen -dialect xc30 -nodes 32 -failures 4 -stream 127.0.0.1:7743 -rate 5000
+//
+// With -heartbeat <interval> the generator instead emits a per-node liveness
+// cadence — jittered benign beats with optional random drops and injected
+// flap episodes — the workload that exercises aarohid's phi-accrual arbiter:
+//
+//	loggen -heartbeat 10s -nodes 16 -duration 1h -hb-flaps 4 -drop 0.05 \
+//	       -stream 127.0.0.1:7743 -rate 200
 package main
 
 import (
@@ -65,6 +72,10 @@ func main() {
 		rate        = flag.Float64("rate", 0, "with -stream: target lines/sec (0 = unpaced)")
 		retries     = flag.Int("retries", 5, "with -stream: reconnect attempts after a refused or dropped connection")
 		backoff     = flag.Duration("retry-backoff", 500*time.Millisecond, "with -stream: initial reconnect delay, doubled per consecutive failure (capped at 30s)")
+		heartbeat   = flag.Duration("heartbeat", 0, "emit a heartbeat stream at this per-node interval instead of a failure-chain log")
+		hbJitter    = flag.Float64("hb-jitter", 0.1, "with -heartbeat: fractional jitter on each beat gap")
+		hbFlaps     = flag.Int("hb-flaps", 0, "with -heartbeat: flap episodes to inject round-robin across nodes")
+		hbFlapLen   = flag.Duration("hb-flap-silence", 0, "with -heartbeat: length of each flap silence (default 10x interval)")
 	)
 	flag.Parse()
 	if *retries < 0 {
@@ -78,11 +89,29 @@ func main() {
 	if !ok {
 		fatalf("unknown dialect %q (have: %s)", *dialectName, strings.Join(dialectNames(), ", "))
 	}
-	log, err := loggen.Generate(loggen.Config{
-		Dialect: d, Seed: *seed, Duration: *duration, Nodes: *nodes,
-		Failures: *failures, BenignPerMinute: *benignRate,
-		AnomalyRate: *anomalyRate, DropProb: *dropProb,
-	})
+	var (
+		log   *loggen.Log
+		flaps []loggen.FlapEpisode
+		err   error
+	)
+	if *heartbeat > 0 {
+		// Heartbeat mode: -drop becomes the per-beat drop probability and
+		// -failures/-benign-rate/-anomaly-rate do not apply.
+		log, flaps, err = loggen.GenerateHeartbeats(loggen.HeartbeatConfig{
+			Dialect: d, Seed: *seed, Duration: *duration, Nodes: *nodes,
+			Interval: *heartbeat, Jitter: *hbJitter, DropProb: *dropProb,
+			Flaps: *hbFlaps, FlapSilence: *hbFlapLen,
+		})
+	} else {
+		if *hbFlaps != 0 || *hbFlapLen != 0 {
+			fatalf("-hb-flaps/-hb-flap-silence require -heartbeat")
+		}
+		log, err = loggen.Generate(loggen.Config{
+			Dialect: d, Seed: *seed, Duration: *duration, Nodes: *nodes,
+			Failures: *failures, BenignPerMinute: *benignRate,
+			AnomalyRate: *anomalyRate, DropProb: *dropProb,
+		})
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -105,7 +134,11 @@ func main() {
 	}
 
 	if *truthPath != "" {
-		writeJSON(*truthPath, log.Failures)
+		if *heartbeat > 0 {
+			writeJSON(*truthPath, flaps)
+		} else {
+			writeJSON(*truthPath, log.Failures)
+		}
 	}
 	if *chainsPath != "" {
 		f, err := os.Create(*chainsPath)
@@ -127,8 +160,13 @@ func main() {
 		}
 		f.Close()
 	}
-	fmt.Fprintf(os.Stderr, "loggen: %d events, %d injected failures on %s\n",
-		len(log.Events), len(log.Failures), d.Name)
+	if *heartbeat > 0 {
+		fmt.Fprintf(os.Stderr, "loggen: %d heartbeats at %s cadence, %d injected flaps on %s\n",
+			len(log.Events), *heartbeat, len(flaps), d.Name)
+	} else {
+		fmt.Fprintf(os.Stderr, "loggen: %d events, %d injected failures on %s\n",
+			len(log.Events), len(log.Failures), d.Name)
+	}
 }
 
 // streamLog sends every line to a listening aarohid over the TCP line

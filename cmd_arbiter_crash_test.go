@@ -1,0 +1,229 @@
+package aarohi_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAarohidArbiterCrashRecovery proves the arbiter's fused alert state —
+// phi interval windows, flap history, chain precision ledgers, pending
+// evidence — rides the daemon's durability path: SIGKILL aarohid mid-stream,
+// restart, resume from the durable offset, and the ranked alert list plus
+// the /statusz arbitration block must be byte-identical to an uninterrupted
+// run's. Two scenarios: replay-only recovery (whole journal refeeds a fresh
+// arbiter) and snapshot+tail (the framed arbiter snapshot restores, then the
+// journal tail replays on top).
+func TestAarohidArbiterCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries, kills processes")
+	}
+	dir := t.TempDir()
+	build := func(name string, extra ...string) string {
+		out := filepath.Join(dir, name)
+		args := append([]string{"build"}, extra...)
+		args = append(args, "-o", out, "./cmd/"+name)
+		cmd := exec.Command("go", args...)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	loggenBin := build("loggen")
+	aarohidBin := build("aarohid", testBuildRaceFlag()...)
+
+	templates := filepath.Join(dir, "templates.json")
+	chains := filepath.Join(dir, "chains.json")
+	refLog := filepath.Join(dir, "ref.log")
+	run(t, loggenBin, "-dialect", "xc30", "-nodes", "6", "-duration", "1h",
+		"-failures", "3", "-seed", "91", "-out", refLog, "-templates", templates, "-chains", chains)
+	raw, err := os.ReadFile(refLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+
+	arbArgs := []string{"-chains", chains, "-templates", templates,
+		"-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0", "-grace", "30s",
+		"-arbiter", "-horizon", "20m", "-alert-threshold", "0.000000001",
+		"-criticality", "c0-0c0s0n0=1,c0-0c0s0n1=2"}
+
+	// Uninterrupted reference run: stream everything, settle, capture the
+	// alert list and arbitration block.
+	var refAlerts, refStatus []byte
+	{
+		d := startAarohid(t, aarohidBin, arbArgs...)
+		streamLines(t, d.tcpAddr, lines)
+		refStatus = settleArbiter(t, d.httpAddr, len(lines))
+		refAlerts = fetchAlerts(t, d.httpAddr)
+		d.sigterm(t)
+	}
+	if len(refAlerts) == 0 || !bytes.Contains(refStatus, []byte(`"heartbeats"`)) {
+		t.Fatalf("reference run: empty alerts (%d bytes) or arbiter block %s", len(refAlerts), refStatus)
+	}
+
+	t.Run("replay-only", func(t *testing.T) {
+		// -snapshot-interval 0: nothing is snapshotted before the kill, so
+		// the restart replays the whole journal into a fresh arbiter.
+		dataDir := filepath.Join(dir, "data-replay")
+		args := append([]string{"-data-dir", dataDir, "-fsync", "always", "-snapshot-interval", "0"}, arbArgs...)
+
+		d := startAarohid(t, aarohidBin, args...)
+		streamLines(t, d.tcpAddr, lines[:len(lines)/2])
+		waitDurable(t, d.httpAddr, len(lines)/2)
+		d.sigkill(t)
+
+		d = startAarohid(t, aarohidBin, args...)
+		st := statusz(t, d.httpAddr)
+		if st.Recovery == nil || !st.Recovery.Performed || st.Recovery.ReplayedRecords == 0 {
+			t.Fatalf("restart reported recovery %+v, want journal replay", st.Recovery)
+		}
+		pos := int(st.WAL.LastIndex)
+		streamLines(t, d.tcpAddr, lines[pos:])
+		gotStatus := settleArbiter(t, d.httpAddr, len(lines))
+		gotAlerts := fetchAlerts(t, d.httpAddr)
+		d.sigterm(t)
+
+		if !bytes.Equal(gotAlerts, refAlerts) {
+			t.Errorf("alerts after replay-only recovery diverge from uninterrupted run:\n got: %s\nwant: %s", gotAlerts, refAlerts)
+		}
+		if !bytes.Equal(gotStatus, refStatus) {
+			t.Errorf("arbitration block after replay-only recovery diverges:\n got: %s\nwant: %s", gotStatus, refStatus)
+		}
+	})
+
+	t.Run("snapshot-tail", func(t *testing.T) {
+		// Periodic snapshots: the kill lands after at least one snapshot, so
+		// the restart restores the framed arbiter payload and replays only
+		// the journal tail on top of it.
+		dataDir := filepath.Join(dir, "data-snap")
+		args := append([]string{"-data-dir", dataDir, "-fsync", "always", "-snapshot-interval", "200ms"}, arbArgs...)
+
+		d := startAarohid(t, aarohidBin, args...)
+		streamLines(t, d.tcpAddr, lines[:len(lines)/2])
+		waitDurable(t, d.httpAddr, len(lines)/2)
+		waitSnapshot(t, d.httpAddr)
+		streamLines(t, d.tcpAddr, lines[len(lines)/2:3*len(lines)/4])
+		d.sigkill(t)
+
+		d = startAarohid(t, aarohidBin, args...)
+		st := statusz(t, d.httpAddr)
+		if st.Recovery == nil || !st.Recovery.Performed || st.Recovery.SnapshotIndex == 0 {
+			t.Fatalf("restart reported recovery %+v, want snapshot restore", st.Recovery)
+		}
+		pos := int(st.WAL.LastIndex)
+		streamLines(t, d.tcpAddr, lines[pos:])
+		gotStatus := settleArbiter(t, d.httpAddr, len(lines))
+		gotAlerts := fetchAlerts(t, d.httpAddr)
+		d.sigterm(t)
+
+		if !bytes.Equal(gotAlerts, refAlerts) {
+			t.Errorf("alerts after snapshot+tail recovery diverge from uninterrupted run:\n got: %s\nwant: %s", gotAlerts, refAlerts)
+		}
+		if !bytes.Equal(gotStatus, refStatus) {
+			t.Errorf("arbitration block after snapshot+tail recovery diverges:\n got: %s\nwant: %s", gotStatus, refStatus)
+		}
+	})
+}
+
+// settleArbiter polls /statusz until the arbiter has seen every streamed
+// line's heartbeat and the whole arbitration block has stopped changing
+// (predictions ride the async fan-out and can trail the synchronous
+// heartbeat count), then returns the block's raw JSON.
+func settleArbiter(t *testing.T, httpAddr string, wantHeartbeats int) []byte {
+	t.Helper()
+	var prev []byte
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		cur := arbiterBlock(t, httpAddr)
+		var block struct {
+			Heartbeats uint64 `json:"heartbeats"`
+		}
+		if err := json.Unmarshal(cur, &block); err == nil &&
+			block.Heartbeats == uint64(wantHeartbeats) && bytes.Equal(cur, prev) {
+			return cur
+		}
+		prev = cur
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("arbiter never settled at %d heartbeats; last block: %s", wantHeartbeats, prev)
+	return nil
+}
+
+func arbiterBlock(t *testing.T, httpAddr string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Arbiter json.RawMessage `json:"arbiter"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Arbiter) == 0 {
+		t.Fatal("statusz has no arbiter block despite -arbiter")
+	}
+	return st.Arbiter
+}
+
+func fetchAlerts(t *testing.T, httpAddr string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/predictions?mode=alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/predictions?mode=alerts status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(bufio.NewReader(resp.Body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// waitDurable blocks until the journal's durable offset covers the first n
+// streamed lines. streamLines returns once the TCP handler has consumed the
+// bytes into the ingest queue; the WAL append pump can trail that under load,
+// so a SIGKILL fired immediately after streaming could land on an empty or
+// short journal.
+func waitDurable(t *testing.T, httpAddr string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := statusz(t, httpAddr)
+		if st.WAL != nil && int(st.WAL.LastIndex) >= n {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("journal never reached durable offset %d", n)
+}
+
+// waitSnapshot blocks until the daemon has written a snapshot covering at
+// least one journal record, so the restart after SIGKILL must restore it.
+func waitSnapshot(t *testing.T, httpAddr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := statusz(t, httpAddr)
+		if st.WAL != nil && st.WAL.LastSnapshotIndex > 0 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never wrote a snapshot covering the journal")
+}

@@ -1,0 +1,54 @@
+package arbiter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Flag-format parsers for cmd/aarohid.
+
+// ParseCriticality parses a "node=tier,node=tier" list (tier ≥ 1, 1 = most
+// critical). An empty string yields nil.
+func ParseCriticality(s string) (map[string]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		node, tierStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("criticality entry %q: want node=tier", part)
+		}
+		node = strings.TrimSpace(node)
+		tier, err := strconv.Atoi(strings.TrimSpace(tierStr))
+		if err != nil || node == "" || tier < 1 {
+			return nil, fmt.Errorf("criticality entry %q: want node=tier with tier >= 1", part)
+		}
+		out[node] = tier
+	}
+	return out, nil
+}
+
+// ParseTierWeights parses a "4,2,1" weight list (weights > 0, highest tier
+// first). An empty string yields nil (the default weights apply).
+func ParseTierWeights(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tier weight %q: want a positive number", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

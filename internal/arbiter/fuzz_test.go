@@ -1,0 +1,60 @@
+package arbiter
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzStateDecode feeds arbitrary bytes through Restore: a corrupt or
+// hostile snapshot must yield an error (or a sane partial state), never a
+// panic or unbounded allocation, and the restored arbiter must still score.
+func FuzzStateDecode(f *testing.F) {
+	seed := buildFuzzSeed()
+	var buf bytes.Buffer
+	if err := seed.Snapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	if b := buf.Bytes(); len(b) > 8 {
+		trunc := append([]byte(nil), b[:len(b)/2]...)
+		f.Add(trunc)
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := New(Config{})
+		if err := a.Restore(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Whatever decoded must be usable: scoring, status, and a further
+		// snapshot round-trip must all hold.
+		_ = a.Alerts()
+		_ = a.Status()
+		var out bytes.Buffer
+		if err := a.Snapshot(&out); err != nil {
+			t.Fatalf("re-snapshot of a restored state failed: %v", err)
+		}
+		b := New(Config{})
+		if err := b.Restore(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round-trip of a restored state failed: %v", err)
+		}
+	})
+}
+
+func buildFuzzSeed() *Arbiter {
+	a := New(Config{Criticality: map[string]int{"n1": 1}})
+	ts := time.Date(2015, 3, 14, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		a.ObserveHeartbeat("n1", ts)
+		a.ObserveHeartbeat("n2", ts.Add(3*time.Second))
+		ts = ts.Add(10 * time.Second)
+	}
+	a.ObservePrediction("n1", "fc_hw", ts)
+	a.ObserveFailure("n1", ts.Add(time.Minute))
+	a.ObserveHeartbeat("n1", ts.Add(10*time.Minute))
+	return a
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lexgen"
@@ -315,5 +316,36 @@ func TestTimeIt(t *testing.T) {
 	}
 	if st.Mean() < 0 {
 		t.Errorf("negative mean")
+	}
+}
+
+func TestExt7FusedBeatsChainsOnly(t *testing.T) {
+	// The PR's acceptance bar: on lossy-chain logs with pre-failure silence,
+	// Noisy-OR fusion of heartbeat phi with chain evidence must recall at
+	// least as many injected failures as chain accepts alone, at precision
+	// no worse. One system keeps the test fast; -ext7 runs all four.
+	s := Systems[0]
+	res, err := ext7System(s, s.Failures, 20*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainsPrec, fusedPrec := 0.0, 0.0
+	if res.chains.TP+res.chains.FP > 0 {
+		chainsPrec = res.chains.Precision()
+	}
+	if res.fused.TP+res.fused.FP > 0 {
+		fusedPrec = res.fused.Precision()
+	}
+	if fusedPrec < chainsPrec {
+		t.Errorf("fused precision %.1f%% below chains-only %.1f%%", fusedPrec, chainsPrec)
+	}
+	if res.fused.Recall() < res.chains.Recall() {
+		t.Errorf("fused recall %.1f%% below chains-only %.1f%%", res.fused.Recall(), res.chains.Recall())
+	}
+	if res.fused.Recall() <= res.chains.Recall() {
+		t.Logf("warning: fusion added no recall (%.1f%%)", res.fused.Recall())
+	}
+	if res.fusedLead.N() > 0 && res.fusedLead.Mean() <= 0 {
+		t.Errorf("fused mean lead %.1fs not positive — alarms are not predictive", res.fusedLead.Mean())
 	}
 }

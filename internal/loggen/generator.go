@@ -44,8 +44,17 @@ type Config struct {
 	// heavily bursty nodes use larger values.
 	BurstMean float64
 	// LongGapFrac is the fraction of inter-burst gaps drawn from the
-	// ≥ 17-minute tail (default 0.04).
+	// ≥ 17-minute tail (default 0.04; negative disables the tail entirely —
+	// the knob heartbeat-detection experiments use to keep healthy nodes
+	// chatty).
 	LongGapFrac float64
+	// FailureSilence suppresses background traffic within ±FailureSilence
+	// of every injected FailTime: a dying node goes quiet before its
+	// terminal failure message (which the HSS emits on its behalf) and
+	// stays quiet after. This is the signal heartbeat failure detection
+	// feeds on — and the silence starts before the failure, so detecting it
+	// yields genuine predictive lead time (default 0 = no silence).
+	FailureSilence time.Duration
 }
 
 // Event is one generated log message.
@@ -104,6 +113,9 @@ func Generate(cfg Config) (*Log, error) {
 	if cfg.LongGapFrac == 0 {
 		cfg.LongGapFrac = 0.04
 	}
+	if cfg.LongGapFrac < 0 {
+		cfg.LongGapFrac = 0
+	}
 	if cfg.Start.IsZero() {
 		cfg.Start, _ = time.Parse(time.RFC3339, defaultStart)
 	}
@@ -137,6 +149,7 @@ func Generate(cfg Config) (*Log, error) {
 	// "unhealthy nodes experience a complete match with FCs with only rare
 	// cases of interleaving" (§III, Table V discussion).
 	windows := map[string][][2]time.Time{}
+	silences := map[string][][2]time.Time{}
 	for f := 0; f < cfg.Failures; f++ {
 		node := nodes[f%len(nodes)]
 		chainIdx := f % len(cfg.Dialect.specs)
@@ -144,11 +157,16 @@ func Generate(cfg Config) (*Log, error) {
 		windows[node] = append(windows[node], [2]time.Time{
 			inj.Start.Add(-5 * time.Minute), inj.FailTime,
 		})
+		if cfg.FailureSilence > 0 {
+			silences[node] = append(silences[node], [2]time.Time{
+				inj.FailTime.Add(-cfg.FailureSilence), inj.FailTime.Add(cfg.FailureSilence),
+			})
+		}
 	}
 
 	// Background traffic on every node.
 	for _, node := range nodes {
-		g.background(log, node, windows[node])
+		g.background(log, node, windows[node], silences[node])
 	}
 
 	sort.SliceStable(log.Events, func(i, j int) bool {
@@ -181,8 +199,10 @@ func (g *generator) lognormal(median time.Duration, sigma float64) time.Duration
 // background emits benign (and scattered anomaly) traffic for one node,
 // following the Fig. 5 shape: intra-burst gaps of tens of milliseconds,
 // inter-burst gaps of minutes, and a heavy tail of ≥ 17-minute silences.
-// Inside the node's failure windows only benign phrases are emitted.
-func (g *generator) background(log *Log, node string, avoid [][2]time.Time) {
+// Inside the node's failure windows only benign phrases are emitted; inside
+// its FailureSilence windows nothing is — the timeline still advances, so
+// the silence is a gap in otherwise unchanged traffic, not a reshuffle.
+func (g *generator) background(log *Log, node string, avoid, silence [][2]time.Time) {
 	end := g.cfg.Start.Add(g.cfg.Duration)
 	// Inter-burst mean chosen so the overall rate ≈ BenignPerMinute.
 	burstMean := g.cfg.BurstMean
@@ -192,7 +212,9 @@ func (g *generator) background(log *Log, node string, avoid [][2]time.Time) {
 		// One burst.
 		burstLen := 1 + g.geometric(1/burstMean)
 		for b := 0; b < burstLen && t.Before(end); b++ {
-			log.Events = append(log.Events, g.backgroundEvent(node, t, inWindow(t, avoid)))
+			if !inWindow(t, silence) {
+				log.Events = append(log.Events, g.backgroundEvent(node, t, inWindow(t, avoid)))
+			}
 			t = t.Add(g.lognormal(25*time.Millisecond, 0.8))
 		}
 		// Gap to the next burst; LongGapFrac of gaps land in the

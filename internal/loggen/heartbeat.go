@@ -1,0 +1,135 @@
+package loggen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Heartbeat stream generation: a regular per-node liveness cadence with
+// jitter, random drops and injected flap episodes — the workload shape that
+// exercises a phi-accrual failure detector rather than the chain parser.
+// Messages are drawn from the dialect's benign templates, so the stream
+// parses like any other log and feeds the same ingest paths.
+
+// HeartbeatConfig parameterizes one synthetic heartbeat run.
+type HeartbeatConfig struct {
+	// Dialect supplies the benign message vocabulary (default XC30).
+	Dialect *Dialect
+	// Seed makes the run reproducible.
+	Seed int64
+	// Start is the wall-clock origin; zero means 2015-03-14 00:00 UTC.
+	Start time.Time
+	// Duration is the covered time span (required, > 0).
+	Duration time.Duration
+	// Nodes is the cluster size (required, > 0).
+	Nodes int
+	// Interval is the nominal gap between a node's heartbeats (required).
+	Interval time.Duration
+	// Jitter is the fractional uniform jitter on each gap: a gap is drawn
+	// from Interval × [1−Jitter, 1+Jitter] (default 0.1; negative disables).
+	Jitter float64
+	// DropProb silently skips a beat with this probability — missed beats a
+	// detector must absorb without alerting (default 0).
+	DropProb float64
+	// Flaps is the number of flap episodes to inject, round-robin across
+	// nodes: the node goes completely silent for FlapSilence, then resumes
+	// its cadence (default 0).
+	Flaps int
+	// FlapSilence is the length of each flap episode's silence (default
+	// 10 × Interval).
+	FlapSilence time.Duration
+}
+
+// FlapEpisode is ground truth for one injected heartbeat flap: the node
+// emits nothing in [Start, End] and resumes after.
+type FlapEpisode struct {
+	Node  string
+	Start time.Time
+	End   time.Time
+}
+
+// GenerateHeartbeats produces a heartbeat stream per the config, plus the
+// injected flap ground truth, sorted by time.
+func GenerateHeartbeats(cfg HeartbeatConfig) (*Log, []FlapEpisode, error) {
+	if cfg.Dialect == nil {
+		cfg.Dialect = DialectXC30
+	}
+	if cfg.Duration <= 0 {
+		return nil, nil, fmt.Errorf("loggen: heartbeat Duration must be positive")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, nil, fmt.Errorf("loggen: heartbeat Nodes must be positive")
+	}
+	if cfg.Interval <= 0 {
+		return nil, nil, fmt.Errorf("loggen: heartbeat Interval must be positive")
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.1
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Jitter > 0.9 {
+		return nil, nil, fmt.Errorf("loggen: heartbeat Jitter must be at most 0.9")
+	}
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		return nil, nil, fmt.Errorf("loggen: heartbeat DropProb must be in [0,1)")
+	}
+	if cfg.FlapSilence <= 0 {
+		cfg.FlapSilence = 10 * cfg.Interval
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start, _ = time.Parse(time.RFC3339, defaultStart)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: Config{Dialect: cfg.Dialect}, rng: rng, d: cfg.Dialect}
+	benign := g.benignTemplates()
+	if len(benign) == 0 {
+		return nil, nil, fmt.Errorf("loggen: dialect %s has no benign templates for heartbeats", cfg.Dialect.Name)
+	}
+
+	// Flap episodes first (round-robin across nodes at random offsets), so
+	// beat emission can honor the silences.
+	silences := map[string][][2]time.Time{}
+	var flaps []FlapEpisode
+	for f := 0; f < cfg.Flaps; f++ {
+		node := NodeName(f % cfg.Nodes)
+		span := cfg.Duration - cfg.FlapSilence
+		if span < 0 {
+			span = cfg.Duration / 2
+		}
+		start := cfg.Start.Add(time.Duration(rng.Float64() * float64(span)))
+		end := start.Add(cfg.FlapSilence)
+		silences[node] = append(silences[node], [2]time.Time{start, end})
+		flaps = append(flaps, FlapEpisode{Node: node, Start: start, End: end})
+	}
+
+	log := &Log{Dialect: cfg.Dialect}
+	end := cfg.Start.Add(cfg.Duration)
+	for i := 0; i < cfg.Nodes; i++ {
+		node := NodeName(i)
+		// Desynchronized start phases, as real fleets have.
+		t := cfg.Start.Add(time.Duration(rng.Float64() * float64(cfg.Interval)))
+		for t.Before(end) {
+			if !inWindow(t, silences[node]) && rng.Float64() >= cfg.DropProb {
+				tpl := benign[rng.Intn(len(benign))]
+				log.Events = append(log.Events, Event{
+					Time: t, Node: node, Phrase: tpl.ID, Message: g.instantiate(tpl, node),
+				})
+			}
+			jit := 1 + cfg.Jitter*(2*rng.Float64()-1)
+			t = t.Add(time.Duration(float64(cfg.Interval) * jit))
+		}
+	}
+
+	sort.SliceStable(log.Events, func(i, j int) bool {
+		return log.Events[i].Time.Before(log.Events[j].Time)
+	})
+	sort.SliceStable(flaps, func(i, j int) bool {
+		return flaps[i].Start.Before(flaps[j].Start)
+	})
+	return log, flaps, nil
+}

@@ -1,0 +1,220 @@
+package loggen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestHeartbeatDeterministic(t *testing.T) {
+	cfg := HeartbeatConfig{
+		Seed: 11, Duration: time.Hour, Nodes: 5, Interval: 10 * time.Second,
+		DropProb: 0.05, Flaps: 2,
+	}
+	l1, f1, err := GenerateHeartbeats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, f2, err := GenerateHeartbeats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Events) != len(l2.Events) || len(f1) != len(f2) {
+		t.Fatalf("same seed, different sizes: %d/%d events, %d/%d flaps",
+			len(l1.Events), len(l2.Events), len(f1), len(f2))
+	}
+	for i := range l1.Events {
+		if l1.Events[i] != l2.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, l1.Events[i], l2.Events[i])
+		}
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("flap %d differs: %+v vs %+v", i, f1[i], f2[i])
+		}
+	}
+}
+
+func TestHeartbeatCadenceAndOrder(t *testing.T) {
+	cfg := HeartbeatConfig{
+		Seed: 3, Duration: 30 * time.Minute, Nodes: 3, Interval: 15 * time.Second,
+		Jitter: 0.2,
+	}
+	log, flaps, err := GenerateHeartbeats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flaps) != 0 {
+		t.Fatalf("no flaps requested, got %d", len(flaps))
+	}
+	perNode := map[string][]time.Time{}
+	for i, e := range log.Events {
+		if i > 0 && e.Time.Before(log.Events[i-1].Time) {
+			t.Fatalf("events out of order at %d", i)
+		}
+		perNode[e.Node] = append(perNode[e.Node], e.Time)
+	}
+	if len(perNode) != cfg.Nodes {
+		t.Fatalf("got %d nodes, want %d", len(perNode), cfg.Nodes)
+	}
+	lo := float64(cfg.Interval) * (1 - cfg.Jitter)
+	hi := float64(cfg.Interval) * (1 + cfg.Jitter)
+	for node, beats := range perNode {
+		want := int(float64(cfg.Duration) / float64(cfg.Interval))
+		if len(beats) < want-5 || len(beats) > want+5 {
+			t.Errorf("%s: %d beats, want ≈ %d", node, len(beats), want)
+		}
+		for i := 1; i < len(beats); i++ {
+			gap := float64(beats[i].Sub(beats[i-1]))
+			if gap < lo-1 || gap > hi+1 {
+				t.Errorf("%s: gap %v outside jitter band [%v, %v]",
+					node, time.Duration(gap), time.Duration(lo), time.Duration(hi))
+			}
+		}
+	}
+}
+
+func TestHeartbeatFlapSilence(t *testing.T) {
+	cfg := HeartbeatConfig{
+		Seed: 9, Duration: 2 * time.Hour, Nodes: 4, Interval: 10 * time.Second,
+		Flaps: 3, FlapSilence: 5 * time.Minute,
+	}
+	log, flaps, err := GenerateHeartbeats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flaps) != cfg.Flaps {
+		t.Fatalf("got %d flap episodes, want %d", len(flaps), cfg.Flaps)
+	}
+	for _, fl := range flaps {
+		if got := fl.End.Sub(fl.Start); got != cfg.FlapSilence {
+			t.Errorf("%s: flap length %v, want %v", fl.Node, got, cfg.FlapSilence)
+		}
+		for _, e := range log.Events {
+			if e.Node == fl.Node && !e.Time.Before(fl.Start) && !e.Time.After(fl.End) {
+				t.Errorf("%s: beat at %v inside flap [%v, %v]",
+					fl.Node, e.Time, fl.Start, fl.End)
+			}
+		}
+	}
+}
+
+func TestHeartbeatDropThinsStream(t *testing.T) {
+	base := HeartbeatConfig{Seed: 5, Duration: time.Hour, Nodes: 4, Interval: 10 * time.Second}
+	full, _, err := GenerateHeartbeats(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := base
+	dropped.DropProb = 0.5
+	thin, _, err := GenerateHeartbeats(dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Around half the beats should survive; anything under 75% proves the
+	// knob works without being brittle about the exact RNG draw.
+	if len(thin.Events) >= len(full.Events)*3/4 {
+		t.Fatalf("DropProb 0.5 kept %d of %d beats", len(thin.Events), len(full.Events))
+	}
+}
+
+func TestHeartbeatValidation(t *testing.T) {
+	bad := []HeartbeatConfig{
+		{Nodes: 2, Interval: time.Second},                                      // no duration
+		{Duration: time.Hour, Interval: time.Second},                           // no nodes
+		{Duration: time.Hour, Nodes: 2},                                        // no interval
+		{Duration: time.Hour, Nodes: 2, Interval: time.Second, Jitter: 0.95},   // jitter too big
+		{Duration: time.Hour, Nodes: 2, Interval: time.Second, DropProb: 1},    // certain drop
+		{Duration: time.Hour, Nodes: 2, Interval: time.Second, DropProb: -0.1}, // negative drop
+	}
+	for i, cfg := range bad {
+		if _, _, err := GenerateHeartbeats(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, _, err := GenerateHeartbeats(HeartbeatConfig{
+		Duration: time.Hour, Nodes: 2, Interval: time.Second,
+	}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestFailureSilenceQuietsDyingNode(t *testing.T) {
+	cfg := Config{
+		Dialect: DialectXC30, Seed: 21, Duration: 3 * time.Hour, Nodes: 4,
+		Failures: 2, BenignPerMinute: 6, FailureSilence: 12 * time.Minute,
+	}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain phrases (including the terminal failure the HSS emits on the
+	// node's behalf) are exempt from the silence; everything else must be.
+	chainPhrase := map[core.PhraseID]bool{}
+	for _, fc := range cfg.Dialect.Chains() {
+		for _, p := range fc.Phrases {
+			chainPhrase[p] = true
+		}
+	}
+	if len(log.Failures) != cfg.Failures {
+		t.Fatalf("got %d failures, want %d", len(log.Failures), cfg.Failures)
+	}
+	for _, inj := range log.Failures {
+		lo := inj.FailTime.Add(-cfg.FailureSilence)
+		hi := inj.FailTime.Add(cfg.FailureSilence)
+		for _, e := range log.Events {
+			if e.Node != inj.Node || e.Time.Before(lo) || e.Time.After(hi) {
+				continue
+			}
+			if !chainPhrase[e.Phrase] {
+				t.Errorf("%s: background phrase %d at %v inside silence around %v",
+					inj.Node, e.Phrase, e.Time, inj.FailTime)
+			}
+		}
+	}
+
+	// The silence is a gap, not a reshuffle: without it the same seed puts
+	// background traffic in those windows.
+	loud := cfg
+	loud.FailureSilence = 0
+	ref, err := Generate(loud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSilence := 0
+	for _, inj := range ref.Failures {
+		lo := inj.FailTime.Add(-cfg.FailureSilence)
+		hi := inj.FailTime.Add(cfg.FailureSilence)
+		for _, e := range ref.Events {
+			if e.Node == inj.Node && !e.Time.Before(lo) && !e.Time.After(hi) && !chainPhrase[e.Phrase] {
+				inSilence++
+			}
+		}
+	}
+	if inSilence == 0 {
+		t.Fatal("reference run has no background traffic in the silence windows; test has no teeth")
+	}
+}
+
+func TestNegativeLongGapFracDisablesTail(t *testing.T) {
+	cfg := Config{
+		Dialect: DialectXC30, Seed: 8, Duration: 4 * time.Hour, Nodes: 2,
+		BenignPerMinute: 4, LongGapFrac: -1,
+	}
+	log, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[string][]time.Time{}
+	for _, e := range log.Events {
+		perNode[e.Node] = append(perNode[e.Node], e.Time)
+	}
+	for node, beats := range perNode {
+		for i := 1; i < len(beats); i++ {
+			if gap := beats[i].Sub(beats[i-1]); gap >= 17*time.Minute {
+				t.Errorf("%s: %v gap despite LongGapFrac < 0", node, gap)
+			}
+		}
+	}
+}

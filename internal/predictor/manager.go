@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lexgen"
@@ -49,6 +50,13 @@ type Manager struct {
 
 	// nodes deduplicates node-name strings for the byte-slice ingest path.
 	nodes nodeIntern
+
+	// heartbeat, when set, observes the (node, timestamp) of every line the
+	// ingest paths successfully parse — benign chatter included — giving a
+	// liveness detector the full per-node last-seen signal, not just the
+	// trickle of scanner matches. Stored atomically so it can be attached to
+	// a manager that is already processing lines (boot, hot-swap).
+	heartbeat atomic.Pointer[func(node string, ts time.Time)]
 }
 
 // nodeIntern is a bounded string intern table: node names repeat endlessly
@@ -213,6 +221,18 @@ func fnvIndex[T ~string | ~[]byte](key T, n int) int {
 	return int(h % uint32(n))
 }
 
+// SetHeartbeat registers fn to observe the (node, timestamp) of every line
+// ProcessLine/ProcessLineBytes successfully parses. fn must be safe for
+// concurrent calls (the ingest paths are); nil clears the hook. The node
+// string may alias ingest buffers — observers must copy it if they retain it.
+func (m *Manager) SetHeartbeat(fn func(node string, ts time.Time)) {
+	if fn == nil {
+		m.heartbeat.Store(nil)
+		return
+	}
+	m.heartbeat.Store(&fn)
+}
+
 // ProcessLine routes one raw log line to its node's worker. Scanning happens
 // inside the worker, in parallel across shards. Safe for concurrent use;
 // returns ErrClosed after Close.
@@ -222,6 +242,9 @@ func (m *Manager) ProcessLine(line string) error {
 	ts, node, msg, err := lexgen.ParseLine(line)
 	if err != nil {
 		return err
+	}
+	if hb := m.heartbeat.Load(); hb != nil {
+		(*hb)(node, ts)
 	}
 	return m.send(m.workerFor(node), managerEvent{
 		tok: core.Token{Time: ts, Node: node},
@@ -245,6 +268,9 @@ func (m *Manager) ProcessLineBytes(line []byte) (ok bool, err error) {
 	ts, node, msg, err := lexgen.ParseLineBytes(line)
 	if err != nil {
 		return false, err
+	}
+	if hb := m.heartbeat.Load(); hb != nil {
+		(*hb)(m.nodes.get(node), ts)
 	}
 	w := m.workers[fnvIndex(node, len(m.workers))]
 	// Scanners are immutable after construction and identical across

@@ -244,3 +244,78 @@ func BenchmarkManagerThroughput(b *testing.B) {
 		})
 	}
 }
+
+// TestManagerHeartbeat verifies the liveness hook: every successfully parsed
+// line — benign or not — fires the callback with its node and timestamp, on
+// both the string and byte-slice ingest paths, and a nil store clears it.
+func TestManagerHeartbeat(t *testing.T) {
+	log := genLog(t, 13, 5, 2)
+	m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range m.Results() {
+		}
+	}()
+
+	var mu sync.Mutex
+	beats := 0
+	nodes := map[string]int{}
+	var last time.Time
+	m.SetHeartbeat(func(node string, ts time.Time) {
+		mu.Lock()
+		beats++
+		nodes[node]++
+		if ts.After(last) {
+			last = ts
+		}
+		mu.Unlock()
+	})
+
+	lines := log.Lines()
+	half := len(lines) / 2
+	for _, line := range lines[:half] {
+		if err := m.ProcessLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, line := range lines[half:] {
+		if _, err := m.ProcessLineBytes([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ProcessLine("not a log line"); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+
+	mu.Lock()
+	if beats != len(lines) {
+		t.Fatalf("heartbeats = %d, want one per parsed line (%d)", beats, len(lines))
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("distinct heartbeat nodes = %d, want 5", len(nodes))
+	}
+	wantLast := log.Events[len(log.Events)-1].Time.Truncate(time.Millisecond)
+	if !last.Equal(wantLast) {
+		t.Fatalf("last heartbeat ts = %v, want %v", last, wantLast)
+	}
+	mu.Unlock()
+
+	m.SetHeartbeat(nil)
+	for _, line := range lines[:10] {
+		if err := m.ProcessLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	if beats != len(lines) {
+		t.Fatalf("cleared hook still fired: %d beats", beats)
+	}
+	mu.Unlock()
+
+	m.Close()
+	<-done
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/arbiter"
+	"repro/internal/predictor"
+)
+
+// Arbitration wiring: when Config.Arbiter is set, the server runs an
+// evidence arbiter beside the predictor. The manager's heartbeat hook feeds
+// it every parsed line's (node, timestamp) — the liveness signal — and the
+// fan-out feeds it every prediction and observed failure — the chain
+// evidence. Both paths are covered in recovery too: WAL replay re-fires
+// heartbeats through ProcessLineBytes, and replayed outputs pass through
+// arbObserve before landing in the recovered buffer, so a restored arbiter
+// converges to the same state an uninterrupted run would hold.
+
+// attachArbiter wires the arbiter's heartbeat feed into a manager. Called
+// for the boot manager and for every replacement built by hot-swap or
+// recovery — but never for shadow managers, which see the same lines as the
+// primary and would double-count every beat.
+func (s *Server) attachArbiter(m *predictor.Manager) {
+	if s.arb == nil || m == nil {
+		return
+	}
+	m.SetHeartbeat(s.arb.ObserveHeartbeat)
+}
+
+// arbObserve feeds one fan-out output into the arbiter's evidence ledger.
+func (s *Server) arbObserve(out predictor.Output) {
+	if s.arb == nil {
+		return
+	}
+	if p := out.Prediction; p != nil {
+		s.arb.ObservePrediction(p.Node, p.ChainName, p.MatchedAt)
+	}
+	if f := out.Failure; f != nil {
+		s.arb.ObserveFailure(f.Node, f.Time)
+	}
+}
+
+// Alerts returns the arbiter's current ranked alerts (nil when disabled).
+func (s *Server) Alerts() []arbiter.Alert {
+	if s.arb == nil {
+		return nil
+	}
+	return s.arb.Alerts()
+}
+
+// arbiterStatus assembles the /statusz arbitration block (nil when disabled).
+func (s *Server) arbiterStatus() *arbiter.Status {
+	if s.arb == nil {
+		return nil
+	}
+	st := s.arb.Status()
+	return &st
+}
+
+// handleAlerts serves GET /predictions?mode=alerts: the current ranked
+// alerts as NDJSON, highest score first (deterministic order — ties break by
+// node ID). ?min_score=<f> trims the tail below a score; ?limit=<n> caps the
+// count. Unlike the default subscription mode this is a point-in-time read,
+// not a stream: callers poll it.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.arb == nil {
+		http.Error(w, "arbiter disabled", http.StatusNotFound)
+		return
+	}
+	alerts := s.arb.Alerts()
+	q := r.URL.Query()
+	if v := q.Get("min_score"); v != "" {
+		minScore, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "min_score must be a number", http.StatusBadRequest)
+			return
+		}
+		// Sorted by score descending: trimming is a tail cut.
+		n := len(alerts)
+		for n > 0 && alerts[n-1].Score < minScore {
+			n--
+		}
+		alerts = alerts[:n]
+	}
+	if v := q.Get("limit"); v != "" {
+		limit, err := strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if limit < len(alerts) {
+			alerts = alerts[:limit]
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range alerts {
+		if err := enc.Encode(&alerts[i]); err != nil {
+			return
+		}
+	}
+}
+
+// Framed snapshot payload: with the arbiter enabled, one snapshot file
+// carries both the manager's parse state and the arbiter's fusion state, so
+// the two restore from the same exact WAL offset. Layout:
+//
+//	magic (5 bytes) | uvarint manager-length | manager gob | arbiter gob
+//
+// The magic starts with 0x00; a gob stream never does (its first byte is a
+// nonzero message length), so a legacy manager-only payload is unambiguous
+// and restores as before.
+var snapshotMagic = []byte{0x00, 'a', 'r', 'b', '1'}
+
+func frameSnapshotPayload(mgr, arb []byte) []byte {
+	out := make([]byte, 0, len(snapshotMagic)+binary.MaxVarintLen64+len(mgr)+len(arb))
+	out = append(out, snapshotMagic...)
+	out = binary.AppendUvarint(out, uint64(len(mgr)))
+	out = append(out, mgr...)
+	return append(out, arb...)
+}
+
+// splitSnapshotPayload separates a snapshot payload into its manager and
+// arbiter parts. A legacy (unframed) payload is all manager.
+func splitSnapshotPayload(payload []byte) (mgr, arb []byte, err error) {
+	if !bytes.HasPrefix(payload, snapshotMagic) {
+		return payload, nil, nil
+	}
+	rest := payload[len(snapshotMagic):]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 || n > uint64(len(rest)-k) {
+		return nil, nil, fmt.Errorf("framed snapshot: manager length %d exceeds payload", n)
+	}
+	rest = rest[k:]
+	return rest[:n], rest[n:], nil
+}

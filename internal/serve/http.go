@@ -117,6 +117,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // closes). Each subscriber gets an independent buffered subscription —
 // attach/detach never disturbs other consumers.
 func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
+	// ?mode=alerts switches to the arbiter's scored/ranked alert view — a
+	// point-in-time NDJSON read rather than a subscription stream.
+	if r.URL.Query().Get("mode") == "alerts" {
+		s.handleAlerts(w, r)
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)

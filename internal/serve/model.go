@@ -315,6 +315,9 @@ func (s *Server) swapLocked(fp, trigger string, commit func() error) (*SwapRepor
 	if err != nil {
 		return nil, fmt.Errorf("serve: building model %s: %w", fp, err)
 	}
+	// The replacement inherits the arbiter's heartbeat feed (shadows never
+	// do — they would double-count every beat the primary already observed).
+	s.attachArbiter(next)
 
 	began := time.Now()
 	s.snapMu.Lock() // pump pauses at a line boundary
@@ -383,6 +386,9 @@ func (s *Server) promoteLocked(sh *shadowRun, rep *SwapReport, commit func() err
 	if err := commit(); err != nil {
 		s.cfg.Logf("serve: persisting promotion of %s: %v (journal epoch is authoritative)", sh.fp, err)
 	}
+	// Promotion is the moment the shadow starts feeding the arbiter: until
+	// here the primary owned the heartbeat stream.
+	s.attachArbiter(sh.mgr)
 	s.setManager(sh.mgr)
 	old.Close()
 	s.shadow = nil

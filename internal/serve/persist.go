@@ -70,6 +70,15 @@ func (s *Server) openPersistence() error {
 	if err != nil {
 		return fmt.Errorf("serve: loading snapshot: %w", err)
 	}
+	// With the arbiter enabled the payload is a framed container holding
+	// both states; a legacy payload is all manager (arbPayload empty).
+	var arbPayload []byte
+	if ok {
+		payload, arbPayload, err = splitSnapshotPayload(payload)
+		if err != nil {
+			return fmt.Errorf("serve: reading snapshot (offset %d): %w", off, err)
+		}
+	}
 	switch {
 	case ok && s.registry != nil:
 		// Registry mode: the snapshot names the model it was taken under —
@@ -103,6 +112,14 @@ func (s *Server) openPersistence() error {
 			if err := s.bootSwitchModel(base); err != nil {
 				return fmt.Errorf("serve: journal began under model %s: %w", base, err)
 			}
+		}
+	}
+	// The arbiter restores before replay for the same reason the manager
+	// does: the journal tail then re-fires its heartbeats and outputs on top
+	// of exactly the state the snapshot captured.
+	if s.arb != nil && len(arbPayload) > 0 {
+		if err := s.arb.Restore(bytes.NewReader(arbPayload)); err != nil {
+			return fmt.Errorf("serve: restoring arbiter snapshot (offset %d): %w", off, err)
 		}
 	}
 
@@ -206,6 +223,7 @@ func (s *Server) bootSwitchModel(fp string) error {
 	if err != nil {
 		return fmt.Errorf("building model %s: %w", fp, err)
 	}
+	s.attachArbiter(next)
 	old := s.manager()
 	s.setManager(next)
 	old.Close()
@@ -242,6 +260,7 @@ func (s *Server) replaySwap(fp string) error {
 		next.Close()
 		return fmt.Errorf("migrating state into %s: %w", fp, err)
 	}
+	s.attachArbiter(next)
 	s.setManager(next)
 	old.Close()
 	return nil
@@ -264,12 +283,24 @@ func (s *Server) snapshot() error {
 	if err := s.manager().Snapshot(&buf); err != nil {
 		return err
 	}
+	payload := buf.Bytes()
+	if s.arb != nil {
+		// The manager's Snapshot above ran the Flush barrier, so the fan-out
+		// has pushed every output for lines ≤ idx through arbObserve, and the
+		// pump (paused under snapMu) has fired every heartbeat ≤ idx: the
+		// arbiter state captured here covers exactly the snapshot's offset.
+		var abuf bytes.Buffer
+		if err := s.arb.Snapshot(&abuf); err != nil {
+			return err
+		}
+		payload = frameSnapshotPayload(payload, abuf.Bytes())
+	}
 	// The journal must be durable up to the snapshot's offset before old
 	// segments go away, whatever the fsync policy says.
 	if err := s.wlog.Sync(); err != nil {
 		return err
 	}
-	if _, err := wal.WriteSnapshotFile(s.snapDir(), idx, buf.Bytes()); err != nil {
+	if _, err := wal.WriteSnapshotFile(s.snapDir(), idx, payload); err != nil {
 		return err
 	}
 	if err := s.wlog.TruncateBefore(idx + 1); err != nil {

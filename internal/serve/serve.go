@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arbiter"
 	"repro/internal/predictor"
 	"repro/internal/registry"
 	"repro/internal/wal"
@@ -95,6 +96,13 @@ type Config struct {
 	// replacement Manager during a hot-swap (0 = GOMAXPROCS). It should match
 	// the worker count of the Manager passed to New.
 	Workers int
+
+	// Arbiter, when non-nil, enables failure arbitration: a phi-accrual
+	// heartbeat detector fed by every parsed line, fused with chain-accept
+	// evidence into calibrated ranked alerts (GET /predictions?mode=alerts,
+	// /statusz "arbiter" block). Arbiter state rides the snapshot/WAL
+	// recovery path alongside the parse state when DataDir is set.
+	Arbiter *arbiter.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +161,9 @@ type Status struct {
 	// unset (Model) or no shadow evaluation runs (Shadow).
 	Model  *ModelStatus  `json:"model,omitempty"`
 	Shadow *ShadowStatus `json:"shadow,omitempty"`
+	// Arbiter is the live arbitration block (per-node phi, fused scores,
+	// chain precision ledger); nil when Config.Arbiter is unset.
+	Arbiter *arbiter.Status `json:"arbiter,omitempty"`
 }
 
 // Server is the streaming ingestion daemon core. Construct with New, bind
@@ -221,6 +232,11 @@ type Server struct {
 	swaps    atomic.Int64
 	lastSwap atomic.Pointer[SwapReport]
 
+	// arb fuses heartbeat phi with chain evidence into ranked alerts (nil
+	// when Config.Arbiter is unset). Internally synchronized; fed by the
+	// manager heartbeat hook and the fan-out.
+	arb *arbiter.Arbiter
+
 	started      bool
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -239,7 +255,7 @@ type Server struct {
 // Results.
 func New(m *predictor.Manager, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		mgr:        m,
 		workers:    cfg.Workers,
@@ -251,6 +267,11 @@ func New(m *predictor.Manager, cfg Config) *Server {
 		fanDone:    make(chan struct{}),
 		httpDone:   make(chan struct{}),
 	}
+	if cfg.Arbiter != nil {
+		s.arb = arbiter.New(*cfg.Arbiter)
+		s.attachArbiter(m)
+	}
+	return s
 }
 
 // manager returns the active Manager (hot-swaps replace it).
@@ -432,6 +453,9 @@ func (s *Server) fanout() {
 				out.Ack()
 				continue
 			}
+			// The arbiter sees every output — recovered ones included, so a
+			// restored run accumulates the same chain evidence a live run did.
+			s.arbObserve(out)
 			if s.recoveryActive.Load() {
 				s.recMu.Lock()
 				s.recovered = append(s.recovered, out)
@@ -511,6 +535,7 @@ func (s *Server) Status() Status {
 		Recovery:        s.recovery,
 		Model:           s.modelStatus(),
 		Shadow:          s.shadowStatus(),
+		Arbiter:         s.arbiterStatus(),
 	}
 }
 

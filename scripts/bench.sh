@@ -1,22 +1,31 @@
 #!/usr/bin/env sh
-# Ingest-throughput benchmark run: BenchmarkServeIngest (the full queue →
-# WAL → scan → parse path) plus the scanner microbenchmarks, rendered into
-# BENCH_ingest.json so the trajectory ROADMAP item 2 tracks lives in the
-# repo. Re-run on a quiet machine and commit the file when the numbers move
-# for a reason.
+# Benchmark trajectory run: BenchmarkServeIngest (the full queue → WAL →
+# scan → parse path), the scanner microbenchmarks, and the arbiter hot-path
+# benchmarks, appended as one NDJSON line per run to BENCH_trajectory.ndjson
+# so the history of the numbers (ROADMAP item 2) lives in the repo across
+# PRs instead of each run overwriting the last. Re-run on a quiet machine
+# and commit the file when the numbers move for a reason.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [trajectory.ndjson]
 #   BENCHTIME=3s scripts/bench.sh    # longer per-benchmark budget
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_ingest.json}"
+OUT="${1:-BENCH_trajectory.ndjson}"
 BENCHTIME="${BENCHTIME:-2s}"
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
+
+# Seed the trajectory from the legacy single-run snapshot so its data point
+# is not lost (one-time: only when the trajectory file does not exist yet).
+if [ ! -f "$OUT" ] && [ -f BENCH_ingest.json ]; then
+    tr '\n' ' ' < BENCH_ingest.json | tr -s ' ' > "$OUT"
+    printf '\n' >> "$OUT"
+    echo "==> seeded $OUT from BENCH_ingest.json"
+fi
 
 echo "==> BenchmarkServeIngest (${BENCHTIME})"
 go test -run='^$' -bench='^BenchmarkServeIngest$' -benchtime="$BENCHTIME" -benchmem ./internal/serve | tee -a "$TMP"
@@ -24,10 +33,13 @@ go test -run='^$' -bench='^BenchmarkServeIngest$' -benchtime="$BENCHTIME" -bench
 echo "==> scanner benchmarks (${BENCHTIME})"
 go test -run='^$' -bench='^BenchmarkScanFCMessage$|^BenchmarkScanBenignMessage$' -benchtime="$BENCHTIME" -benchmem ./internal/lexgen | tee -a "$TMP"
 
+echo "==> arbiter benchmarks (${BENCHTIME})"
+go test -run='^$' -bench='^BenchmarkArbiterObserveHeartbeat$|^BenchmarkArbiterScore$' -benchtime="$BENCHTIME" -benchmem ./internal/arbiter | tee -a "$TMP"
+
 awk -v go_version="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN {
-    printf "{\n  \"generated_by\": \"scripts/bench.sh\",\n"
-    printf "  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [", go_version, date
+    printf "{\"generated_by\": \"scripts/bench.sh\", "
+    printf "\"go\": \"%s\", \"date\": \"%s\", \"benchmarks\": [", go_version, date
     first = 1
 }
 /^Benchmark/ {
@@ -42,15 +54,15 @@ BEGIN {
         else if ($i == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
-    if (!first) printf ","
+    if (!first) printf ", "
     first = 0
-    printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    printf "{\"name\": \"%s\", \"ns_per_op\": %s", name, ns
     if (mb != "") printf ", \"mb_per_s\": %s", mb
     if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
 }
-END { printf "\n  ]\n}\n" }
-' "$TMP" > "$OUT"
+END { printf "]}\n" }
+' "$TMP" >> "$OUT"
 
-echo "==> wrote $OUT"
+echo "==> appended run to $OUT ($(wc -l < "$OUT" | tr -d ' ') runs total)"

@@ -42,6 +42,7 @@ if [ "$FUZZTIME" != "0" ]; then
         ./internal/wal:FuzzSnapshotDecode
         ./internal/registry:FuzzManifestDecode
         ./internal/serve:FuzzModelUploadDecode
+        ./internal/arbiter:FuzzStateDecode
     "
     echo "==> fuzz smoke (${FUZZTIME} per target)"
     for entry in $FUZZ_TARGETS; do
