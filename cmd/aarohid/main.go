@@ -53,6 +53,8 @@ func main() {
 		tcpAddr    = flag.String("tcp", ":7743", "TCP line-protocol listen address (\"off\" disables)")
 		httpAddr   = flag.String("http", ":7780", "HTTP listen address (\"off\" disables)")
 		queueSize  = flag.Int("queue", 4096, "ingest queue depth (lines)")
+		batchMax   = flag.Int("ingest-batch", 256, "max lines coalesced into one WAL group-append and predictor batch (1 = per-line)")
+		batchAge   = flag.Duration("ingest-batch-age", 0, "max wait for a partial ingest batch to fill (0 = dispatch as soon as the queue is empty)")
 		overflow   = flag.String("overflow", "block", "queue-full policy: block (backpressure) or shed (drop+count)")
 		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline")
 		maxLine    = flag.Int("max-line", 1<<20, "maximum log line length (bytes)")
@@ -85,6 +87,12 @@ func main() {
 	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		fatalUsage("-fsync must be always, batch or off, not %q", *fsync)
+	}
+	if *batchMax < 1 {
+		fatalUsage("-ingest-batch must be >= 1, not %d", *batchMax)
+	}
+	if *batchAge < 0 {
+		fatalUsage("-ingest-batch-age must be a non-negative duration, not %s", *batchAge)
 	}
 	if *watch < 0 {
 		fatalUsage("-watch must be a non-negative duration, not %s", *watch)
@@ -123,6 +131,8 @@ func main() {
 		TCPAddr:          *tcpAddr,
 		HTTPAddr:         *httpAddr,
 		QueueSize:        *queueSize,
+		BatchMax:         *batchMax,
+		BatchAge:         *batchAge,
 		Overflow:         policy,
 		ReadTimeout:      *readTO,
 		MaxLineLen:       *maxLine,
@@ -153,7 +163,7 @@ func main() {
 	if a := srv.HTTPAddr(); a != nil {
 		log.Printf("aarohid: http api on %s (/ingest /predictions /healthz /readyz /statusz)", a)
 	}
-	log.Printf("aarohid: %d chains, queue=%d overflow=%s", len(chains), *queueSize, policy)
+	log.Printf("aarohid: %d chains, queue=%d overflow=%s batch=%d/%s", len(chains), *queueSize, policy, *batchMax, *batchAge)
 	if arbCfg != nil {
 		log.Printf("aarohid: arbiter on: horizon=%s alert-threshold=%g tiers=%d", *horizon, *alertThresh, len(arbCfg.Criticality))
 	}

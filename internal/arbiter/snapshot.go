@@ -58,9 +58,16 @@ type savedPending struct {
 const maxSavedRing = 1 << 12
 
 // Snapshot serializes the arbiter's state to w. Nodes and chains are
-// written in sorted order so identical states produce identical bytes.
+// written in sorted order, and expired pending evidence is settled first —
+// resolution depends only on timestamps, so forcing it here canonicalizes
+// the lazy ledger: identical states produce identical bytes no matter how
+// far fan-out delivery lagged the heartbeat clock when each sample was
+// recorded. Alerts and Status resolve the same way before reporting.
 func (a *Arbiter) Snapshot(w io.Writer) error {
 	a.mu.Lock()
+	for _, ns := range a.nodes {
+		a.resolveNode(ns)
+	}
 	st := savedState{
 		Version:      snapshotVersion,
 		Clock:        a.clock,

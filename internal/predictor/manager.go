@@ -57,6 +57,14 @@ type Manager struct {
 	// trickle of scanner matches. Stored atomically so it can be attached to
 	// a manager that is already processing lines (boot, hot-swap).
 	heartbeat atomic.Pointer[func(node string, ts time.Time)]
+
+	// batchFree/builderFree recycle the batch-path shells between callers and
+	// workers. Buffered channels of concrete pointer types stand in for
+	// sync.Pool: Get is a non-blocking receive (a miss allocates cold),
+	// Put a non-blocking send (overflow is left to the GC), and no value ever
+	// crosses an interface boundary on the hot path.
+	batchFree   chan *eventBatch
+	builderFree chan *batchBuilder
 }
 
 // nodeIntern is a bounded string intern table: node names repeat endlessly
@@ -121,6 +129,31 @@ type managerEvent struct {
 	// flush is a barrier marker (see Flush): the worker forwards it through
 	// the results channel instead of processing it.
 	flush chan<- struct{}
+
+	// batch, when non-nil, carries a group of pre-parsed line events
+	// (ProcessLineBatch): one channel send delivers the whole group, and the
+	// worker returns the shell to the freelist when done.
+	batch *eventBatch
+}
+
+// batchEntry is one pre-parsed line inside an eventBatch: exactly the state a
+// ProcessLine send carries, minus the per-line channel traffic.
+type batchEntry struct {
+	tok core.Token
+	msg string
+}
+
+// eventBatch groups the batchEntries bound for a single worker. Shells cycle
+// through Manager.batchFree so steady-state batching never allocates.
+type eventBatch struct {
+	entries []batchEntry
+}
+
+// batchBuilder is the per-call scatter table of ProcessLineBatch: one slot
+// per worker, filled lazily as lines route to shards. Shells cycle through
+// Manager.builderFree.
+type batchBuilder struct {
+	shards []*eventBatch
 }
 
 // NewManager builds a concurrent predictor with the given worker count
@@ -131,7 +164,16 @@ func NewManager(chains []core.FailureChain, inventory []core.Template, opts Opti
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	m := &Manager{results: make(chan Output, 256)}
+	m := &Manager{
+		results: make(chan Output, 256),
+		// Worker in-channels buffer up to 512 events each, and every queued
+		// batch pins a shell: when submitters outrun the scan workers the
+		// whole window is in flight at once. Size the freelist for that
+		// worst case (slots are one pointer each) or steady-state blast
+		// ingest churns a fresh shell per dispatch.
+		batchFree:   make(chan *eventBatch, (512+4)*workers),
+		builderFree: make(chan *batchBuilder, 4),
+	}
 	for i := 0; i < workers; i++ {
 		p, err := New(chains, inventory, opts)
 		if err != nil {
@@ -161,12 +203,17 @@ func (m *Manager) RulesFingerprint() uint64 { return m.workers[0].pred.rulesFing
 //aarohi:hotpath
 func (m *Manager) run(w *managerWorker) {
 	defer m.wg.Done()
+	var outBuf []Output // reused across batches; grows to the high-water mark
 	for ev := range w.in {
 		if ev.flush != nil {
 			// Barrier marker: forward it through the FIFO results channel.
 			// When the consumer acks it, every output this worker emitted
 			// before the marker has been received.
 			m.results <- Output{flush: ev.flush}
+			continue
+		}
+		if ev.batch != nil {
+			outBuf = m.runBatch(w, ev.batch, outBuf)
 			continue
 		}
 		w.mu.Lock()
@@ -195,6 +242,41 @@ func (m *Manager) run(w *managerWorker) {
 			m.results <- out
 		}
 	}
+}
+
+// runBatch processes one delivered batch exactly as the per-line loop would —
+// worker-side scan, identical counter updates, processToken per match — but
+// holds w.mu once for the whole group and defers result sends until the lock
+// is released (Stats callers are never blocked behind a full results channel).
+// Returns the output buffer so its capacity survives to the next batch.
+//
+//aarohi:hotpath
+func (m *Manager) runBatch(w *managerWorker, eb *eventBatch, outBuf []Output) []Output {
+	outs := outBuf[:0]
+	w.mu.Lock()
+	for i := range eb.entries {
+		e := &eb.entries[i]
+		id, ok := w.pred.Scanner().Scan(e.msg)
+		w.pred.linesScanned++
+		if !ok {
+			w.pred.discarded++
+			continue
+		}
+		w.pred.tokens++
+		e.tok.Phrase = id
+		out := w.pred.processToken(e.tok)
+		if out.Prediction != nil || out.Failure != nil {
+			out.Model = m.fpHex
+			outs = append(outs, out)
+		}
+	}
+	w.mu.Unlock()
+	m.putBatch(eb)
+	for i := range outs {
+		m.results <- outs[i]
+		outs[i] = Output{} // drop the Prediction/Failure pointers we retain
+	}
+	return outs[:0]
 }
 
 // Results delivers predictions and observed failures. Close arranges for it
@@ -250,6 +332,117 @@ func (m *Manager) ProcessLine(line string) error {
 		tok: core.Token{Time: ts, Node: node},
 		msg: msg,
 	})
+}
+
+// ProcessLineBatch routes a group of raw log lines in one pass: lines are
+// parsed and heartbeat-observed caller-side, scattered into per-shard batches
+// by the same per-node hash ProcessLine uses, and delivered with one channel
+// send per shard instead of one per line. Scanning still happens inside the
+// worker, so the outputs, counters and Stats are exactly those of calling
+// ProcessLine on each parseable line in order.
+//
+// Malformed lines are skipped and counted in parseErrs (the per-line path
+// reports them one error at a time; a batch reports how many). After Close
+// the whole batch is rejected with ErrClosed and nothing is enqueued —
+// matching the per-line path, where every post-Close call fails. Lines of one
+// batch reach each node's worker in slice order; ordering across concurrent
+// callers is unspecified, as with ProcessLine. Safe for concurrent use.
+//
+//aarohi:hotpath
+func (m *Manager) ProcessLineBatch(lines []string) (parseErrs int, err error) {
+	if len(lines) == 0 {
+		return 0, nil
+	}
+	b := m.getBuilder()
+	hb := m.heartbeat.Load()
+	n := 0
+	for _, line := range lines {
+		ts, node, msg, perr := lexgen.ParseLine(line)
+		if perr != nil {
+			parseErrs++
+			continue
+		}
+		if hb != nil {
+			(*hb)(node, ts)
+		}
+		wi := fnvIndex(node, len(m.workers))
+		eb := b.shards[wi]
+		if eb == nil {
+			eb = m.getBatch()
+			b.shards[wi] = eb
+		}
+		eb.entries = append(eb.entries, batchEntry{tok: core.Token{Time: ts, Node: node}, msg: msg})
+		n++
+	}
+	if n == 0 {
+		m.putBuilder(b)
+		return parseErrs, nil
+	}
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		for i, eb := range b.shards {
+			if eb != nil {
+				b.shards[i] = nil
+				m.putBatch(eb)
+			}
+		}
+		m.putBuilder(b)
+		return parseErrs, ErrClosed
+	}
+	// Count the whole group before the first enqueue, mirroring send: inside
+	// the RLock with closed == false delivery is guaranteed, and Accepted()
+	// never trails processed.
+	m.accepted.Add(uint64(n))
+	for i, eb := range b.shards {
+		if eb == nil {
+			continue
+		}
+		b.shards[i] = nil
+		//aarohi:allow lockblock worker queues are buffered and drained until Close; the RLock only excludes Close's swap, which waits for senders first
+		m.workers[i].in <- managerEvent{batch: eb}
+	}
+	m.mu.RUnlock()
+	m.putBuilder(b)
+	return parseErrs, nil
+}
+
+// getBatch / putBatch / getBuilder / putBuilder are the freelist cold+recycle
+// paths; the steady state of each is a single channel operation on a concrete
+// pointer type.
+
+func (m *Manager) getBatch() *eventBatch {
+	select {
+	case eb := <-m.batchFree:
+		return eb
+	default:
+		return &eventBatch{}
+	}
+}
+
+func (m *Manager) putBatch(eb *eventBatch) {
+	clear(eb.entries) // drop node/msg string references before pooling
+	eb.entries = eb.entries[:0]
+	select {
+	case m.batchFree <- eb:
+	default:
+	}
+}
+
+func (m *Manager) getBuilder() *batchBuilder {
+	select {
+	case b := <-m.builderFree:
+		return b
+	default:
+		return &batchBuilder{shards: make([]*eventBatch, len(m.workers))}
+	}
+}
+
+func (m *Manager) putBuilder(b *batchBuilder) {
+	select {
+	case m.builderFree <- b:
+	default:
+	}
 }
 
 // ProcessLineBytes routes one raw log line held in a reusable byte buffer —

@@ -1,0 +1,274 @@
+package predictor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Lifecycle and race coverage for the batch submission path. The serve-level
+// equivalence suite proves batched output equals per-line output; these tests
+// pin the Manager-level contract: whole-batch ErrClosed semantics, parse-error
+// accounting, and freedom from races against Close, Flush and state hot-swap.
+
+// TestManagerBatchMatchesPerLine: the same stream chunked into batches yields
+// the same predictions and stats as per-line submission, and malformed lines
+// are counted without poisoning the rest of their batch.
+func TestManagerBatchMatchesPerLine(t *testing.T) {
+	log := genLog(t, 9, 8, 4)
+	chains, inv := log.Dialect.Chains(), log.Dialect.Inventory()
+	lines := log.Lines()
+
+	ref, err := NewManager(chains, inv, Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKeys, refDone := drainManager(ref)
+	for _, line := range lines {
+		if err := ref.ProcessLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Close()
+	<-refDone
+	refStats := ref.Stats()
+
+	for _, chunk := range []int{1, 7, 256} {
+		m, err := NewManager(chains, inv, Options{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys, done := drainManager(m)
+		var parseErrs int
+		for i := 0; i < len(lines); i += chunk {
+			end := i + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			// A malformed line rides along in one batch per chunk size; it
+			// must be skipped and counted, not dropped silently or fatal.
+			batch := append(append([]string(nil), lines[i:end]...), "not a log line")
+			pe, err := m.ProcessLineBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parseErrs += pe
+			batch = batch[:len(batch)-1]
+			pe, err = m.ProcessLineBatch(batch[:0])
+			if pe != 0 || err != nil {
+				t.Fatalf("empty batch = (%d, %v), want (0, nil)", pe, err)
+			}
+		}
+		m.Close()
+		<-done
+
+		wantBad := (len(lines) + chunk - 1) / chunk
+		if parseErrs != wantBad {
+			t.Fatalf("chunk=%d: %d parse errors, want %d", chunk, parseErrs, wantBad)
+		}
+		got, want := sortedCopy(*keys), sortedCopy(*refKeys)
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d predictions, per-line %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d: prediction %d differs: %s vs %s", chunk, i, got[i], want[i])
+			}
+		}
+		st := m.Stats()
+		if st.LinesScanned != refStats.LinesScanned || st.Tokens != refStats.Tokens {
+			t.Fatalf("chunk=%d: stats diverge: %+v vs %+v", chunk, st, refStats)
+		}
+		if uint64(st.LinesScanned) != m.Accepted() {
+			t.Fatalf("chunk=%d: LinesScanned %d != Accepted %d", chunk, st.LinesScanned, m.Accepted())
+		}
+	}
+}
+
+// TestManagerBatchErrClosed: a closed manager refuses the entire batch —
+// no partial shard delivery, no accepted-count advance — matching the
+// per-line ErrClosed contract.
+func TestManagerBatchErrClosed(t *testing.T) {
+	log := genLog(t, 11, 4, 2)
+	m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := log.Lines()
+	if _, err := m.ProcessLineBatch(lines[:8]); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Accepted()
+	m.Close()
+	for range m.Results() {
+	}
+	pe, err := m.ProcessLineBatch(lines[8:24])
+	if err != ErrClosed {
+		t.Fatalf("ProcessLineBatch after Close = %v, want ErrClosed", err)
+	}
+	if pe != 0 {
+		t.Fatalf("well-formed refused batch reported %d parse errors", pe)
+	}
+	if m.Accepted() != before {
+		t.Fatalf("refused batch advanced Accepted from %d to %d", before, m.Accepted())
+	}
+	if st := m.Stats(); uint64(st.LinesScanned) != m.Accepted() {
+		t.Fatalf("after close: LinesScanned %d != Accepted %d", st.LinesScanned, m.Accepted())
+	}
+}
+
+// TestManagerConcurrentBatchClose hammers ProcessLineBatch from several
+// goroutines while Close races in. Every batch either lands whole (counted
+// by the sender) or is refused whole with ErrClosed; after the drain the
+// processed count reconciles exactly with the accepted count.
+func TestManagerConcurrentBatchClose(t *testing.T) {
+	log := genLog(t, 23, 10, 4)
+	lines := log.Lines()
+	for trial := 0; trial < 4; trial++ {
+		m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, done := drainManager(m)
+
+		var sent atomic.Uint64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := g * 16; i < len(lines); i += 4 * 16 {
+					end := i + 16
+					if end > len(lines) {
+						end = len(lines)
+					}
+					pe, err := m.ProcessLineBatch(lines[i:end])
+					if err != nil {
+						if err == ErrClosed {
+							return
+						}
+						t.Errorf("ProcessLineBatch: %v", err)
+						return
+					}
+					sent.Add(uint64(end - i - pe))
+					if i%128 == 0 {
+						m.Stats()
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m.Close()
+			m.Close()
+		}()
+		close(start)
+		wg.Wait()
+		<-done
+
+		if st := m.Stats(); uint64(st.LinesScanned) != m.Accepted() || m.Accepted() != sent.Load() {
+			t.Fatalf("trial %d: LinesScanned %d, Accepted %d, sent %d — must all agree after drain",
+				trial, st.LinesScanned, m.Accepted(), sent.Load())
+		}
+	}
+}
+
+// TestManagerConcurrentBatchFlushAndSwap drives batch submitters against the
+// two quiescing operations the serve daemon performs live: Flush barriers and
+// ExportState/AdoptState hot-swaps. Nothing may race or deadlock, and the
+// manager must keep accepting batches after every swap. Exact sent/processed
+// reconciliation is NOT asserted across the race phase: AdoptState restores
+// the counters captured at export time, so increments landing in the gap are
+// overwritten by design — instead the quiet manager is checked for exact
+// accounting on a final batch after the swaps settle.
+func TestManagerConcurrentBatchFlushAndSwap(t *testing.T) {
+	log := genLog(t, 29, 8, 3)
+	lines := log.Lines()
+	m, err := NewManager(log.Dialect.Chains(), log.Dialect.Inventory(), Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := drainManager(m)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := g * 8; i < len(lines); i += 3 * 8 {
+				end := i + 8
+				if end > len(lines) {
+					end = len(lines)
+				}
+				if _, err := m.ProcessLineBatch(lines[i:end]); err != nil {
+					t.Errorf("ProcessLineBatch: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 8; i++ {
+			if err := m.Flush(); err != nil {
+				t.Errorf("Flush: %v", err)
+				return
+			}
+			// After the barrier everything accepted so far is processed;
+			// submitters keep racing, so only >= holds here.
+			if st := m.Stats(); uint64(st.LinesScanned) > m.Accepted() {
+				t.Errorf("flush %d: LinesScanned %d exceeds Accepted %d", i, st.LinesScanned, m.Accepted())
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 4; i++ {
+			st, err := m.ExportState()
+			if err != nil {
+				t.Errorf("ExportState: %v", err)
+				return
+			}
+			if _, err := m.AdoptState(st); err != nil {
+				t.Errorf("AdoptState: %v", err)
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+
+	// Swaps settled, stream quiet: the manager must still accept batches and
+	// account for them exactly.
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Stats().LinesScanned
+	tail := lines[:24]
+	pe, err := m.ProcessLineBatch(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe != 0 {
+		t.Fatalf("post-swap batch reported %d parse errors on well-formed lines", pe)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.LinesScanned != base+len(tail) {
+		t.Fatalf("post-swap batch: LinesScanned %d, want %d", st.LinesScanned, base+len(tail))
+	}
+	m.Close()
+	<-done
+}

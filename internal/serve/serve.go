@@ -62,6 +62,22 @@ type Config struct {
 	// SubscriberBuffer is the per-subscription channel depth; a consumer
 	// lagging behind it loses messages (default 256).
 	SubscriberBuffer int
+	// BatchMax caps how many queued lines the pump coalesces into one WAL
+	// group-append and one Manager batch submit (default 256). 1 selects the
+	// per-line path: each line is journaled and dispatched individually, the
+	// pre-batching behavior.
+	BatchMax int
+	// BatchMaxBytes caps the byte size of one pump batch (default 256 KiB),
+	// bounding WAL write size and worker latency under huge lines.
+	BatchMaxBytes int
+	// BatchAge caps how long the pump waits for a partial batch to fill
+	// before dispatching it. The default (0) never waits: the pump drains
+	// whatever is queued and dispatches immediately, so batches grow with
+	// load — full amortization under pressure, per-line latency when idle —
+	// and a snapshot or Flush issued while the stream is quiet observes
+	// every line, exactly as the per-line pump did. A positive age trades
+	// that latency for larger groups (useful with Fsync always).
+	BatchAge time.Duration
 	// DrainGrace is how long Shutdown lets open TCP connections finish
 	// sending before force-closing them (default 1s).
 	DrainGrace time.Duration
@@ -126,6 +142,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SubscriberBuffer <= 0 {
 		c.SubscriberBuffer = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 256 << 10
+	}
+	if c.BatchAge < 0 {
+		c.BatchAge = 0
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = time.Second
@@ -389,13 +414,36 @@ func (s *Server) Subscribe(buffer int) *Subscription {
 
 // pump is the single consumer of the ingest queue: every accepted line flows
 // through it into the Manager, so "queue drained + pump exited" means every
-// accepted line reached a predictor worker. With persistence on, the line is
+// accepted line reached a predictor worker. With persistence on, lines are
 // journaled first — under snapMu, so a snapshot always sits on an exact
-// (journal offset, parse state) boundary.
-//
-//aarohi:hotpath
+// (journal offset, parse state) boundary. BatchMax > 1 (the default) selects
+// the batched pump: lines are cut into groups bounded by count/bytes/age and
+// each group pays one WAL group-append and one Manager batch submit.
 func (s *Server) pump() {
 	defer close(s.pumpDone)
+	if s.cfg.BatchMax > 1 {
+		s.pumpBatches()
+	} else {
+		s.pumpLines()
+	}
+	// Queue drained. Checkpoint the final state while the Manager (and the
+	// fan-out its barrier needs) is still alive, so a clean restart resumes
+	// from the snapshot without replay.
+	if s.wlog != nil && !s.testSkipFinalSnapshot {
+		if err := s.snapshot(); err != nil {
+			s.cfg.Logf("serve: final snapshot: %v", err)
+		}
+	}
+	s.manager().Close()
+}
+
+// pumpLines is the per-line pump (BatchMax == 1): the original ingest loop,
+// kept both as the reference semantics the batched path must reproduce
+// exactly (see TestBatchPipelineEquivalence) and as the minimum-latency
+// configuration.
+//
+//aarohi:hotpath
+func (s *Server) pumpLines() {
 	var walBuf []byte // reused framing scratch; Append copies out of it
 	for line := range s.queue {
 		if s.testHookPumpDelay != nil {
@@ -424,15 +472,138 @@ func (s *Server) pump() {
 			s.parseErrors.Add(1)
 		}
 	}
-	// Queue drained. Checkpoint the final state while the Manager (and the
-	// fan-out its barrier needs) is still alive, so a clean restart resumes
-	// from the snapshot without replay.
-	if s.wlog != nil && !s.testSkipFinalSnapshot {
-		if err := s.snapshot(); err != nil {
-			s.cfg.Logf("serve: final snapshot: %v", err)
+}
+
+// pumpBatches is the batched pump: block for the first line, then collect
+// until BatchMax lines, BatchMaxBytes bytes, BatchAge of waiting, or an empty
+// queue (BatchAge 0), and hand the group to processBatch. Collection happens
+// outside snapMu, so snapshots and hot-swaps interleave at batch boundaries
+// exactly as they did at line boundaries.
+//
+//aarohi:hotpath
+func (s *Server) pumpBatches() {
+	var (
+		batch   []string
+		walRecs [][]byte // per-element capacity reused across batches
+		closed  bool
+	)
+	// The age timer starts stopped and is armed per batch. go.mod pins the
+	// go 1.22 language version, so classic timer rules apply: Stop and drain
+	// before every Reset.
+	timer := time.NewTimer(time.Hour)
+	stopTimer(timer)
+	defer timer.Stop()
+	for !closed {
+		line, ok := <-s.queue
+		if !ok {
+			return
+		}
+		// The test hook sits where the per-line pump had it — after the first
+		// dequeue, before any further draining — so queue-overflow tests can
+		// still hold the pump with a known queue state.
+		if s.testHookPumpDelay != nil {
+			s.testHookPumpDelay()
+		}
+		batch = append(batch[:0], line)
+		nbytes := len(line)
+		if s.cfg.BatchAge > 0 {
+			timer.Reset(s.cfg.BatchAge)
+		}
+	collect:
+		for len(batch) < s.cfg.BatchMax && nbytes < s.cfg.BatchMaxBytes {
+			select {
+			case line, ok := <-s.queue:
+				if !ok {
+					closed = true
+					break collect
+				}
+				batch = append(batch, line)
+				nbytes += len(line)
+			default:
+				if s.cfg.BatchAge <= 0 {
+					break collect // opportunistic only: queue is empty, go
+				}
+				select {
+				case line, ok := <-s.queue:
+					if !ok {
+						closed = true
+						break collect
+					}
+					batch = append(batch, line)
+					nbytes += len(line)
+				case <-timer.C:
+					break collect // the partial batch is old enough
+				}
+			}
+		}
+		if s.cfg.BatchAge > 0 {
+			stopTimer(timer)
+		}
+		walRecs = s.processBatch(batch, walRecs)
+	}
+}
+
+// stopTimer stops t and drains a concurrent fire, leaving it safe to Reset
+// (pre-1.23 timer semantics; the module targets go 1.22).
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
 		}
 	}
-	s.manager().Close()
+}
+
+// processBatch journals and dispatches one pump batch under snapMu: every
+// line is framed into a reused record buffer, the group hits the WAL as one
+// AppendBatch, and the Manager receives it as one ProcessLineBatch — the
+// WAL-append-before-parse invariant, at batch granularity. Returns walRecs so
+// its element capacities survive to the next batch.
+//
+//aarohi:hotpath
+func (s *Server) processBatch(batch []string, walRecs [][]byte) [][]byte {
+	s.snapMu.Lock()
+	if s.wlog != nil {
+		if len(batch) > len(walRecs) {
+			walRecs = growRecs(walRecs, len(batch))
+		}
+		for i, line := range batch {
+			walRecs[i] = encodeLineRecordInto(walRecs[i][:0], line)
+		}
+		if _, err := s.wlog.AppendBatch(walRecs[:len(batch)]); err != nil {
+			// Journal failure is fatal for durability but not for
+			// prediction: log loudly and keep serving.
+			s.cfg.Logf("serve: wal append: %v", err)
+		}
+	}
+	// snapMu also pins the manager pointer: a hot-swap holds it for its
+	// whole critical section, so the pump pauses at this batch boundary
+	// and resumes on the fully swapped-in manager.
+	perrs, err := s.manager().ProcessLineBatch(batch)
+	if sh := s.shadow; sh != nil {
+		// The shadow sees exactly the lines the primary does; its own
+		// parse errors mirror the primary's and are not double-counted.
+		sh.mgr.ProcessLineBatch(batch)
+	}
+	s.snapMu.Unlock()
+	if perrs > 0 {
+		s.parseErrors.Add(int64(perrs))
+	}
+	if err != nil {
+		// ErrClosed cannot happen while the pump owns the Manager lifecycle;
+		// surface anything else rather than losing it.
+		s.cfg.Logf("serve: batch submit: %v", err)
+	}
+	return walRecs
+}
+
+// growRecs is the cold growth path of processBatch's framing scratch: the
+// slice reaches the high-water batch size once and is element-reused forever.
+func growRecs(recs [][]byte, n int) [][]byte {
+	for len(recs) < n {
+		recs = append(recs, nil)
+	}
+	return recs
 }
 
 // fanout broadcasts Manager results to the hub until the final Results

@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll collects every (index, payload) pair in the journal.
+func replayAll(t *testing.T, l *Log) (idxs []uint64, payloads [][]byte) {
+	t.Helper()
+	if err := l.Replay(0, func(idx uint64, payload []byte) error {
+		idxs = append(idxs, idx)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return idxs, payloads
+}
+
+// TestAppendBatchMatchesSingles: the same payload sequence written through
+// AppendBatch groups must produce a byte-identical journal directory —
+// same segments, same roll points, same record bytes — as per-record Append
+// calls, because batch roll decisions are made per record.
+func TestAppendBatchMatchesSingles(t *testing.T) {
+	var payloads [][]byte
+	for i := 0; i < 40; i++ {
+		payloads = append(payloads, []byte(fmt.Sprintf("record %02d with some body to cross segments", i)))
+	}
+	opts := Options{Sync: SyncOff, SegmentSize: 256} // tiny: rolls land mid-batch
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := Open(dirA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixed batch sizes, including empty and single-element groups.
+	for i := 0; i < len(payloads); {
+		n := 1 + (i*7)%9
+		if i+n > len(payloads) {
+			n = len(payloads) - i
+		}
+		last, err := a.AppendBatch(payloads[i : i+n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(i + n); last != want {
+			t.Fatalf("AppendBatch returned last %d, want %d", last, want)
+		}
+		if _, err := a.AppendBatch(nil); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(dirB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		idx, err := b.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i+1) {
+			t.Fatalf("Append returned %d, want %d", idx, i+1)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entsA, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entsB, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entsA) != len(entsB) {
+		t.Fatalf("batched journal has %d segments, singles %d", len(entsA), len(entsB))
+	}
+	if len(entsA) < 3 {
+		t.Fatalf("only %d segments; SegmentSize too large to exercise mid-batch rolls", len(entsA))
+	}
+	for i := range entsA {
+		if entsA[i].Name() != entsB[i].Name() {
+			t.Fatalf("segment %d named %s vs %s", i, entsA[i].Name(), entsB[i].Name())
+		}
+		ba, err := os.ReadFile(filepath.Join(dirA, entsA[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(dirB, entsB[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("segment %s differs between batched and per-record journals", entsA[i].Name())
+		}
+	}
+}
+
+// TestAppendBatchErrors: oversized records are rejected before any write,
+// empty batches are no-ops, and a closed log refuses the whole group.
+func TestAppendBatchErrors(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, maxRecordSize+1)
+	if _, err := l.AppendBatch([][]byte{[]byte("ok"), huge}); err == nil {
+		t.Fatal("oversized record in batch not rejected")
+	}
+	if last := l.LastIndex(); last != 1 {
+		t.Fatalf("rejected batch advanced the index to %d", last)
+	}
+	last, err := l.AppendBatch(nil)
+	if err != nil || last != 1 {
+		t.Fatalf("empty batch = (%d, %v), want (1, nil)", last, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch([][]byte{[]byte("late")}); err != ErrClosed {
+		t.Fatalf("AppendBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestAppendBatchSyncAlways: one group commit covers the whole batch — the
+// durable watermark lands on the batch's last record before return.
+func TestAppendBatchSyncAlways(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	last, err := l.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 3 {
+		t.Fatalf("last = %d, want 3", last)
+	}
+	l.syncMu.Lock()
+	synced := l.synced
+	l.syncMu.Unlock()
+	if synced < last {
+		t.Fatalf("synced watermark %d behind batch last %d under SyncAlways", synced, last)
+	}
+}
+
+// TestAppendBatchAllocFree pins the //aarohi:hotpath contract on the batch
+// encode path: once the internal buffer has grown, a whole group is framed,
+// checksummed and written without allocating.
+func TestAppendBatchAllocFree(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := [][]byte{
+		[]byte("2015-03-14T04:58:57.640Z c0-0c2s0n2 DVS: verify_filesystem: excluding server"),
+		[]byte("2015-03-14T04:58:57.922Z c0-0c2s0n3 Lustre: lock timed out on OST"),
+		[]byte("2015-03-14T04:58:58.017Z c0-0c2s0n1 kernel: watchdog reset"),
+		[]byte("2015-03-14T04:58:58.400Z c0-0c2s0n0 HSS: heartbeat fault imminent"),
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := l.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("AppendBatch allocates %.1f objects per run, want 0", allocs)
+	}
+}

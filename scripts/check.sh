@@ -4,7 +4,8 @@
 # before pushing.
 #
 # Usage: scripts/check.sh [fuzztime]
-#   fuzztime  per-target fuzzing budget (default 10s; "0" skips fuzzing)
+#   fuzztime         per-target fuzzing budget (default 10s; "0" skips fuzzing)
+#   BENCH_CHECK_TIME per-benchmark budget for the regression gate (default 300ms)
 
 set -eu
 
@@ -30,6 +31,12 @@ go test -race ./...
 echo "==> serve integration (race): loopback daemon end-to-end"
 go test -race -run 'TestServe|TestAarohid' ./internal/serve .
 
+echo "==> bench gate self-test (comparison logic on canned numbers)"
+scripts/bench.sh -selftest
+
+echo "==> bench regression gate (best-of-2 vs BENCH_trajectory.ndjson)"
+BENCHTIME="${BENCH_CHECK_TIME:-300ms}" scripts/bench.sh -check
+
 if [ "$FUZZTIME" != "0" ]; then
     # Go only allows one -fuzz target per invocation; run each explicitly.
     # One pkg:target entry per line.
@@ -39,6 +46,7 @@ if [ "$FUZZTIME" != "0" ]; then
         ./internal/lexgen:FuzzScan
         ./internal/baselines:FuzzWildcardMatch
         ./internal/wal:FuzzWALDecode
+        ./internal/wal:FuzzAppendBatchDecode
         ./internal/wal:FuzzSnapshotDecode
         ./internal/registry:FuzzManifestDecode
         ./internal/serve:FuzzModelUploadDecode
