@@ -5,7 +5,8 @@
 // Usage:
 //
 //	aarohid -chains chains.json -templates templates.json \
-//	        [-tcp :7743] [-http :7780] [-queue 4096] [-overflow block|shed]
+//	        [-tcp :7743] [-http :7780] [-queue 4096] [-overflow block|shed] \
+//	        [-shards 4]
 //
 // Log lines arrive over the TCP line protocol (newline-framed, same format
 // as cmd/aarohi stdin — `loggen -stream` is a ready-made load source) or as
@@ -36,114 +37,32 @@ import (
 	"time"
 
 	aarohi "repro"
-	"repro/internal/arbiter"
 	"repro/internal/predictor"
 	"repro/internal/registry"
 	"repro/internal/serve"
-	"repro/internal/wal"
 )
 
 func main() {
-	var (
-		chainsPath = flag.String("chains", "", "failure chains JSON (required)")
-		tplPath    = flag.String("templates", "", "template inventory JSON (required)")
-		timeout    = flag.Duration("timeout", 0, "ΔT timeout override (default 4m)")
-		noFactor   = flag.Bool("no-factoring", false, "disable subchain factoring (ablation)")
-		workers    = flag.Int("workers", 0, "predictor worker goroutines (0 = GOMAXPROCS)")
-		tcpAddr    = flag.String("tcp", ":7743", "TCP line-protocol listen address (\"off\" disables)")
-		httpAddr   = flag.String("http", ":7780", "HTTP listen address (\"off\" disables)")
-		queueSize  = flag.Int("queue", 4096, "ingest queue depth (lines)")
-		batchMax   = flag.Int("ingest-batch", 256, "max lines coalesced into one WAL group-append and predictor batch (1 = per-line)")
-		batchAge   = flag.Duration("ingest-batch-age", 0, "max wait for a partial ingest batch to fill (0 = dispatch as soon as the queue is empty)")
-		overflow   = flag.String("overflow", "block", "queue-full policy: block (backpressure) or shed (drop+count)")
-		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection idle read deadline")
-		maxLine    = flag.Int("max-line", 1<<20, "maximum log line length (bytes)")
-		grace      = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM/SIGINT")
-		dataDir    = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty disables persistence")
-		snapEvery  = flag.Duration("snapshot-interval", 0, "period between parse-state snapshots (0 = only on graceful shutdown)")
-		fsync      = flag.String("fsync", "batch", "WAL fsync policy: always (no acked loss), batch (bounded loss), off")
-		watch      = flag.Duration("watch", 0, "poll -chains/-templates for changes at this interval and hot-reload (0 = off)")
-
-		arbEnabled  = flag.Bool("arbiter", false, "enable failure arbitration: phi-accrual heartbeats fused with chain evidence into ranked alerts (/predictions?mode=alerts)")
-		horizon     = flag.Duration("horizon", 10*time.Minute, "arbiter prediction horizon M (chain evidence lifetime, TP/FP window)")
-		alertThresh = flag.Float64("alert-threshold", 0.5, "minimum fused probability for a node to alert")
-		criticality = flag.String("criticality", "", "per-node criticality tiers, \"node=tier,node=tier\" (1 = most critical)")
-		tierWeights = flag.String("tier-weights", "", "ranking weight per tier, \"4,2,1\" (highest tier first)")
-	)
-	flag.Parse()
-	if *chainsPath == "" || *tplPath == "" {
-		fatalUsage("-chains and -templates are required")
+	o, err := parseOptions(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
 	}
-	var policy serve.OverflowPolicy
-	switch *overflow {
-	case "block":
-		policy = serve.Block
-	case "shed":
-		policy = serve.Shed
-	default:
-		fatalUsage("-overflow must be block or shed, not %q", *overflow)
-	}
-
-	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
-		fatalUsage("-fsync must be always, batch or off, not %q", *fsync)
-	}
-	if *batchMax < 1 {
-		fatalUsage("-ingest-batch must be >= 1, not %d", *batchMax)
-	}
-	if *batchAge < 0 {
-		fatalUsage("-ingest-batch-age must be a non-negative duration, not %s", *batchAge)
-	}
-	if *watch < 0 {
-		fatalUsage("-watch must be a non-negative duration, not %s", *watch)
+		os.Exit(2)
 	}
 
-	var arbCfg *arbiter.Config
-	if *arbEnabled {
-		crit, err := arbiter.ParseCriticality(*criticality)
-		if err != nil {
-			fatalUsage("-criticality: %v", err)
-		}
-		weights, err := arbiter.ParseTierWeights(*tierWeights)
-		if err != nil {
-			fatalUsage("-tier-weights: %v", err)
-		}
-		arbCfg = &arbiter.Config{
-			Horizon:        *horizon,
-			AlertThreshold: *alertThresh,
-			Criticality:    crit,
-			TierWeights:    weights,
-		}
-	} else if *criticality != "" || *tierWeights != "" {
-		fatalUsage("-criticality/-tier-weights require -arbiter")
-	}
+	chains := readChains(o.ChainsPath)
+	inventory := readTemplates(o.TemplatesPath)
+	opts := o.predictorOptions()
 
-	chains := readChains(*chainsPath)
-	inventory := readTemplates(*tplPath)
-	opts := aarohi.Options{Timeout: *timeout, DisableFactoring: *noFactor}
-
-	mgr, err := predictor.NewManager(chains, inventory, opts, *workers)
+	mgr, err := predictor.NewManager(chains, inventory, opts, o.Workers)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	srv := serve.New(mgr, serve.Config{
-		TCPAddr:          *tcpAddr,
-		HTTPAddr:         *httpAddr,
-		QueueSize:        *queueSize,
-		BatchMax:         *batchMax,
-		BatchAge:         *batchAge,
-		Overflow:         policy,
-		ReadTimeout:      *readTO,
-		MaxLineLen:       *maxLine,
-		Logf:             log.Printf,
-		DataDir:          *dataDir,
-		SnapshotInterval: *snapEvery,
-		Fsync:            syncPolicy,
-		Model:            &registry.Model{Chains: chains, Templates: inventory, Options: opts},
-		Workers:          *workers,
-		Arbiter:          arbCfg,
-	})
+	srv := serve.New(mgr, o.serveConfig(&registry.Model{
+		Chains: chains, Templates: inventory, Options: opts,
+	}))
 	// Catch shutdown signals before the listeners open: once /readyz answers,
 	// a SIGTERM must always drain gracefully, never hit the default handler.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -163,12 +82,14 @@ func main() {
 	if a := srv.HTTPAddr(); a != nil {
 		log.Printf("aarohid: http api on %s (/ingest /predictions /healthz /readyz /statusz)", a)
 	}
-	log.Printf("aarohid: %d chains, queue=%d overflow=%s batch=%d/%s", len(chains), *queueSize, policy, *batchMax, *batchAge)
-	if arbCfg != nil {
-		log.Printf("aarohid: arbiter on: horizon=%s alert-threshold=%g tiers=%d", *horizon, *alertThresh, len(arbCfg.Criticality))
+	log.Printf("aarohid: %d chains, shards=%d queue=%d overflow=%s batch=%d/%s",
+		len(chains), o.Shards, o.QueueSize, o.Overflow, o.BatchMax, o.BatchAge)
+	if o.Arbiter != nil {
+		log.Printf("aarohid: arbiter on: horizon=%s alert-threshold=%g tiers=%d",
+			o.Arbiter.Horizon, o.Arbiter.AlertThreshold, len(o.Arbiter.Criticality))
 	}
-	if *dataDir != "" {
-		log.Printf("aarohid: durability on: data-dir=%s fsync=%s snapshot-interval=%s", *dataDir, syncPolicy, *snapEvery)
+	if o.DataDir != "" {
+		log.Printf("aarohid: durability on: data-dir=%s fsync=%s snapshot-interval=%s", o.DataDir, o.Fsync, o.SnapshotInterval)
 	}
 	if st := srv.Status(); st.Model != nil {
 		log.Printf("aarohid: model registry active=%s (%d versions); POST /model, SIGHUP and -watch hot-swap",
@@ -185,28 +106,28 @@ func main() {
 	go func() {
 		defer close(reloadDone)
 		var last [2]fileStamp
-		if *watch > 0 {
-			last[0], last[1] = stampFile(*chainsPath), stampFile(*tplPath)
+		if o.Watch > 0 {
+			last[0], last[1] = stampFile(o.ChainsPath), stampFile(o.TemplatesPath)
 		}
-		ticker := time.NewTicker(watchInterval(*watch))
+		ticker := time.NewTicker(watchInterval(o.Watch))
 		defer ticker.Stop()
 		for {
 			select {
 			case <-stopReload:
 				return
 			case <-hup:
-				reloadModel(srv, *chainsPath, *tplPath, opts, "sighup")
-				if *watch > 0 {
-					last[0], last[1] = stampFile(*chainsPath), stampFile(*tplPath)
+				reloadModel(srv, o.ChainsPath, o.TemplatesPath, opts, "sighup")
+				if o.Watch > 0 {
+					last[0], last[1] = stampFile(o.ChainsPath), stampFile(o.TemplatesPath)
 				}
 			case <-ticker.C:
-				if *watch == 0 {
+				if o.Watch == 0 {
 					continue
 				}
-				cur := [2]fileStamp{stampFile(*chainsPath), stampFile(*tplPath)}
+				cur := [2]fileStamp{stampFile(o.ChainsPath), stampFile(o.TemplatesPath)}
 				if cur != last && cur[0].ok && cur[1].ok {
 					last = cur
-					reloadModel(srv, *chainsPath, *tplPath, opts, "watch")
+					reloadModel(srv, o.ChainsPath, o.TemplatesPath, opts, "watch")
 				}
 			}
 		}
@@ -217,8 +138,8 @@ func main() {
 	signal.Stop(hup)
 	close(stopReload)
 	<-reloadDone
-	log.Printf("aarohid: draining (budget %s)...", *grace)
-	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	log.Printf("aarohid: draining (budget %s)...", o.Grace)
+	sctx, cancel := context.WithTimeout(context.Background(), o.Grace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("aarohid: shutdown: %v", err)
@@ -328,12 +249,4 @@ func loadTemplates(path string) ([]aarohi.Template, error) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aarohid: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-// fatalUsage reports a flag error the way the flag package does: the message,
-// then the full usage text, then exit 2.
-func fatalUsage(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "aarohid: "+format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
 }

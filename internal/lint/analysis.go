@@ -87,7 +87,7 @@ func (p *Pass) Preorder(fn func(ast.Node) bool) {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Hotpath, LockBlock, MustClose, Durable}
+	return []*Analyzer{Hotpath, LockBlock, MustClose, Durable, Layering}
 }
 
 // Select resolves a comma-separated analyzer-name list against All. An empty

@@ -21,6 +21,12 @@ func TestDurableFixture(t *testing.T) {
 	RunFixture(t, Durable, "testdata/src/durable")
 }
 
+func TestLayeringFixture(t *testing.T) {
+	// The layering fixture is a tree of sibling packages (one per layer), so
+	// the pattern recurses where the single-package fixtures do not.
+	RunFixture(t, Layering, "testdata/src/layering/...")
+}
+
 func TestSelect(t *testing.T) {
 	all, err := Select("")
 	if err != nil || len(all) != len(All()) {

@@ -1,0 +1,6 @@
+// Package core stands in for internal/core: the bottom of the DAG, importable
+// from anywhere.
+package core
+
+// Marker anchors the package so blank imports resolve a real symbol table.
+const Marker = "core"

@@ -1,0 +1,8 @@
+// Package lifecycle is the fixture for the lifecycle rules: it coordinates
+// shards and must not reach the ingest path.
+package lifecycle
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/pipeline" // want "lifecycle must not import pipeline package"
+	_ "repro/internal/lint/testdata/src/layering/shard"
+)

@@ -1,0 +1,8 @@
+// Package pipeline is the fixture for the pipeline rules: the batcher drives
+// its Sink interface and must not know the router's hash ring.
+package pipeline
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/core"
+	_ "repro/internal/lint/testdata/src/layering/ring" // want "pipeline must not import ring package"
+)

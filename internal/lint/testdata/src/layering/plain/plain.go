@@ -1,0 +1,5 @@
+// Package plain is a module package whose name matches no layer — everything
+// may import it except the ring, which admits only core.
+package plain
+
+const Marker = "plain"

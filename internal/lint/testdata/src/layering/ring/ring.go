@@ -1,0 +1,10 @@
+// Package ring is the fixture for the ring rule: nothing from the module
+// above internal/core, classified layer or not.
+package ring
+
+import (
+	_ "container/ring" // stdlib package named ring: outside the module, never classified
+
+	_ "repro/internal/lint/testdata/src/layering/core"
+	_ "repro/internal/lint/testdata/src/layering/plain" // want "ring must not import repro/internal/lint/testdata/src/layering/plain"
+)

@@ -1,0 +1,8 @@
+// Package shard is the fixture for the shard rules: shards may use the ring
+// and domain packages but never the layers that drive them.
+package shard
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/pipeline" // want "shard must not import pipeline package"
+	_ "repro/internal/lint/testdata/src/layering/ring"
+)

@@ -1,0 +1,12 @@
+// Package transport is the fixture for the transport rules: listeners know
+// the daemon only through the Ingestor interface, so every layer package is
+// off limits. Also exercises //aarohi:allow as the escape hatch.
+package transport
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/core"
+	_ "repro/internal/lint/testdata/src/layering/lifecycle" // want "transport must not import lifecycle package"
+	_ "repro/internal/lint/testdata/src/layering/pipeline"  // want "transport must not import pipeline package"
+	//aarohi:allow layering fixture: prove the suppression silences the edge
+	_ "repro/internal/lint/testdata/src/layering/shard"
+)

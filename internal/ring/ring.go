@@ -1,0 +1,210 @@
+// Package ring is a consistent-hash router: it maps arbitrary string keys
+// (node IDs) onto a small set of members (shards) such that placement is
+// deterministic across processes and restarts, load spreads evenly via
+// virtual nodes, and adding or removing one member moves only ≈K/N of the
+// keys — the property that makes shard rebalance and (later) peer takeover
+// cheap. It sits at the very bottom of the serving stack: routing decisions
+// must be reproducible from the member list alone, so this package depends on
+// nothing above the standard library.
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member used when a caller
+// passes replicas <= 0. 128 points per member keeps the max/min member load
+// within a small constant factor at realistic member counts.
+const DefaultReplicas = 128
+
+// point is one virtual node: a position on the hash circle owned by a member.
+type point struct {
+	hash  uint64
+	owner int32 // index into members
+}
+
+// Ring is an immutable-placement consistent-hash circle. The zero value is
+// unusable; construct with New. Methods are not safe for concurrent mutation
+// (Add/Remove); concurrent Lookups against a fixed ring are safe.
+type Ring struct {
+	replicas int
+	members  []string // sorted, unique
+	points   []point  // sorted by hash
+}
+
+// New builds a ring over the given members with the given virtual-node count
+// per member (<= 0 selects DefaultReplicas). Member order does not matter:
+// the ring sorts them, so two rings built from the same member set place
+// every key identically — the determinism recovery depends on.
+func New(replicas int, members ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas}
+	for _, m := range members {
+		r.insertMember(m)
+	}
+	r.rebuild()
+	return r
+}
+
+// Members returns the member list in sorted order. LookupIndex values index
+// into this slice. The caller must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Replicas reports the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Add inserts a member and rebuilds the circle. Reports whether the member
+// was new. Only keys whose circle successor is now one of the new member's
+// virtual nodes move; everything else keeps its owner.
+func (r *Ring) Add(member string) bool {
+	if !r.insertMember(member) {
+		return false
+	}
+	r.rebuild()
+	return true
+}
+
+// Remove deletes a member and rebuilds the circle. Reports whether the
+// member existed. Only keys the removed member owned move (to their next
+// circle successor); everything else keeps its owner.
+func (r *Ring) Remove(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	if i >= len(r.members) || r.members[i] != member {
+		return false
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	r.rebuild()
+	return true
+}
+
+// insertMember adds member to the sorted set, reporting whether it was new.
+func (r *Ring) insertMember(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	if i < len(r.members) && r.members[i] == member {
+		return false
+	}
+	r.members = append(r.members, "")
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = member
+	return true
+}
+
+// rebuild regenerates every virtual node from the member list. Placement is
+// a pure function of (members, replicas): virtual node j of member m sits at
+// fnv64a(m + "#" + j), ties broken by member index so equal-hash collisions
+// are still deterministic.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for mi, m := range r.members {
+		for j := 0; j < r.replicas; j++ {
+			h := hashString(m + "#" + strconv.Itoa(j))
+			r.points = append(r.points, point{hash: h, owner: int32(mi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].owner < r.points[j].owner
+	})
+}
+
+// LookupIndex returns the owning member's index (into Members) for key, or
+// -1 on an empty ring. Allocation-free: the router calls this once per
+// ingested line.
+//
+//aarohi:hotpath
+func (r *Ring) LookupIndex(key string) int {
+	return r.lookupHash(hashString(key))
+}
+
+// LookupIndexBytes is LookupIndex for a byte-slice key, avoiding a string
+// conversion on the hot path.
+//
+//aarohi:hotpath
+func (r *Ring) LookupIndexBytes(key []byte) int {
+	return r.lookupHash(hashBytes(key))
+}
+
+// Lookup returns the owning member for key ("" on an empty ring).
+func (r *Ring) Lookup(key string) string {
+	i := r.LookupIndex(key)
+	if i < 0 {
+		return ""
+	}
+	return r.members[i]
+}
+
+// lookupHash finds the first virtual node at or clockwise of h (wrapping).
+//
+//aarohi:hotpath
+func (r *Ring) lookupHash(h uint64) int {
+	pts := r.points
+	if len(pts) == 0 {
+		return -1
+	}
+	// First point with hash >= h; wrap to 0 past the end. Open-coded binary
+	// search: sort.Search costs a closure allocation's worth of indirection.
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(pts) {
+		lo = 0
+	}
+	return int(pts[lo].owner)
+}
+
+// String describes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members × %d vnodes)", len(r.members), r.replicas)
+}
+
+// FNV-1a 64 with a splitmix64 finalizer: inlined (hash.Hash64 would allocate
+// per call) and duplicated over string/[]byte so both Lookup paths stay
+// conversion-free. Raw FNV-1a clusters on short sequential inputs like the
+// "m#0", "m#1", ... vnode labels — skewing member load by 2× — so the
+// avalanche mix is load-bearing, not decoration.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+//aarohi:hotpath
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+//aarohi:hotpath
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+//aarohi:hotpath
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/loggen"
 	"repro/internal/predictor"
+	"repro/internal/registry"
 	"repro/internal/wal"
 )
 
@@ -60,8 +61,9 @@ func BenchmarkServeIngest(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.ingest(lines[i%len(lines)])
 		}
-		// Barrier: every enqueued line fully processed before the clock stops.
-		if err := s.manager().Flush(); err != nil {
+		// Barrier: every enqueued line fully processed — through the router
+		// and every shard's manager — before the clock stops.
+		if err := s.flushAll(); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -87,5 +89,22 @@ func BenchmarkServeIngest(b *testing.B) {
 	})
 	b.Run("wal-off", func(b *testing.B) {
 		run(b, Config{DataDir: b.TempDir(), Fsync: wal.SyncOff})
+	})
+	// Sharded variants: the consistent-hash router in front of N local
+	// shards, no persistence — shards-1 is the synchronous pass-through
+	// (the router tax should be nil vs nowal), shards-4 the routed fan-out
+	// with one worker goroutine per shard. Both carry Config.Model because
+	// Shards > 1 builds the extra shard managers from it; shards-1 keeps it
+	// too so the two differ only in shard count.
+	model := &registry.Model{
+		Chains:    loggen.DialectXC30.Chains(),
+		Templates: loggen.DialectXC30.Inventory(),
+		Options:   predictor.Options{},
+	}
+	b.Run("shards1", func(b *testing.B) {
+		run(b, Config{Shards: 1, Model: model})
+	})
+	b.Run("shards4", func(b *testing.B) {
+		run(b, Config{Shards: 4, Model: model})
 	})
 }

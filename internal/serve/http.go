@@ -1,116 +1,15 @@
 package serve
 
 import (
-	"bufio"
-	"context"
 	"encoding/json"
-	"fmt"
-	"io"
-	"net"
 	"net/http"
-	"strings"
+	"strconv"
 )
 
-// httpState bundles the HTTP listener and server so Start/Shutdown can own
-// their lifecycle together.
-type httpState struct {
-	ln  net.Listener
-	srv *http.Server
-}
-
-// IngestResult is the POST /ingest response body.
-type IngestResult struct {
-	// Accepted lines were enqueued toward the Manager.
-	Accepted int `json:"accepted"`
-	// Dropped lines hit a full queue under the Shed policy.
-	Dropped int `json:"dropped"`
-	// Malformed lines were JSON-framed but undecodable (never enqueued;
-	// they count toward neither accepted nor dropped).
-	Malformed int `json:"malformed"`
-}
-
-func (s *Server) startHTTP() error {
-	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
-	if err != nil {
-		return fmt.Errorf("serve: http listen: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /predictions", s.handlePredictions)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /statusz", s.handleStatusz)
-	mux.HandleFunc("POST /model", s.handleModelUpload)
-	mux.HandleFunc("GET /models", s.handleModels)
-	mux.HandleFunc("POST /model/activate", s.handleModelActivate)
-	mux.HandleFunc("POST /model/rollback", s.handleModelRollback)
-	mux.HandleFunc("POST /model/shadow", s.handleShadowStart)
-	mux.HandleFunc("DELETE /model/shadow", s.handleShadowStop)
-	s.httpState = httpState{ln: ln, srv: &http.Server{Handler: mux}}
-	go func() {
-		defer close(s.httpDone)
-		if err := s.httpState.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			s.cfg.Logf("serve: http: %v", err)
-		}
-	}()
-	return nil
-}
-
-func (s *Server) stopHTTP(ctx context.Context) error {
-	if s.httpState.srv == nil {
-		return nil
-	}
-	err := s.httpState.srv.Shutdown(ctx)
-	if err != nil {
-		// Deadline hit with streams still open — force them closed.
-		s.httpState.srv.Close()
-	}
-	<-s.httpDone
-	return err
-}
-
-// handleIngest accepts an NDJSON batch: one frame per line, each either a
-// JSON object {"line": "<raw log line>"} or, for convenience, a bare raw log
-// line (anything not starting with '{'). The whole batch runs under one
-// producer registration, so a drain never strands half a batch: either the
-// batch is rejected with 503 up front, or every accepted line is flushed.
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if !s.beginProduce() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	defer s.endProduce()
-
-	var res IngestResult
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineLen)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "{") {
-			var frame struct {
-				Line string `json:"line"`
-			}
-			if err := json.Unmarshal([]byte(line), &frame); err != nil || frame.Line == "" {
-				res.Malformed++
-				continue
-			}
-			line = frame.Line
-		}
-		if s.ingest(line) {
-			res.Accepted++
-		} else {
-			res.Dropped++
-		}
-	}
-	if err := sc.Err(); err != nil {
-		http.Error(w, fmt.Sprintf("reading batch: %v", err), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, res)
-}
+// The transport layer owns the listeners and the routes it can serve from
+// the Ingestor alone (POST /ingest, /healthz, /readyz); this file holds the
+// routes that need the layers above — the prediction stream, statusz and
+// alerts — which Start mounts onto the HTTP transport via Handle.
 
 // handlePredictions streams predictor.Output values as NDJSON for as long
 // as the client stays connected (or until the server drains and the hub
@@ -165,46 +64,50 @@ func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	fmt.Fprintln(w, "ok")
-}
-
-// handleReadyz reports whether the server is accepting traffic: 503 once a
-// drain has begun, so load balancers stop routing before connections break.
-func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.isDraining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+// handleAlerts serves GET /predictions?mode=alerts: the current ranked
+// alerts as NDJSON, highest score first (deterministic order — ties break by
+// node ID). ?min_score=<f> trims the tail below a score; ?limit=<n> caps the
+// count. Unlike the default subscription mode this is a point-in-time read,
+// not a stream: callers poll it.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.arb == nil {
+		http.Error(w, "arbiter disabled", http.StatusNotFound)
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	alerts := s.Alerts()
+	q := r.URL.Query()
+	if v := q.Get("min_score"); v != "" {
+		minScore, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "min_score must be a number", http.StatusBadRequest)
+			return
+		}
+		// Sorted by score descending: trimming is a tail cut.
+		n := len(alerts)
+		for n > 0 && alerts[n-1].Score < minScore {
+			n--
+		}
+		alerts = alerts[:n]
+	}
+	if v := q.Get("limit"); v != "" {
+		limit, err := strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if limit < len(alerts) {
+			alerts = alerts[:limit]
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range alerts {
+		if err := enc.Encode(&alerts[i]); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Status())
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	writeJSONBody(w, v)
-}
-
-// writeJSONBody encodes v without touching the status line — for handlers
-// that already wrote a non-200 header.
-func writeJSONBody(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// readBody reads a request body with a hard size cap.
-func readBody(r *http.Request, limit int64) ([]byte, error) {
-	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
-	if err != nil {
-		return nil, fmt.Errorf("reading body: %w", err)
-	}
-	if int64(len(data)) > limit {
-		return nil, fmt.Errorf("body exceeds %d bytes", limit)
-	}
-	return data, nil
 }

@@ -6,583 +6,73 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"path/filepath"
-	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/registry"
+	"repro/internal/serve/lifecycle"
+	"repro/internal/serve/transport"
 	"repro/internal/vet"
 )
 
-// Model lifecycle: when Config.Model is set, the server owns a model registry
-// (persisted under <data-dir>/models, memory-only without a data dir) and
-// exposes upload / activate / rollback / shadow over the admin HTTP API.
-// Activation is a zero-loss hot-swap:
+// Model lifecycle: when Config.Model is set, the lifecycle Group owns a model
+// registry (persisted under <data-dir>/models, memory-only without a data
+// dir) and the server exposes upload / activate / rollback / shadow over the
+// admin HTTP API. Activation is a zero-loss hot-swap across every shard:
 //
 //  1. The new Manager is built cold, off the ingest path.
-//  2. The ingest pump is paused at a line boundary (snapMu) — the queue keeps
-//     buffering under the configured overflow policy, so in Block mode no
-//     accepted line is ever lost.
+//  2. Each shard's submitter is paused at a batch boundary (its snapMu) — the
+//     queue keeps buffering under the configured overflow policy, so in
+//     Block mode no accepted line is ever lost.
 //  3. The old Manager is flushed (every output for accepted lines published)
 //     and its state exported; the new Manager adopts it — whole parse stacks
 //     when the compiled automaton is unchanged (same rules fingerprint),
 //     per-node reset with counter continuity otherwise.
-//  4. A model-epoch record is appended to the WAL and force-synced — the
-//     durable commit point — then the registry manifest is updated.
-//  5. The managers swap atomically and the pump resumes on the new one.
+//  4. A model-epoch record is appended to the shard's WAL and force-synced —
+//     the durable commit point — then, after every shard swaps, the registry
+//     manifest is updated once.
+//  5. The managers swap atomically and the submitter resumes on the new one.
 //
-// Boot recovery replays each journal segment against the model version that
-// was live when it was written: replay starts from the snapshot's model (or
-// the manifest base) and re-executes the swap wherever an epoch record
-// appears. If the process died between the epoch append and the manifest
-// write, the journal wins and the manifest is reconciled.
+// Boot recovery replays each shard's journal against the model version that
+// was live when it was written, and the Group aligns shards whose journals
+// diverged (a crash between per-shard swaps). See lifecycle.Group.
 
 // errModelDisabled is returned by model-lifecycle calls on a server built
 // without Config.Model.
-var errModelDisabled = errors.New("serve: model registry disabled (no Config.Model)")
-
-// SwapReport describes one model hot-swap.
-type SwapReport struct {
-	// From and To are the model fingerprints before and after the swap.
-	From string `json:"from"`
-	To   string `json:"to"`
-	// Trigger says what initiated the swap: "upload", "activate", "rollback",
-	// "reload" or "promote".
-	Trigger string `json:"trigger"`
-	// Promoted is true when a running shadow manager was promoted warm — it
-	// had been tracking the live stream, so no state migration was needed.
-	Promoted bool `json:"promoted"`
-	// StateCarried is true when in-flight parse stacks survived the swap
-	// (identical automaton, or a warm promotion).
-	StateCarried bool `json:"state_carried"`
-	// MigratedNodes and ResetNodes count per-node drivers that carried over
-	// vs. lost an in-flight partial match.
-	MigratedNodes int `json:"migrated_nodes"`
-	ResetNodes    int `json:"reset_nodes"`
-	// PauseSeconds is how long the ingest pump was paused at the line
-	// boundary (the swap's only service interruption).
-	PauseSeconds float64 `json:"pause_seconds"`
-	// WALEpochIndex is the journal index of the model-epoch record (0 when
-	// persistence is off).
-	WALEpochIndex uint64 `json:"wal_epoch_index,omitempty"`
-}
-
-// ModelStatus is the /statusz model block.
-type ModelStatus struct {
-	Active           string      `json:"active"`
-	RulesFingerprint string      `json:"rules_fingerprint"`
-	Base             string      `json:"base,omitempty"`
-	Versions         int         `json:"versions"`
-	Swaps            int64       `json:"swaps"`
-	LastSwap         *SwapReport `json:"last_swap,omitempty"`
-}
-
-// ShadowStatus is the /statusz shadow block: the candidate model's identity
-// plus the live agreement report against the active model.
-type ShadowStatus struct {
-	Fingerprint      string `json:"fingerprint"`
-	RulesFingerprint string `json:"rules_fingerprint"`
-	// StateCarried says whether the shadow adopted the primary's in-flight
-	// parse state when it started (same automaton) or began from reset nodes.
-	StateCarried bool    `json:"state_carried"`
-	SinceSeconds float64 `json:"since_seconds"`
-	// Agreement counters: a prediction agreed when both models emitted the
-	// same (node, chain) pair; pending counts are emissions still waiting for
-	// their counterpart.
-	PrimaryPredictions int64 `json:"primary_predictions"`
-	ShadowPredictions  int64 `json:"shadow_predictions"`
-	Agreed             int64 `json:"agreed"`
-	PendingPrimary     int   `json:"pending_primary"`
-	PendingShadow      int   `json:"pending_shadow"`
-	// Manager is the shadow predictor's live counters.
-	Manager predictor.Stats `json:"manager"`
-}
-
-// shadowRun is a candidate model evaluating in parallel on the live stream:
-// the pump feeds it every accepted line, its own consumer drains its results
-// into the agreement tracker, and nothing it emits reaches subscribers.
-type shadowRun struct {
-	fp           string
-	entry        registry.Entry
-	mgr          *predictor.Manager
-	tracker      *agreeTracker
-	stateCarried bool
-	since        time.Time
-	stop         chan struct{}
-	done         chan struct{}
-}
-
-// trackerPendingCap bounds each pending map so a model that predicts wildly
-// more than its counterpart cannot grow memory without bound.
-const trackerPendingCap = 4096
-
-// agreeTracker correlates primary and shadow predictions by (node, chain).
-type agreeTracker struct {
-	mu                 sync.Mutex
-	primary, shadow    int64
-	agreed             int64
-	pendingP, pendingS map[string]int
-}
-
-func newAgreeTracker() *agreeTracker {
-	return &agreeTracker{pendingP: map[string]int{}, pendingS: map[string]int{}}
-}
-
-func (t *agreeTracker) record(out predictor.Output, fromPrimary bool) {
-	if out.Prediction == nil {
-		return
-	}
-	key := out.Prediction.Node + "\x00" + out.Prediction.ChainName
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	mine, theirs := t.pendingP, t.pendingS
-	if fromPrimary {
-		t.primary++
-	} else {
-		t.shadow++
-		mine, theirs = t.pendingS, t.pendingP
-	}
-	if theirs[key] > 0 {
-		theirs[key]--
-		if theirs[key] == 0 {
-			delete(theirs, key)
-		}
-		t.agreed++
-		return
-	}
-	if len(mine) < trackerPendingCap {
-		mine[key]++
-	}
-}
-
-// WAL record framing: raw log lines are stored verbatim, except that a line
-// beginning with NUL is escaped ("\x00l" + line); a model-epoch record is
-// "\x00m" + the 16-hex fingerprint. Journals written before model epochs
-// existed contain only verbatim lines and replay unchanged.
-const (
-	recKindLine = iota
-	recKindEpoch
-	recKindUnknown
-)
-
-// encodeLineRecordInto frames line into dst's storage (dst is truncated
-// first) and returns the result — the pump passes the same scratch slice for
-// every record, so steady-state appends allocate nothing.
-//
-//aarohi:hotpath
-func encodeLineRecordInto(dst []byte, line string) []byte {
-	dst = dst[:0]
-	if len(line) > 0 && line[0] == 0 {
-		dst = append(dst, 0, 'l')
-	}
-	return append(dst, line...)
-}
-
-func encodeEpochRecord(fp string) []byte {
-	return append([]byte{0, 'm'}, fp...)
-}
-
-// decodeRecordBytes splits a journal payload into kind and body without
-// copying: body aliases payload and is only valid until the replay callback
-// returns (wal.Replay reuses its record buffer).
-//
-//aarohi:hotpath
-func decodeRecordBytes(payload []byte) (kind int, body []byte) {
-	if len(payload) == 0 || payload[0] != 0 {
-		return recKindLine, payload
-	}
-	if len(payload) >= 2 && payload[1] == 'l' {
-		return recKindLine, payload[2:]
-	}
-	if len(payload) == 18 && payload[1] == 'm' {
-		return recKindEpoch, payload[2:]
-	}
-	return recKindUnknown, nil
-}
-
-// openRegistry opens the model store and admits the boot model. Called from
-// Start before the fan-out launches. Policy: the flags model is always
-// admitted (vet-gated), but auto-activated only when the manifest has no
-// active version yet — after that, the persisted manifest (reconciled against
-// the journal by openPersistence) decides which model serves.
-func (s *Server) openRegistry() error {
-	if s.cfg.Model == nil {
-		return nil
-	}
-	dir := ""
-	if s.cfg.DataDir != "" {
-		dir = filepath.Join(s.cfg.DataDir, "models")
-	}
-	reg, err := registry.Open(dir)
-	if err != nil {
-		return err
-	}
-	entry, _, err := reg.Put(*s.cfg.Model, "boot")
-	if err != nil {
-		return fmt.Errorf("serve: admitting boot model: %w", err)
-	}
-	if entry.Fingerprint != s.manager().FingerprintHex() {
-		return fmt.Errorf("serve: Config.Model fingerprint %s does not match the Manager passed to New (%s)",
-			entry.Fingerprint, s.manager().FingerprintHex())
-	}
-	if reg.Active() == "" {
-		if err := reg.Activate(entry.Fingerprint); err != nil {
-			return fmt.Errorf("serve: activating boot model: %w", err)
-		}
-	}
-	s.registry = reg
-	return nil
-}
+var errModelDisabled = lifecycle.ErrModelDisabled
 
 // Registry exposes the model store (nil when Config.Model is unset).
-func (s *Server) Registry() *registry.Registry { return s.registry }
+func (s *Server) Registry() *registry.Registry { return s.group.Registry() }
 
 // LoadModel admits a model version (vet-gated; ErrRejected carries the
-// report) and optionally hot-swaps to it. This is the engine behind
-// POST /model and the SIGHUP/-watch reload path.
+// report) and optionally hot-swaps every shard to it. This is the engine
+// behind POST /model and the SIGHUP/-watch reload path.
 func (s *Server) LoadModel(m registry.Model, source string, activate bool) (registry.Entry, *vet.Report, *SwapReport, error) {
-	if s.registry == nil {
-		return registry.Entry{}, nil, nil, errModelDisabled
-	}
-	entry, rep, err := s.registry.Put(m, source)
-	if err != nil {
-		return entry, rep, nil, err
-	}
-	if !activate {
-		return entry, rep, nil, nil
-	}
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	sw, err := s.swapLocked(entry.Fingerprint, source, func() error {
-		return s.registry.Activate(entry.Fingerprint)
-	})
-	return entry, rep, sw, err
+	return s.group.LoadModel(m, source, activate)
 }
 
 // ActivateModel hot-swaps to an already-admitted version.
 func (s *Server) ActivateModel(fp string) (*SwapReport, error) {
-	if s.registry == nil {
-		return nil, errModelDisabled
-	}
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	return s.swapLocked(fp, "activate", func() error { return s.registry.Activate(fp) })
+	return s.group.ActivateModel(fp)
 }
 
 // RollbackModel hot-swaps back to the most recently superseded version.
 func (s *Server) RollbackModel() (*SwapReport, error) {
-	if s.registry == nil {
-		return nil, errModelDisabled
-	}
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	fp, ok := s.registry.RollbackTarget()
-	if !ok {
-		return nil, fmt.Errorf("serve: no model version to roll back to")
-	}
-	return s.swapLocked(fp, "rollback", func() error { _, err := s.registry.Rollback(); return err })
-}
-
-// swapLocked is the hot-swap core (caller holds swapMu). commit persists the
-// activation in the registry manifest; the WAL epoch record is the durable
-// commit point, so a commit failure is logged and reconciled at next boot
-// rather than aborting the swap.
-func (s *Server) swapLocked(fp, trigger string, commit func() error) (*SwapReport, error) {
-	old := s.manager()
-	rep := &SwapReport{From: old.FingerprintHex(), To: fp, Trigger: trigger}
-	if fp == rep.From {
-		// Already active; still run commit (a rollback must pop its history
-		// entry even when it lands on the same fingerprint).
-		if err := commit(); err != nil {
-			return nil, err
-		}
-		s.lastSwap.Store(rep)
-		return rep, nil
-	}
-	if sh := s.shadow; sh != nil && sh.fp == fp {
-		return s.promoteLocked(sh, rep, commit)
-	}
-
-	model, _, err := s.registry.Get(fp)
-	if err != nil {
-		return nil, err
-	}
-	// Build the replacement off the ingest path: compilation cost is paid
-	// before the pump pauses.
-	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, s.workers)
-	if err != nil {
-		return nil, fmt.Errorf("serve: building model %s: %w", fp, err)
-	}
-	// The replacement inherits the arbiter's heartbeat feed (shadows never
-	// do — they would double-count every beat the primary already observed).
-	s.attachArbiter(next)
-
-	began := time.Now()
-	s.snapMu.Lock() // pump pauses at a line boundary
-	abort := func(err error) (*SwapReport, error) {
-		s.snapMu.Unlock()
-		next.Close()
-		return nil, err
-	}
-	if err := old.Flush(); err != nil {
-		return abort(err)
-	}
-	st, err := old.ExportState()
-	if err != nil {
-		return abort(err)
-	}
-	mig, err := next.AdoptState(st)
-	if err != nil {
-		return abort(fmt.Errorf("serve: migrating state into %s: %w", fp, err))
-	}
-	rep.StateCarried = mig.StateCarried
-	rep.MigratedNodes = mig.Migrated
-	rep.ResetNodes = mig.Reset
-	if err := s.appendEpochLocked(fp, rep); err != nil {
-		return abort(err)
-	}
-	if err := commit(); err != nil {
-		s.cfg.Logf("serve: persisting activation of %s: %v (journal epoch is authoritative)", fp, err)
-	}
-	// Swap order matters: the fan-out re-reads the manager when a Results
-	// channel closes, so the new manager must be visible before the old one
-	// closes.
-	s.setManager(next)
-	old.Close()
-	s.snapMu.Unlock()
-
-	rep.PauseSeconds = time.Since(began).Seconds()
-	s.finishSwap(rep)
-	return rep, nil
-}
-
-// promoteLocked swaps a running shadow manager into the primary slot — warm:
-// the shadow has been processing the same stream, so its parse state is
-// already current and no migration happens.
-func (s *Server) promoteLocked(sh *shadowRun, rep *SwapReport, commit func() error) (*SwapReport, error) {
-	old := s.manager()
-	began := time.Now()
-	s.snapMu.Lock()
-	if err := old.Flush(); err != nil {
-		s.snapMu.Unlock()
-		return nil, err
-	}
-	if err := sh.mgr.Flush(); err != nil {
-		s.snapMu.Unlock()
-		return nil, err
-	}
-	// Hand the shadow's Results over to the fan-out: stop its consumer while
-	// nothing is being produced (pump paused, both managers flushed).
-	close(sh.stop)
-	//aarohi:allow lockblock bounded handshake: the shadow consumer exits as soon as it sees stop, and the pump (the only other snapMu holder) is paused
-	<-sh.done
-	if err := s.appendEpochLocked(sh.fp, rep); err != nil {
-		// The consumer is already stopped; restarting it is worse than
-		// finishing the promote with the epoch missing — log loudly.
-		s.cfg.Logf("serve: %v (promote continues; manifest will disagree with journal until next boot)", err)
-	}
-	if err := commit(); err != nil {
-		s.cfg.Logf("serve: persisting promotion of %s: %v (journal epoch is authoritative)", sh.fp, err)
-	}
-	// Promotion is the moment the shadow starts feeding the arbiter: until
-	// here the primary owned the heartbeat stream.
-	s.attachArbiter(sh.mgr)
-	s.setManager(sh.mgr)
-	old.Close()
-	s.shadow = nil
-	s.tracker.Store(nil)
-	s.snapMu.Unlock()
-
-	rep.Promoted = true
-	rep.StateCarried = true
-	rep.MigratedNodes = sh.mgr.Stats().Nodes
-	rep.Trigger = "promote"
-	rep.PauseSeconds = time.Since(began).Seconds()
-	s.finishSwap(rep)
-	return rep, nil
-}
-
-// appendEpochLocked journals the model-epoch record — the swap's durable
-// commit point (caller holds snapMu).
-func (s *Server) appendEpochLocked(fp string, rep *SwapReport) error {
-	if s.wlog == nil {
-		return nil
-	}
-	idx, err := s.wlog.Append(encodeEpochRecord(fp))
-	if err != nil {
-		return fmt.Errorf("serve: journaling model epoch %s: %w", fp, err)
-	}
-	if err := s.wlog.Sync(); err != nil {
-		s.cfg.Logf("serve: syncing model epoch: %v", err)
-	}
-	rep.WALEpochIndex = idx
-	return nil
-}
-
-func (s *Server) finishSwap(rep *SwapReport) {
-	s.swaps.Add(1)
-	s.lastSwap.Store(rep)
-	s.cfg.Logf("serve: model swap %s -> %s (%s): carried=%v migrated=%d reset=%d pause=%.1fms",
-		rep.From, rep.To, rep.Trigger, rep.StateCarried, rep.MigratedNodes, rep.ResetNodes,
-		rep.PauseSeconds*1e3)
+	return s.group.RollbackModel()
 }
 
 // StartShadow begins evaluating an admitted version in parallel on the live
-// stream. The shadow adopts the primary's current parse state (whole when the
-// automaton matches), then receives every accepted line the primary does; its
-// predictions feed the agreement tracker, never subscribers.
+// stream, on every shard. The shadow adopts the primary's current parse
+// state (whole when the automaton matches), then receives every accepted
+// line the primary does; its predictions feed the agreement tracker, never
+// subscribers.
 func (s *Server) StartShadow(fp string) (*ShadowStatus, error) {
-	if s.registry == nil {
-		return nil, errModelDisabled
-	}
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	if s.shadow != nil {
-		return nil, fmt.Errorf("serve: shadow %s already running (stop it first)", s.shadow.fp)
-	}
-	if fp == s.manager().FingerprintHex() {
-		return nil, fmt.Errorf("serve: %s is already the active model", fp)
-	}
-	model, entry, err := s.registry.Get(fp)
-	if err != nil {
-		return nil, err
-	}
-	mgr, err := predictor.NewManager(model.Chains, model.Templates, model.Options, s.workers)
-	if err != nil {
-		return nil, fmt.Errorf("serve: building shadow model %s: %w", fp, err)
-	}
-	sh := &shadowRun{
-		fp: fp, entry: entry, mgr: mgr, tracker: newAgreeTracker(),
-		since: time.Now(), stop: make(chan struct{}), done: make(chan struct{}),
-	}
-
-	s.snapMu.Lock()
-	primary := s.manager()
-	fail := func(err error) (*ShadowStatus, error) {
-		s.snapMu.Unlock()
-		mgr.Close()
-		return nil, err
-	}
-	if err := primary.Flush(); err != nil {
-		return fail(err)
-	}
-	st, err := primary.ExportState()
-	if err != nil {
-		return fail(err)
-	}
-	mig, err := mgr.AdoptState(st)
-	if err != nil {
-		return fail(fmt.Errorf("serve: seeding shadow state: %w", err))
-	}
-	sh.stateCarried = mig.StateCarried
-	go s.shadowConsume(sh)
-	s.shadow = sh
-	s.tracker.Store(sh.tracker)
-	st2 := s.shadowStatusLocked(sh)
-	s.snapMu.Unlock()
-	s.cfg.Logf("serve: shadow %s started (state carried: %v)", fp, sh.stateCarried)
-	return st2, nil
+	return s.group.StartShadow(fp)
 }
 
 // StopShadow discards the running shadow and returns its final report.
 func (s *Server) StopShadow() (*ShadowStatus, error) {
-	if s.registry == nil {
-		return nil, errModelDisabled
-	}
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	s.snapMu.Lock()
-	sh := s.shadow
-	if sh == nil {
-		s.snapMu.Unlock()
-		return nil, fmt.Errorf("serve: no shadow running")
-	}
-	// Flush while the consumer still runs, so the final report covers every
-	// line the shadow received.
-	if err := sh.mgr.Flush(); err != nil {
-		s.snapMu.Unlock()
-		return nil, err
-	}
-	st := s.shadowStatusLocked(sh)
-	close(sh.stop)
-	//aarohi:allow lockblock bounded handshake: the shadow consumer exits as soon as it sees stop; see promote
-	<-sh.done
-	s.shadow = nil
-	s.tracker.Store(nil)
-	sh.mgr.Close()
-	s.snapMu.Unlock()
-	s.cfg.Logf("serve: shadow %s stopped", sh.fp)
-	return st, nil
-}
-
-// shadowConsume drains the shadow manager's results into the agreement
-// tracker until stopped (promotion hands the channel to the fan-out) or the
-// manager closes.
-func (s *Server) shadowConsume(sh *shadowRun) {
-	defer close(sh.done)
-	for {
-		select {
-		case out, ok := <-sh.mgr.Results():
-			if !ok {
-				return
-			}
-			if out.IsFlush() {
-				out.Ack()
-				continue
-			}
-			sh.tracker.record(out, false)
-		case <-sh.stop:
-			return
-		}
-	}
-}
-
-func (s *Server) shadowStatusLocked(sh *shadowRun) *ShadowStatus {
-	sh.tracker.mu.Lock()
-	st := &ShadowStatus{
-		Fingerprint:        sh.fp,
-		RulesFingerprint:   sh.entry.RulesFingerprint,
-		StateCarried:       sh.stateCarried,
-		SinceSeconds:       time.Since(sh.since).Seconds(),
-		PrimaryPredictions: sh.tracker.primary,
-		ShadowPredictions:  sh.tracker.shadow,
-		Agreed:             sh.tracker.agreed,
-		PendingPrimary:     len(sh.tracker.pendingP),
-		PendingShadow:      len(sh.tracker.pendingS),
-	}
-	sh.tracker.mu.Unlock()
-	st.Manager = sh.mgr.Stats()
-	return st
-}
-
-// modelStatus assembles the /statusz model block (nil when disabled).
-func (s *Server) modelStatus() *ModelStatus {
-	if s.registry == nil {
-		return nil
-	}
-	mgr := s.manager()
-	return &ModelStatus{
-		Active:           mgr.FingerprintHex(),
-		RulesFingerprint: registry.FormatFingerprint(mgr.RulesFingerprint()),
-		Base:             s.registry.Base(),
-		Versions:         len(s.registry.List()),
-		Swaps:            s.swaps.Load(),
-		LastSwap:         s.lastSwap.Load(),
-	}
-}
-
-// shadowStatus assembles the /statusz shadow block (nil when none runs).
-func (s *Server) shadowStatus() *ShadowStatus {
-	s.snapMu.Lock()
-	sh := s.shadow
-	var st *ShadowStatus
-	if sh != nil {
-		st = s.shadowStatusLocked(sh)
-	}
-	s.snapMu.Unlock()
-	return st
+	return s.group.StopShadow()
 }
 
 // --- admin HTTP API ---
@@ -655,7 +145,7 @@ type ModelsList struct {
 }
 
 func (s *Server) modelAPIEnabled(w http.ResponseWriter) bool {
-	if s.registry == nil {
+	if s.group.Registry() == nil {
 		http.Error(w, errModelDisabled.Error(), http.StatusNotFound)
 		return false
 	}
@@ -706,15 +196,16 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	if !s.modelAPIEnabled(w) {
 		return
 	}
+	reg := s.group.Registry()
 	list := ModelsList{
-		Active:   s.registry.Active(),
-		Base:     s.registry.Base(),
-		Versions: s.registry.List(),
+		Active:   reg.Active(),
+		Base:     reg.Base(),
+		Versions: reg.List(),
 	}
-	if tgt, ok := s.registry.RollbackTarget(); ok {
+	if tgt, ok := reg.RollbackTarget(); ok {
 		list.RollbackTarget = tgt
 	}
-	if st := s.shadowStatus(); st != nil {
+	if st := s.group.ShadowStatus(); st != nil {
 		list.Shadow = st.Fingerprint
 	}
 	writeJSON(w, list)
@@ -802,4 +293,13 @@ func decodeFingerprintBody(w http.ResponseWriter, r *http.Request) (string, bool
 		return "", false
 	}
 	return req.Fingerprint, true
+}
+
+// writeJSON and friends wrap the transport helpers — the serve handlers
+// mounted via transport.Handle use the same encoding the transport's own
+// routes do.
+func writeJSON(w http.ResponseWriter, v any)     { transport.WriteJSON(w, v) }
+func writeJSONBody(w http.ResponseWriter, v any) { transport.WriteJSONBody(w, v) }
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	return transport.ReadBody(r, limit)
 }

@@ -331,13 +331,11 @@ func TestShadowEvaluationAndPromote(t *testing.T) {
 	if err := s.manager().Flush(); err != nil {
 		t.Fatal(err)
 	}
-	s.snapMu.Lock()
-	sh := s.shadow
-	s.snapMu.Unlock()
+	sh := s.shards[0].ShadowManager()
 	if sh == nil {
 		t.Fatal("shadow disappeared")
 	}
-	if err := sh.mgr.Flush(); err != nil {
+	if err := sh.Flush(); err != nil {
 		t.Fatal(err)
 	}
 

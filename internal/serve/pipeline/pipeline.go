@@ -1,0 +1,302 @@
+// Package pipeline is the serving daemon's ingest spine: one bounded queue
+// of raw log lines feeding a single pump goroutine that cuts the stream into
+// count/bytes/age-bounded batches and hands each batch to a Sink. The
+// WAL-append-before-parse hot path lives behind the Sink, in the shard layer;
+// this package knows nothing about journals, predictors or shards — only
+// queue discipline (Block backpressure vs Shed drop-and-count), producer
+// registration (so a drain can close the queue with no writer left behind),
+// and batch formation. It imports nothing above the standard library.
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy says what happens when the ingest queue is full.
+type Policy string
+
+const (
+	// Block makes producers wait for queue space — backpressure propagates
+	// to TCP senders through the kernel socket buffers. No accepted line is
+	// ever dropped.
+	Block Policy = "block"
+	// Shed drops the line immediately and counts it in Dropped — bounded
+	// latency at the cost of loss under overload.
+	Shed Policy = "shed"
+)
+
+// Sink consumes drained lines. Both calls run on the pump goroutine and must
+// fully process their input before returning — "pump exited" means every
+// accepted line reached the Sink.
+type Sink interface {
+	// ProcessLine handles one line (the BatchMax == 1 per-line path).
+	ProcessLine(line string)
+	// ProcessBatch handles one pump batch. The slice is reused for the next
+	// batch after the call returns; implementations must not retain it.
+	ProcessBatch(batch []string)
+}
+
+// Config parameterizes a Pipeline. Callers pass already-defaulted values
+// (the serve layer owns configuration policy); New only guards against
+// outright invalid ones.
+type Config struct {
+	// QueueSize bounds the ingest queue.
+	QueueSize int
+	// Overflow is the queue-full policy.
+	Overflow Policy
+	// BatchMax caps how many queued lines the pump coalesces into one Sink
+	// batch. 1 selects the per-line path.
+	BatchMax int
+	// BatchMaxBytes caps the byte size of one pump batch.
+	BatchMaxBytes int
+	// BatchAge caps how long the pump waits for a partial batch to fill
+	// before dispatching it. 0 never waits: the pump drains whatever is
+	// queued and dispatches immediately.
+	BatchAge time.Duration
+	// OnDrained, when non-nil, runs on the pump goroutine after the queue
+	// has closed and the final batch has reached the Sink, before Done
+	// closes — the hook the serve layer uses for the final checkpoint.
+	OnDrained func()
+}
+
+// Pipeline is the bounded ingest queue plus its single-consumer pump.
+// Construct with New, start the pump with Start, stop by StartDrain +
+// CloseQueue once producers are gone.
+type Pipeline struct {
+	cfg   Config
+	sink  Sink
+	queue chan string
+
+	accepted atomic.Int64
+	dropped  atomic.Int64
+
+	// prodMu serializes producer registration against drain start, so the
+	// queue can be closed with no writer left behind.
+	prodMu   sync.Mutex
+	draining bool
+	prodWG   sync.WaitGroup
+
+	done chan struct{}
+
+	// TestHookDelay, when non-nil, runs before each dequeued line is handed
+	// onward — tests use it to hold the queue full and exercise the overflow
+	// policies deterministically. Set it before Start.
+	TestHookDelay func()
+}
+
+// New builds a Pipeline over the given sink. The pump does not run until
+// Start.
+func New(cfg Config, sink Sink) *Pipeline {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 1
+	}
+	if cfg.BatchMaxBytes <= 0 {
+		cfg.BatchMaxBytes = 256 << 10
+	}
+	if cfg.Overflow == "" {
+		cfg.Overflow = Block
+	}
+	return &Pipeline{
+		cfg:   cfg,
+		sink:  sink,
+		queue: make(chan string, cfg.QueueSize),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the pump goroutine.
+func (p *Pipeline) Start() { go p.pump() }
+
+// BeginProduce registers a queue producer; it fails once draining so the
+// queue can be closed safely. Callers must pair a true return with
+// EndProduce.
+func (p *Pipeline) BeginProduce() bool {
+	p.prodMu.Lock()
+	defer p.prodMu.Unlock()
+	if p.draining {
+		return false
+	}
+	p.prodWG.Add(1)
+	return true
+}
+
+// EndProduce releases a producer registration.
+func (p *Pipeline) EndProduce() { p.prodWG.Done() }
+
+// Ingest enqueues one raw log line under the configured overflow policy.
+// The caller must hold a producer registration. Reports whether the line
+// was accepted.
+func (p *Pipeline) Ingest(line string) bool {
+	if p.cfg.Overflow == Shed {
+		select {
+		case p.queue <- line:
+			p.accepted.Add(1)
+			return true
+		default:
+			p.dropped.Add(1)
+			return false
+		}
+	}
+	p.queue <- line
+	p.accepted.Add(1)
+	return true
+}
+
+// Draining reports whether StartDrain has been called.
+func (p *Pipeline) Draining() bool {
+	p.prodMu.Lock()
+	defer p.prodMu.Unlock()
+	return p.draining
+}
+
+// StartDrain refuses new producers; existing registrations may still finish
+// enqueueing.
+func (p *Pipeline) StartDrain() {
+	p.prodMu.Lock()
+	p.draining = true
+	p.prodMu.Unlock()
+}
+
+// ProducersIdle returns a channel that closes once every registered producer
+// has called EndProduce.
+func (p *Pipeline) ProducersIdle() <-chan struct{} {
+	idle := make(chan struct{})
+	go func() { p.prodWG.Wait(); close(idle) }()
+	return idle
+}
+
+// CloseQueue closes the ingest queue. Only call after StartDrain and once
+// ProducersIdle has fired — a producer racing a closed channel panics.
+func (p *Pipeline) CloseQueue() { close(p.queue) }
+
+// Done closes once the pump has exited: the queue is drained, every accepted
+// line has reached the Sink, and OnDrained has returned.
+func (p *Pipeline) Done() <-chan struct{} { return p.done }
+
+// Depth is the number of queued, not-yet-pumped lines.
+func (p *Pipeline) Depth() int { return len(p.queue) }
+
+// Capacity is the queue bound.
+func (p *Pipeline) Capacity() int { return cap(p.queue) }
+
+// Accepted is the number of lines enqueued so far.
+func (p *Pipeline) Accepted() int64 { return p.accepted.Load() }
+
+// Dropped is the number of lines shed at a full queue.
+func (p *Pipeline) Dropped() int64 { return p.dropped.Load() }
+
+// pump is the single consumer of the ingest queue: every accepted line flows
+// through it into the Sink, so "queue drained + pump exited" means every
+// accepted line reached the Sink. BatchMax > 1 selects the batched pump:
+// lines are cut into groups bounded by count/bytes/age and each group is one
+// Sink call.
+func (p *Pipeline) pump() {
+	defer close(p.done)
+	if p.cfg.BatchMax > 1 {
+		p.pumpBatches()
+	} else {
+		p.pumpLines()
+	}
+	if p.cfg.OnDrained != nil {
+		p.cfg.OnDrained()
+	}
+}
+
+// pumpLines is the per-line pump (BatchMax == 1): the original ingest loop,
+// kept both as the reference semantics the batched path must reproduce
+// exactly (see TestBatchPipelineEquivalence) and as the minimum-latency
+// configuration.
+//
+//aarohi:hotpath
+func (p *Pipeline) pumpLines() {
+	for line := range p.queue {
+		if p.TestHookDelay != nil {
+			p.TestHookDelay()
+		}
+		p.sink.ProcessLine(line)
+	}
+}
+
+// pumpBatches is the batched pump: block for the first line, then collect
+// until BatchMax lines, BatchMaxBytes bytes, BatchAge of waiting, or an empty
+// queue (BatchAge 0), and hand the group to the Sink. Collection happens
+// outside any sink-side lock, so snapshots and hot-swaps interleave at batch
+// boundaries exactly as they did at line boundaries.
+//
+//aarohi:hotpath
+func (p *Pipeline) pumpBatches() {
+	var (
+		batch  []string
+		closed bool
+	)
+	// The age timer starts stopped and is armed per batch. go.mod pins the
+	// go 1.22 language version, so classic timer rules apply: Stop and drain
+	// before every Reset.
+	timer := time.NewTimer(time.Hour)
+	stopTimer(timer)
+	defer timer.Stop()
+	for !closed {
+		line, ok := <-p.queue
+		if !ok {
+			return
+		}
+		// The test hook sits where the per-line pump had it — after the first
+		// dequeue, before any further draining — so queue-overflow tests can
+		// still hold the pump with a known queue state.
+		if p.TestHookDelay != nil {
+			p.TestHookDelay()
+		}
+		batch = append(batch[:0], line)
+		nbytes := len(line)
+		if p.cfg.BatchAge > 0 {
+			timer.Reset(p.cfg.BatchAge)
+		}
+	collect:
+		for len(batch) < p.cfg.BatchMax && nbytes < p.cfg.BatchMaxBytes {
+			select {
+			case line, ok := <-p.queue:
+				if !ok {
+					closed = true
+					break collect
+				}
+				batch = append(batch, line)
+				nbytes += len(line)
+			default:
+				if p.cfg.BatchAge <= 0 {
+					break collect // opportunistic only: queue is empty, go
+				}
+				select {
+				case line, ok := <-p.queue:
+					if !ok {
+						closed = true
+						break collect
+					}
+					batch = append(batch, line)
+					nbytes += len(line)
+				case <-timer.C:
+					break collect // the partial batch is old enough
+				}
+			}
+		}
+		if p.cfg.BatchAge > 0 {
+			stopTimer(timer)
+		}
+		p.sink.ProcessBatch(batch)
+	}
+}
+
+// stopTimer stops t and drains a concurrent fire, leaving it safe to Reset
+// (pre-1.23 timer semantics; the module targets go 1.22).
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}

@@ -3,45 +3,74 @@
 // predictor sits on the SMW consuming the live aggregate HSS log stream
 // rather than replaying files.
 //
-// A Server wraps a predictor.Manager behind two front ends: a TCP
-// line-protocol listener (newline-framed raw log lines, the cmd/aarohi stdin
-// format) and an HTTP server (POST /ingest batches, GET /predictions NDJSON
-// subscription stream, /healthz, /readyz, /statusz). All ingest paths feed
-// one bounded queue whose overflow policy is explicit — Block applies
-// backpressure to producers, Shed drops and counts — and Shutdown drains
-// gracefully: stop accepting, flush every accepted line through the Manager,
-// then close the prediction fan-out.
+// The daemon is layered, with strictly one-way dependencies (enforced by the
+// aarohilint layering analyzer):
+//
+//	transport   TCP line listener + HTTP ingest/admin; knows only Ingestor
+//	pipeline    bounded queue + count/bytes/age batcher + pump goroutine
+//	shard       Manager + WAL + snapshots + arbiter + shadow, per partition
+//	lifecycle   boot recovery, snapshot loop, hot-swap across all shards
+//	ring        consistent-hash placement (imports nothing above core)
+//
+// This package is the composition root: it wires transports over the
+// pipeline, the pipeline over the shard Router (which consistent-hashes each
+// line's node ID onto one of Config.Shards partitions), and the lifecycle
+// Group over the shard set. With Shards == 1 the router is a synchronous
+// pass-through and the daemon's on-disk layout is byte-identical to the
+// pre-sharding monolith.
 package serve
 
 import (
 	"context"
 	"fmt"
 	"net"
+	"path/filepath"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/arbiter"
 	"repro/internal/predictor"
 	"repro/internal/registry"
+	"repro/internal/serve/lifecycle"
+	"repro/internal/serve/pipeline"
+	"repro/internal/serve/shard"
+	"repro/internal/serve/transport"
 	"repro/internal/wal"
 )
 
 // OverflowPolicy says what happens when the ingest queue is full.
-type OverflowPolicy string
+type OverflowPolicy = pipeline.Policy
 
 const (
 	// Block makes producers wait for queue space — backpressure propagates
 	// to TCP senders through the kernel socket buffers. No accepted line is
 	// ever dropped.
-	Block OverflowPolicy = "block"
+	Block = pipeline.Block
 	// Shed drops the line immediately and counts it in lines_dropped —
 	// bounded latency at the cost of loss under overload.
-	Shed OverflowPolicy = "shed"
+	Shed = pipeline.Shed
+)
+
+// Re-exported layer types: the serve API predates the layering split, so the
+// names stay importable from here.
+type (
+	// IngestResult is the POST /ingest response body.
+	IngestResult = transport.IngestResult
+	// WALStatus is the /statusz journal block (per shard).
+	WALStatus = shard.WALStatus
+	// RecoveryStatus is the /statusz recovery block (per shard).
+	RecoveryStatus = shard.RecoveryStatus
+	// SwapReport describes one model hot-swap (aggregated across shards).
+	SwapReport = shard.SwapReport
+	// ModelStatus is the /statusz model block.
+	ModelStatus = lifecycle.ModelStatus
+	// ShadowStatus is the /statusz shadow block.
+	ShadowStatus = lifecycle.ShadowStatus
 )
 
 // Config parameterizes a Server. The zero value serves HTTP and TCP on
-// ephemeral loopback ports with a 4096-line blocking queue.
+// ephemeral loopback ports with a 4096-line blocking queue and one shard.
 type Config struct {
 	// TCPAddr is the line-protocol listen address ("127.0.0.1:0" default;
 	// "off" disables the TCP listener).
@@ -85,10 +114,19 @@ type Config struct {
 	// connection failures). Nil discards them.
 	Logf func(format string, args ...any)
 
+	// Shards is the number of local prediction shards (default 1). Each
+	// shard owns a private Manager, journal and arbiter; lines route to
+	// shards by consistent-hashing the node ID, so one node's lines always
+	// land on the same shard in order. Shards > 1 requires Model (the extra
+	// shard managers are built from it).
+	Shards int
+
 	// DataDir enables durability: a write-ahead journal of every accepted
 	// line plus periodic parse-state snapshots live under it, and Start
 	// recovers from them before opening listeners. Empty disables
-	// persistence entirely.
+	// persistence entirely. With Shards > 1 each shard keeps its own
+	// journal and snapshots under DataDir/shard-<i>; with Shards == 1 the
+	// layout is byte-identical to the pre-sharding daemon.
 	DataDir string
 	// SnapshotInterval is the period between automatic snapshots. 0 writes
 	// a snapshot only during graceful shutdown — crash recovery then
@@ -117,7 +155,8 @@ type Config struct {
 	// heartbeat detector fed by every parsed line, fused with chain-accept
 	// evidence into calibrated ranked alerts (GET /predictions?mode=alerts,
 	// /statusz "arbiter" block). Arbiter state rides the snapshot/WAL
-	// recovery path alongside the parse state when DataDir is set.
+	// recovery path alongside the parse state when DataDir is set. Each
+	// shard runs its own arbiter over the nodes it owns.
 	Arbiter *arbiter.Config
 }
 
@@ -155,10 +194,29 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = time.Second
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 	return c
+}
+
+// Validate rejects configurations the daemon cannot serve. Called by Start
+// (after defaulting); exported so cmd/aarohid can fail fast at flag-parse
+// time with the same messages.
+func (c Config) Validate() error {
+	if c.Shards > 1 && c.Model == nil {
+		return fmt.Errorf("serve: Shards = %d requires Model (shard managers are built from it)", c.Shards)
+	}
+	if c.Overflow != "" && c.Overflow != Block && c.Overflow != Shed {
+		return fmt.Errorf("serve: Overflow must be %q or %q, got %q", Block, Shed, c.Overflow)
+	}
+	if c.SnapshotInterval > 0 && c.DataDir == "" {
+		return fmt.Errorf("serve: SnapshotInterval requires DataDir (snapshots need somewhere to live)")
+	}
+	return nil
 }
 
 // Status is the /statusz document: server counters plus the live Manager
@@ -178,8 +236,13 @@ type Status struct {
 	Subscribers     int             `json:"subscribers"`
 	SubscriberDrops int64           `json:"subscriber_drops"`
 	Manager         predictor.Stats `json:"manager"`
+	// Shards is the per-shard block: one entry per partition, in index
+	// order. With several shards the WAL/Recovery/Arbiter detail lives here
+	// and the top-level blocks are nil; Manager above is the sum.
+	Shards []ShardStatus `json:"shards"`
 	// WAL and Recovery describe the durability layer; nil when DataDir is
-	// unset (WAL) or no recovery context exists (Recovery).
+	// unset (WAL), no recovery context exists (Recovery), or Shards > 1
+	// (see Shards).
 	WAL      *WALStatus      `json:"wal,omitempty"`
 	Recovery *RecoveryStatus `json:"recovery,omitempty"`
 	// Model and Shadow describe the model lifecycle; nil when Config.Model is
@@ -187,79 +250,63 @@ type Status struct {
 	Model  *ModelStatus  `json:"model,omitempty"`
 	Shadow *ShadowStatus `json:"shadow,omitempty"`
 	// Arbiter is the live arbitration block (per-node phi, fused scores,
-	// chain precision ledger); nil when Config.Arbiter is unset.
+	// chain precision ledger); nil when Config.Arbiter is unset or
+	// Shards > 1 (per-shard summaries live in Shards).
 	Arbiter *arbiter.Status `json:"arbiter,omitempty"`
+}
+
+// ShardStatus is one partition's row in the /statusz per-shard block.
+type ShardStatus struct {
+	Index int `json:"index"`
+	// Lines and ParseErrors count what this shard's submitter processed.
+	Lines       int64 `json:"lines"`
+	ParseErrors int64 `json:"parse_errors"`
+	// Pending is the number of lines queued to the shard's router worker but
+	// not yet submitted (always 0 in single-shard mode — the pipeline queue
+	// is the only buffer there).
+	Pending int `json:"pending"`
+	// Nodes is the number of node states the shard's Manager holds.
+	Nodes int `json:"nodes"`
+	// WALOffset is the shard journal's last index (0 when persistence is
+	// off).
+	WALOffset uint64 `json:"wal_offset"`
+	// Snapshots is the number of snapshots this shard has written.
+	Snapshots int64 `json:"snapshots"`
+	// Arbiter summarizes the shard's arbiter (nil when disabled).
+	Arbiter *ArbiterSummary `json:"arbiter,omitempty"`
+}
+
+// ArbiterSummary is the compact per-shard arbitration view: counters plus
+// the current alert count (the full block with per-chain ledgers is the
+// top-level Arbiter field in single-shard mode).
+type ArbiterSummary struct {
+	Nodes       int    `json:"nodes"`
+	Down        int    `json:"down"`
+	Heartbeats  uint64 `json:"heartbeats"`
+	Predictions uint64 `json:"predictions"`
+	Failures    uint64 `json:"failures"`
+	Alerts      int    `json:"alerts"`
 }
 
 // Server is the streaming ingestion daemon core. Construct with New, bind
 // and start with Start, stop with Shutdown (or drive both with Run).
 type Server struct {
 	cfg   Config
-	queue chan string
 	hub   *hub
 	start time.Time
 
-	// mgr is the active Manager; hot-swaps replace it, so all access goes
-	// through manager()/setManager. The pump reads it under snapMu — which a
-	// swap holds for its whole critical section — so a paused pump can never
-	// resume on a half-swapped manager.
-	mgrMu sync.RWMutex
-	mgr   *predictor.Manager
+	// shards are the daemon's partitions in index order; shards[0] wraps the
+	// Manager passed to New. router consistent-hashes lines onto them and
+	// group drives their shared lifecycle. All three are wired by Start.
+	shards []*shard.Local
+	router *shard.Router
+	group  *lifecycle.Group
+	pipe   *pipeline.Pipeline
+	tcp    *transport.TCP
+	http   *transport.HTTP
 
-	accepted    atomic.Int64
-	dropped     atomic.Int64
-	parseErrors atomic.Int64
-	openConns   atomic.Int64
-	totalConns  atomic.Int64
-
-	// prodMu serializes producer registration against drain start, so the
-	// ingest queue can be closed with no writer left behind.
-	prodMu   sync.Mutex
-	draining bool
-	prodWG   sync.WaitGroup
-
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
-
-	tcpLn      net.Listener
-	acceptDone chan struct{}
-	pumpDone   chan struct{}
-	fanDone    chan struct{}
-	httpDone   chan struct{}
-
-	httpState httpState
-
-	// Durability state (nil / zero when DataDir is unset). snapMu pairs
-	// each (WAL append, ProcessLine) step in the pump against snapshots.
-	wlog            *wal.Log
-	snapMu          sync.Mutex
-	snapshots       atomic.Int64
-	lastSnapshotIdx atomic.Uint64
-	recovery        *RecoveryStatus
-	snapStop        chan struct{}
-	snapLoopDone    chan struct{}
-
-	// recoveryActive routes fan-out outputs into the recovered buffer while
-	// boot-time replay runs (no listener is open yet, so nothing is lost).
-	recoveryActive atomic.Bool
-	recMu          sync.Mutex
-	recovered      []predictor.Output
-
-	// Model lifecycle state (nil registry when Config.Model is unset).
-	// swapMu serializes swaps, shadow starts/stops and reloads; it is always
-	// acquired before snapMu. shadow is written under swapMu+snapMu and read
-	// under either.
-	registry *registry.Registry
-	workers  int
-	swapMu   sync.Mutex
-	shadow   *shadowRun
-	tracker  atomic.Pointer[agreeTracker]
-	swaps    atomic.Int64
-	lastSwap atomic.Pointer[SwapReport]
-
-	// arb fuses heartbeat phi with chain evidence into ranked alerts (nil
-	// when Config.Arbiter is unset). Internally synchronized; fed by the
-	// manager heartbeat hook and the fan-out.
+	// arb is shard 0's arbiter — the whole daemon's in single-shard mode
+	// (nil when Config.Arbiter is unset).
 	arb *arbiter.Arbiter
 
 	started      bool
@@ -268,49 +315,52 @@ type Server struct {
 
 	// testHookPumpDelay, when non-nil, runs before each line is handed to
 	// the Manager — tests use it to hold the queue full and exercise the
-	// overflow policies deterministically.
+	// overflow policies deterministically. Set before Start.
 	testHookPumpDelay func()
 	// testSkipFinalSnapshot suppresses the shutdown snapshot, emulating a
 	// crash for recovery tests.
 	testSkipFinalSnapshot bool
 }
 
-// New builds a Server over an already-constructed Manager. The Server owns
-// the Manager's lifecycle from Start onward: Shutdown closes it and drains
-// Results.
+// New builds a Server over an already-constructed Manager, which becomes
+// shard 0. The Server owns the Manager's lifecycle from Start onward:
+// Shutdown closes it and drains Results.
 func New(m *predictor.Manager, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:        cfg,
-		mgr:        m,
-		workers:    cfg.Workers,
-		queue:      make(chan string, cfg.QueueSize),
-		hub:        newHub(),
-		conns:      map[net.Conn]struct{}{},
-		acceptDone: make(chan struct{}),
-		pumpDone:   make(chan struct{}),
-		fanDone:    make(chan struct{}),
-		httpDone:   make(chan struct{}),
+		cfg: cfg,
+		hub: newHub(),
 	}
-	if cfg.Arbiter != nil {
-		s.arb = arbiter.New(*cfg.Arbiter)
-		s.attachArbiter(m)
-	}
+	s.shards = []*shard.Local{shard.New(m, s.shardConfig(0))}
+	s.arb = s.shards[0].Arbiter()
 	return s
 }
 
-// manager returns the active Manager (hot-swaps replace it).
-func (s *Server) manager() *predictor.Manager {
-	s.mgrMu.RLock()
-	defer s.mgrMu.RUnlock()
-	return s.mgr
+// shardConfig is shard i's slice of the server configuration. Single-shard
+// daemons keep the flat DataDir layout (byte-identical to the pre-sharding
+// daemon); multi-shard daemons nest each shard under DataDir/shard-<i>.
+func (s *Server) shardConfig(i int) shard.Config {
+	dir := s.cfg.DataDir
+	if dir != "" && s.cfg.Shards > 1 {
+		dir = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+	}
+	return shard.Config{
+		Index:          i,
+		Dir:            dir,
+		Fsync:          s.cfg.Fsync,
+		WALSegmentSize: s.cfg.WALSegmentSize,
+		Workers:        s.cfg.Workers,
+		Arbiter:        s.cfg.Arbiter,
+		Logf:           s.cfg.Logf,
+		Publish:        s.hub.publish,
+	}
 }
 
-func (s *Server) setManager(m *predictor.Manager) {
-	s.mgrMu.Lock()
-	s.mgr = m
-	s.mgrMu.Unlock()
-}
+// manager returns shard 0's active Manager (hot-swaps replace it).
+func (s *Server) manager() *predictor.Manager { return s.shards[0].Manager() }
+
+// snapshot checkpoints shard 0 (the whole daemon in single-shard mode).
+func (s *Server) snapshot() error { return s.shards[0].Snapshot() }
 
 // Start recovers persisted state (when DataDir is set), then binds the
 // configured listeners and starts the ingest pump and the prediction
@@ -324,83 +374,120 @@ func (s *Server) Start() error {
 	s.started = true
 	s.start = time.Now()
 
-	// The model registry opens first (no goroutines yet to unwind on error):
-	// it admits the boot model and loads the activation manifest that
-	// recovery reconciles against the journal.
-	if err := s.openRegistry(); err != nil {
+	if err := s.cfg.Validate(); err != nil {
 		s.manager().Close()
 		return err
 	}
-
-	// The fan-out must run before recovery: replayed outputs travel through
-	// it into the recovered buffer, and snapshot barriers need its acks.
-	go s.fanout()
-	if s.cfg.DataDir != "" {
-		if err := s.openPersistence(); err != nil {
-			s.manager().Close()
-			<-s.fanDone
-			return err
+	// Extra shard managers are built from the model before anything spins up
+	// (no goroutines yet to unwind on error).
+	for i := 1; i < s.cfg.Shards; i++ {
+		m, err := predictor.NewManager(s.cfg.Model.Chains, s.cfg.Model.Templates, s.cfg.Model.Options, s.cfg.Workers)
+		if err != nil {
+			for _, sh := range s.shards {
+				sh.Manager().Close()
+			}
+			return fmt.Errorf("serve: building shard %d manager: %w", i, err)
 		}
-		if s.cfg.SnapshotInterval > 0 {
-			s.snapStop = make(chan struct{})
-			s.snapLoopDone = make(chan struct{})
-			go s.snapshotLoop()
-		}
+		s.shards = append(s.shards, shard.New(m, s.shardConfig(i)))
 	}
+	s.group = lifecycle.NewGroup(s.shards, lifecycle.Config{
+		SnapshotInterval: s.cfg.SnapshotInterval,
+		Logf:             s.cfg.Logf,
+	})
+
+	// The model registry opens next: it admits the boot model and loads the
+	// activation manifest that recovery reconciles against the journal.
+	if err := s.group.OpenRegistry(s.cfg.Model, s.cfg.DataDir); err != nil {
+		for _, sh := range s.shards {
+			sh.Manager().Close()
+		}
+		return err
+	}
+
+	// Fan-outs must run before recovery: replayed outputs travel through
+	// them into the recovered buffers, and snapshot barriers need their acks.
+	for _, sh := range s.shards {
+		sh.Start()
+	}
+	if err := s.group.Boot(); err != nil {
+		for _, sh := range s.shards {
+			sh.Manager().Close()
+			sh.Close() // best effort: the boot error is the one to surface
+		}
+		return err
+	}
+	if s.cfg.DataDir != "" {
+		s.group.StartSnapshots()
+	}
+
+	s.router = shard.NewRouter(s.shards)
+	s.pipe = pipeline.New(pipeline.Config{
+		QueueSize:     s.cfg.QueueSize,
+		Overflow:      s.cfg.Overflow,
+		BatchMax:      s.cfg.BatchMax,
+		BatchMaxBytes: s.cfg.BatchMaxBytes,
+		BatchAge:      s.cfg.BatchAge,
+		// OnDrained runs on the pump goroutine after the queue empties: the
+		// final checkpoint and manager close, while the fan-outs the snapshot
+		// barriers need are still alive.
+		OnDrained: func() { s.router.FinishIngest(s.testSkipFinalSnapshot) },
+	}, s.router)
+	s.pipe.TestHookDelay = s.testHookPumpDelay
 
 	// On listener failure, unwind what Start already spun up so no
 	// goroutine or journal handle leaks.
 	fail := func(err error) error {
-		if s.tcpLn != nil {
-			s.tcpLn.Close()
+		if s.tcp != nil {
+			s.tcp.StopAccepting()
 		}
-		if s.snapStop != nil {
-			close(s.snapStop)
-			<-s.snapLoopDone
+		s.group.StopSnapshots()
+		s.router.FinishIngest(true)
+		for _, sh := range s.shards {
+			sh.Close() // unwinding: the listener error is the one to surface
 		}
-		s.manager().Close()
-		<-s.fanDone
-		if s.wlog != nil {
-			_ = s.wlog.Close() // unwinding: the listener error is the one to surface
-		}
+		s.hub.close()
 		return err
 	}
+	tcfg := transport.Config{MaxLineLen: s.cfg.MaxLineLen, Logf: s.cfg.Logf}
 	if s.cfg.TCPAddr != "off" {
-		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
-		if err != nil {
-			return fail(fmt.Errorf("serve: tcp listen: %w", err))
-		}
-		s.tcpLn = ln
-		go s.acceptLoop(ln)
-	} else {
-		close(s.acceptDone)
-	}
-	if s.cfg.HTTPAddr != "off" {
-		if err := s.startHTTP(); err != nil {
+		s.tcp = transport.NewTCP(tcfg, s.pipe, s.cfg.ReadTimeout)
+		if err := s.tcp.Start(s.cfg.TCPAddr); err != nil {
 			return fail(err)
 		}
-	} else {
-		close(s.httpDone)
+	}
+	if s.cfg.HTTPAddr != "off" {
+		s.http = transport.NewHTTP(tcfg, s.pipe)
+		s.http.Handle("GET /predictions", s.handlePredictions)
+		s.http.Handle("GET /statusz", s.handleStatusz)
+		s.http.Handle("POST /model", s.handleModelUpload)
+		s.http.Handle("GET /models", s.handleModels)
+		s.http.Handle("POST /model/activate", s.handleModelActivate)
+		s.http.Handle("POST /model/rollback", s.handleModelRollback)
+		s.http.Handle("POST /model/shadow", s.handleShadowStart)
+		s.http.Handle("DELETE /model/shadow", s.handleShadowStop)
+		if err := s.http.Start(s.cfg.HTTPAddr); err != nil {
+			return fail(err)
+		}
 	}
 
-	go s.pump()
+	s.pipe.Start()
 	return nil
 }
 
 // TCPAddr reports the bound line-protocol address (nil when disabled).
 func (s *Server) TCPAddr() net.Addr {
-	if s.tcpLn == nil {
+	if s.tcp == nil {
 		return nil
 	}
-	return s.tcpLn.Addr()
+	return s.tcp.Addr()
 }
 
 // HTTPAddr reports the bound HTTP address (nil when disabled).
 func (s *Server) HTTPAddr() net.Addr {
-	if s.httpState.ln == nil {
+	if s.http == nil {
 		return nil
 	}
-	return s.httpState.ln.Addr()
+	return s.http.Addr()
 }
 
 // Subscribe attaches an in-process prediction consumer. The subscription's
@@ -412,302 +499,128 @@ func (s *Server) Subscribe(buffer int) *Subscription {
 	return s.hub.subscribe(buffer)
 }
 
-// pump is the single consumer of the ingest queue: every accepted line flows
-// through it into the Manager, so "queue drained + pump exited" means every
-// accepted line reached a predictor worker. With persistence on, lines are
-// journaled first — under snapMu, so a snapshot always sits on an exact
-// (journal offset, parse state) boundary. BatchMax > 1 (the default) selects
-// the batched pump: lines are cut into groups bounded by count/bytes/age and
-// each group pays one WAL group-append and one Manager batch submit.
-func (s *Server) pump() {
-	defer close(s.pumpDone)
-	if s.cfg.BatchMax > 1 {
-		s.pumpBatches()
-	} else {
-		s.pumpLines()
-	}
-	// Queue drained. Checkpoint the final state while the Manager (and the
-	// fan-out its barrier needs) is still alive, so a clean restart resumes
-	// from the snapshot without replay.
-	if s.wlog != nil && !s.testSkipFinalSnapshot {
-		if err := s.snapshot(); err != nil {
-			s.cfg.Logf("serve: final snapshot: %v", err)
-		}
-	}
-	s.manager().Close()
-}
-
-// pumpLines is the per-line pump (BatchMax == 1): the original ingest loop,
-// kept both as the reference semantics the batched path must reproduce
-// exactly (see TestBatchPipelineEquivalence) and as the minimum-latency
-// configuration.
-//
-//aarohi:hotpath
-func (s *Server) pumpLines() {
-	var walBuf []byte // reused framing scratch; Append copies out of it
-	for line := range s.queue {
-		if s.testHookPumpDelay != nil {
-			s.testHookPumpDelay()
-		}
-		s.snapMu.Lock()
-		if s.wlog != nil {
-			walBuf = encodeLineRecordInto(walBuf, line)
-			if _, err := s.wlog.Append(walBuf); err != nil {
-				// Journal failure is fatal for durability but not for
-				// prediction: log loudly and keep serving.
-				s.cfg.Logf("serve: wal append: %v", err)
-			}
-		}
-		// snapMu also pins the manager pointer: a hot-swap holds it for its
-		// whole critical section, so the pump pauses at this line boundary
-		// and resumes on the fully swapped-in manager.
-		err := s.manager().ProcessLine(line)
-		if sh := s.shadow; sh != nil {
-			// The shadow sees exactly the lines the primary does; its own
-			// parse errors mirror the primary's and are not double-counted.
-			sh.mgr.ProcessLine(line)
-		}
-		s.snapMu.Unlock()
-		if err != nil {
-			s.parseErrors.Add(1)
-		}
-	}
-}
-
-// pumpBatches is the batched pump: block for the first line, then collect
-// until BatchMax lines, BatchMaxBytes bytes, BatchAge of waiting, or an empty
-// queue (BatchAge 0), and hand the group to processBatch. Collection happens
-// outside snapMu, so snapshots and hot-swaps interleave at batch boundaries
-// exactly as they did at line boundaries.
-//
-//aarohi:hotpath
-func (s *Server) pumpBatches() {
-	var (
-		batch   []string
-		walRecs [][]byte // per-element capacity reused across batches
-		closed  bool
-	)
-	// The age timer starts stopped and is armed per batch. go.mod pins the
-	// go 1.22 language version, so classic timer rules apply: Stop and drain
-	// before every Reset.
-	timer := time.NewTimer(time.Hour)
-	stopTimer(timer)
-	defer timer.Stop()
-	for !closed {
-		line, ok := <-s.queue
-		if !ok {
-			return
-		}
-		// The test hook sits where the per-line pump had it — after the first
-		// dequeue, before any further draining — so queue-overflow tests can
-		// still hold the pump with a known queue state.
-		if s.testHookPumpDelay != nil {
-			s.testHookPumpDelay()
-		}
-		batch = append(batch[:0], line)
-		nbytes := len(line)
-		if s.cfg.BatchAge > 0 {
-			timer.Reset(s.cfg.BatchAge)
-		}
-	collect:
-		for len(batch) < s.cfg.BatchMax && nbytes < s.cfg.BatchMaxBytes {
-			select {
-			case line, ok := <-s.queue:
-				if !ok {
-					closed = true
-					break collect
-				}
-				batch = append(batch, line)
-				nbytes += len(line)
-			default:
-				if s.cfg.BatchAge <= 0 {
-					break collect // opportunistic only: queue is empty, go
-				}
-				select {
-				case line, ok := <-s.queue:
-					if !ok {
-						closed = true
-						break collect
-					}
-					batch = append(batch, line)
-					nbytes += len(line)
-				case <-timer.C:
-					break collect // the partial batch is old enough
-				}
-			}
-		}
-		if s.cfg.BatchAge > 0 {
-			stopTimer(timer)
-		}
-		walRecs = s.processBatch(batch, walRecs)
-	}
-}
-
-// stopTimer stops t and drains a concurrent fire, leaving it safe to Reset
-// (pre-1.23 timer semantics; the module targets go 1.22).
-func stopTimer(t *time.Timer) {
-	if !t.Stop() {
-		select {
-		case <-t.C:
-		default:
-		}
-	}
-}
-
-// processBatch journals and dispatches one pump batch under snapMu: every
-// line is framed into a reused record buffer, the group hits the WAL as one
-// AppendBatch, and the Manager receives it as one ProcessLineBatch — the
-// WAL-append-before-parse invariant, at batch granularity. Returns walRecs so
-// its element capacities survive to the next batch.
-//
-//aarohi:hotpath
-func (s *Server) processBatch(batch []string, walRecs [][]byte) [][]byte {
-	s.snapMu.Lock()
-	if s.wlog != nil {
-		if len(batch) > len(walRecs) {
-			walRecs = growRecs(walRecs, len(batch))
-		}
-		for i, line := range batch {
-			walRecs[i] = encodeLineRecordInto(walRecs[i][:0], line)
-		}
-		if _, err := s.wlog.AppendBatch(walRecs[:len(batch)]); err != nil {
-			// Journal failure is fatal for durability but not for
-			// prediction: log loudly and keep serving.
-			s.cfg.Logf("serve: wal append: %v", err)
-		}
-	}
-	// snapMu also pins the manager pointer: a hot-swap holds it for its
-	// whole critical section, so the pump pauses at this batch boundary
-	// and resumes on the fully swapped-in manager.
-	perrs, err := s.manager().ProcessLineBatch(batch)
-	if sh := s.shadow; sh != nil {
-		// The shadow sees exactly the lines the primary does; its own
-		// parse errors mirror the primary's and are not double-counted.
-		sh.mgr.ProcessLineBatch(batch)
-	}
-	s.snapMu.Unlock()
-	if perrs > 0 {
-		s.parseErrors.Add(int64(perrs))
-	}
-	if err != nil {
-		// ErrClosed cannot happen while the pump owns the Manager lifecycle;
-		// surface anything else rather than losing it.
-		s.cfg.Logf("serve: batch submit: %v", err)
-	}
-	return walRecs
-}
-
-// growRecs is the cold growth path of processBatch's framing scratch: the
-// slice reaches the high-water batch size once and is element-reused forever.
-func growRecs(recs [][]byte, n int) [][]byte {
-	for len(recs) < n {
-		recs = append(recs, nil)
-	}
-	return recs
-}
-
-// fanout broadcasts Manager results to the hub until the final Results
-// channel closes (which the pump triggers via Close after the queue drains).
-// It also acks Flush barrier markers (snapshots depend on this) and, during
-// boot-time recovery, records outputs into the recovered buffer.
-//
-// Hot-swaps are handled generationally: a swap publishes the new manager
-// (setManager) before closing the old one, so when a Results channel closes
-// the loop re-reads the pointer — a changed manager means a swap, an
-// unchanged one means shutdown.
-func (s *Server) fanout() {
-	defer close(s.fanDone)
-	for {
-		mgr := s.manager()
-		for out := range mgr.Results() {
-			if out.IsFlush() {
-				out.Ack()
-				continue
-			}
-			// The arbiter sees every output — recovered ones included, so a
-			// restored run accumulates the same chain evidence a live run did.
-			s.arbObserve(out)
-			if s.recoveryActive.Load() {
-				s.recMu.Lock()
-				s.recovered = append(s.recovered, out)
-				s.recMu.Unlock()
-				continue
-			}
-			if tr := s.tracker.Load(); tr != nil {
-				tr.record(out, true)
-			}
-			s.hub.publish(out)
-		}
-		if s.manager() == mgr {
-			break
-		}
-	}
-	s.hub.close()
-}
-
 // beginProduce registers a queue producer; it fails once draining so the
 // queue can be closed safely. Callers must pair a true return with
 // endProduce.
-func (s *Server) beginProduce() bool {
-	s.prodMu.Lock()
-	defer s.prodMu.Unlock()
-	if s.draining {
-		return false
-	}
-	s.prodWG.Add(1)
-	return true
-}
+func (s *Server) beginProduce() bool { return s.pipe.BeginProduce() }
 
-func (s *Server) endProduce() { s.prodWG.Done() }
+func (s *Server) endProduce() { s.pipe.EndProduce() }
 
 // ingest enqueues one raw log line under the configured overflow policy.
 // The caller must hold a producer registration. Reports whether the line
 // was accepted.
-func (s *Server) ingest(line string) bool {
-	if s.cfg.Overflow == Shed {
-		select {
-		case s.queue <- line:
-			s.accepted.Add(1)
-			return true
-		default:
-			s.dropped.Add(1)
-			return false
-		}
-	}
-	s.queue <- line
-	s.accepted.Add(1)
-	return true
-}
+func (s *Server) ingest(line string) bool { return s.pipe.Ingest(line) }
 
 // isDraining reports whether Shutdown has begun.
-func (s *Server) isDraining() bool {
-	s.prodMu.Lock()
-	defer s.prodMu.Unlock()
-	return s.draining
+func (s *Server) isDraining() bool { return s.pipe.Draining() }
+
+// flushAll blocks until every line already dispatched has been fully
+// processed by its shard — the cross-shard barrier benchmarks use.
+func (s *Server) flushAll() error { return s.router.Flush() }
+
+// Recovered returns the outputs re-derived during boot-time replay — in
+// arrival order, concatenated across shards in index order. HTTP subscribers
+// can fetch them with GET /predictions?replay=recovered; embedded callers
+// use this accessor.
+func (s *Server) Recovered() []predictor.Output {
+	var out []predictor.Output
+	for _, sh := range s.shards {
+		out = append(out, sh.Recovered()...)
+	}
+	return out
 }
 
 // Status snapshots the server counters and the live Manager stats.
 func (s *Server) Status() Status {
-	return Status{
+	st := Status{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Draining:        s.isDraining(),
 		Overflow:        string(s.cfg.Overflow),
-		LinesAccepted:   s.accepted.Load(),
-		LinesDropped:    s.dropped.Load(),
-		ParseErrors:     s.parseErrors.Load(),
-		OpenConns:       s.openConns.Load(),
-		TotalConns:      s.totalConns.Load(),
-		QueueDepth:      len(s.queue),
-		QueueCapacity:   cap(s.queue),
+		LinesAccepted:   s.pipe.Accepted(),
+		LinesDropped:    s.pipe.Dropped(),
+		QueueDepth:      s.pipe.Depth(),
+		QueueCapacity:   s.pipe.Capacity(),
 		Subscribers:     s.hub.count(),
 		SubscriberDrops: s.hub.dropped.Load(),
-		Manager:         s.manager().Stats(),
-		WAL:             s.walStatus(),
-		Recovery:        s.recovery,
-		Model:           s.modelStatus(),
-		Shadow:          s.shadowStatus(),
-		Arbiter:         s.arbiterStatus(),
+		Model:           s.group.ModelStatus(),
+		Shadow:          s.group.ShadowStatus(),
 	}
+	if s.tcp != nil {
+		st.OpenConns = s.tcp.Open()
+		st.TotalConns = s.tcp.Total()
+	}
+	st.Shards = make([]ShardStatus, len(s.shards))
+	for i, sh := range s.shards {
+		stats := sh.Stats()
+		st.ParseErrors += stats.ParseErrors
+		row := ShardStatus{
+			Index:       i,
+			Lines:       stats.Lines,
+			ParseErrors: stats.ParseErrors,
+			Pending:     s.router.Pending(i),
+			Nodes:       stats.Manager.Nodes,
+		}
+		if ws := sh.WALStatus(); ws != nil {
+			row.WALOffset = ws.LastIndex
+			row.Snapshots = ws.SnapshotsWritten
+		}
+		if arb := sh.Arbiter(); arb != nil {
+			as := arb.Status()
+			row.Arbiter = &ArbiterSummary{
+				Nodes:       as.Nodes,
+				Down:        as.Down,
+				Heartbeats:  as.Heartbeats,
+				Predictions: as.Predictions,
+				Failures:    as.Failures,
+				Alerts:      len(arb.Alerts()),
+			}
+		}
+		st.Shards[i] = row
+		if len(s.shards) == 1 {
+			// Single-shard: the top-level blocks keep their pre-sharding shape.
+			st.Manager = stats.Manager
+			st.WAL = sh.WALStatus()
+			st.Recovery = sh.Recovery()
+			st.Arbiter = s.arbiterStatus()
+		} else {
+			lifecycle.SumManagerStats(&st.Manager, stats.Manager)
+		}
+	}
+	return st
+}
+
+// Alerts returns the current ranked alerts, merged across shards: score
+// descending, node ID as the tiebreaker — the same deterministic order a
+// single arbiter produces (nil when arbitration is disabled). Shards
+// partition the node space, so the merge is a disjoint union.
+func (s *Server) Alerts() []arbiter.Alert {
+	if s.arb == nil {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.arb.Alerts()
+	}
+	var alerts []arbiter.Alert
+	for _, sh := range s.shards {
+		alerts = sh.Arbiter().AlertsInto(alerts)
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].Score != alerts[j].Score {
+			return alerts[i].Score > alerts[j].Score
+		}
+		return alerts[i].Node < alerts[j].Node
+	})
+	return alerts
+}
+
+// arbiterStatus assembles the /statusz arbitration block (nil when disabled;
+// single-shard only — multi-shard daemons report per-shard summaries).
+func (s *Server) arbiterStatus() *arbiter.Status {
+	if s.arb == nil {
+		return nil
+	}
+	st := s.arb.Status()
+	return &st
 }
 
 // Shutdown drains the server gracefully: stop accepting connections and
@@ -724,69 +637,47 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) shutdown(ctx context.Context) error {
 	// 1. Refuse new producers; nothing else registers from here on.
-	s.prodMu.Lock()
-	s.draining = true
-	s.prodMu.Unlock()
+	s.pipe.StartDrain()
 
 	// 2. Stop accepting TCP connections.
-	if s.tcpLn != nil {
-		s.tcpLn.Close()
-		<-s.acceptDone
+	if s.tcp != nil {
+		s.tcp.StopAccepting()
 	}
 
 	// 3. Give open connections a grace window to flush what their clients
 	// already sent, then force-close stragglers.
-	deadline := time.Now().Add(s.cfg.DrainGrace)
-	s.connMu.Lock()
-	for c := range s.conns {
-		c.SetReadDeadline(deadline)
+	if s.tcp != nil {
+		s.tcp.SetDrainDeadline(time.Now().Add(s.cfg.DrainGrace))
 	}
-	s.connMu.Unlock()
-	prodIdle := make(chan struct{})
-	go func() { s.prodWG.Wait(); close(prodIdle) }()
+	prodIdle := s.pipe.ProducersIdle()
 	select {
 	case <-prodIdle:
 	case <-time.After(s.cfg.DrainGrace + time.Second):
-		s.connMu.Lock()
-		for c := range s.conns {
-			c.Close()
+		if s.tcp != nil {
+			s.tcp.ForceClose()
 		}
-		s.connMu.Unlock()
 		<-prodIdle
 	}
 
 	// 4. No producers remain: stop the periodic snapshotter, close the
-	// queue, let the pump flush every accepted line into the Manager, write
-	// the final snapshot and close the Manager, then wait for the result
-	// fan-out to deliver everything and release subscribers. The journal
-	// closes last — nothing appends after the pump exits.
-	if s.snapStop != nil {
-		close(s.snapStop)
-		<-s.snapLoopDone
+	// queue, let the pump flush every accepted line through the router into
+	// the shards (each writes its final snapshot and closes its Manager),
+	// then close the shards — running shadows are discarded, fan-outs drain,
+	// journals close last — and release subscribers.
+	s.group.StopSnapshots()
+	s.pipe.CloseQueue()
+	<-s.pipe.Done()
+	for _, sh := range s.shards {
+		sh.Close()
 	}
-	close(s.queue)
-	<-s.pumpDone
-	// Discard a running shadow: its manager closes (no new lines can arrive)
-	// and its consumer exits when the Results channel drains.
-	s.snapMu.Lock()
-	sh := s.shadow
-	s.shadow = nil
-	s.tracker.Store(nil)
-	s.snapMu.Unlock()
-	if sh != nil {
-		sh.mgr.Close()
-		<-sh.done
-	}
-	<-s.fanDone
-	if s.wlog != nil {
-		if err := s.wlog.Close(); err != nil {
-			s.cfg.Logf("serve: wal close: %v", err)
-		}
-	}
+	s.hub.close()
 
 	// 5. Tear down HTTP last so /statusz and /predictions stay observable
 	// through the drain.
-	return s.stopHTTP(ctx)
+	if s.http != nil {
+		return s.http.Stop(ctx)
+	}
+	return nil
 }
 
 // Run starts the server and blocks until ctx is cancelled, then drains with

@@ -1,4 +1,4 @@
-package serve
+package shard
 
 import (
 	"bytes"
@@ -12,14 +12,14 @@ import (
 	"repro/internal/wal"
 )
 
-// Durability: when Config.DataDir is set, every accepted line is appended to
-// a write-ahead journal before it reaches the Manager, and the Manager's
-// complete parse state is periodically checkpointed. On boot, Start loads
-// the newest valid snapshot, replays the journal tail through the Manager —
-// all before any listener opens — so a SIGKILL at any instant costs at most
-// the lines the fsync policy permits, and never a mid-flight parse.
+// Durability: when Config.Dir is set, every submitted line is appended to a
+// write-ahead journal before it reaches the Manager, and the Manager's
+// complete parse state is periodically checkpointed. Open loads the newest
+// valid snapshot and replays the journal tail through the Manager — before
+// any listener opens — so a SIGKILL at any instant costs at most the lines
+// the fsync policy permits, and never a mid-flight parse.
 //
-// Consistency protocol: the pump holds snapMu around each (WAL append,
+// Consistency protocol: the submitter holds snapMu around each (WAL append,
 // ProcessLine) pair; a snapshot takes snapMu, reads the WAL tip, runs the
 // Manager's Flush barrier (every output for lines ≤ tip published), and only
 // then serializes. The snapshot therefore never covers an output that has
@@ -52,21 +52,29 @@ type RecoveryStatus struct {
 	ReplayedSwaps uint64 `json:"replayed_swaps,omitempty"`
 }
 
-func (s *Server) walDir() string  { return filepath.Join(s.cfg.DataDir, "wal") }
-func (s *Server) snapDir() string { return filepath.Join(s.cfg.DataDir, "snapshots") }
+func (l *Local) walDir() string  { return filepath.Join(l.cfg.Dir, "wal") }
+func (l *Local) snapDir() string { return filepath.Join(l.cfg.Dir, "snapshots") }
 
-// openPersistence loads the newest valid snapshot into the Manager, opens
-// the journal, and replays the tail. Called from Start before any listener
-// binds; the fan-out must already be running (replay outputs travel through
-// it into the recovered buffer, and the snapshot barrier needs its acks).
-func (s *Server) openPersistence() error {
-	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+// Open loads the newest valid snapshot into the Manager, opens the journal,
+// and replays the tail. No-op without a data dir. Called by the lifecycle
+// layer before any listener binds; the fan-out must already be running
+// (replay outputs travel through it into the recovered buffer, and the
+// snapshot barrier needs its acks). reg, when non-nil, resolves model
+// fingerprints named by snapshots and epoch records; manifest reconciliation
+// is the caller's job — Open reports what the journal converged on via
+// Manager().FingerprintHex().
+func (l *Local) Open(reg *registry.Registry) error {
+	if l.cfg.Dir == "" {
+		return nil
+	}
+	l.registry = reg
+	if err := os.MkdirAll(l.cfg.Dir, 0o755); err != nil {
 		return fmt.Errorf("serve: data dir: %w", err)
 	}
 	began := time.Now()
 	rec := RecoveryStatus{}
 
-	off, payload, ok, err := wal.LatestSnapshot(s.snapDir())
+	off, payload, ok, err := wal.LatestSnapshot(l.snapDir())
 	if err != nil {
 		return fmt.Errorf("serve: loading snapshot: %w", err)
 	}
@@ -80,9 +88,9 @@ func (s *Server) openPersistence() error {
 		}
 	}
 	switch {
-	case ok && s.registry != nil:
+	case ok && l.registry != nil:
 		// Registry mode: the snapshot names the model it was taken under —
-		// rebuild that model if it is not the one the server booted with, so
+		// rebuild that model if it is not the one the shard booted with, so
 		// the state imports into matching tables and the journal tail replays
 		// against the right automaton.
 		st, err := predictor.DecodeSnapshotState(bytes.NewReader(payload))
@@ -90,26 +98,26 @@ func (s *Server) openPersistence() error {
 			return fmt.Errorf("serve: reading snapshot (offset %d): %w", off, err)
 		}
 		fp := registry.FormatFingerprint(st.Fingerprint)
-		if fp != s.manager().FingerprintHex() {
-			if err := s.bootSwitchModel(fp); err != nil {
+		if fp != l.Manager().FingerprintHex() {
+			if err := l.bootSwitchModel(fp); err != nil {
 				return fmt.Errorf("serve: snapshot (offset %d) was taken under model %s: %w", off, fp, err)
 			}
 		}
-		if err := s.manager().ImportState(st); err != nil {
+		if err := l.Manager().ImportState(st); err != nil {
 			return fmt.Errorf("serve: restoring snapshot (offset %d): %w", off, err)
 		}
 		rec.Performed = true
 		rec.SnapshotIndex = off
 	case ok:
-		if err := s.manager().Restore(bytes.NewReader(payload)); err != nil {
+		if err := l.Manager().Restore(bytes.NewReader(payload)); err != nil {
 			return fmt.Errorf("serve: restoring snapshot (offset %d): %w", off, err)
 		}
 		rec.Performed = true
 		rec.SnapshotIndex = off
-	case s.registry != nil:
+	case l.registry != nil:
 		// No snapshot: the journal begins under the manifest's base model.
-		if base := s.registry.Base(); base != "" && base != s.manager().FingerprintHex() {
-			if err := s.bootSwitchModel(base); err != nil {
+		if base := l.registry.Base(); base != "" && base != l.Manager().FingerprintHex() {
+			if err := l.bootSwitchModel(base); err != nil {
 				return fmt.Errorf("serve: journal began under model %s: %w", base, err)
 			}
 		}
@@ -117,15 +125,15 @@ func (s *Server) openPersistence() error {
 	// The arbiter restores before replay for the same reason the manager
 	// does: the journal tail then re-fires its heartbeats and outputs on top
 	// of exactly the state the snapshot captured.
-	if s.arb != nil && len(arbPayload) > 0 {
-		if err := s.arb.Restore(bytes.NewReader(arbPayload)); err != nil {
+	if l.arb != nil && len(arbPayload) > 0 {
+		if err := l.arb.Restore(bytes.NewReader(arbPayload)); err != nil {
 			return fmt.Errorf("serve: restoring arbiter snapshot (offset %d): %w", off, err)
 		}
 	}
 
-	wl, err := wal.Open(s.walDir(), wal.Options{
-		Sync:        s.cfg.Fsync,
-		SegmentSize: s.cfg.WALSegmentSize,
+	wl, err := wal.Open(l.walDir(), wal.Options{
+		Sync:        l.cfg.Fsync,
+		SegmentSize: l.cfg.WALSegmentSize,
 	})
 	if err != nil {
 		return err
@@ -138,7 +146,7 @@ func (s *Server) openPersistence() error {
 	// Replay the tail through the Manager. The listeners are not open yet,
 	// so the only producer is this loop; outputs are captured in the
 	// recovered buffer by the fan-out for /predictions?replay=recovered.
-	s.recoveryActive.Store(true)
+	l.recoveryActive.Store(true)
 	err = wl.Replay(off+1, func(idx uint64, payload []byte) error {
 		rec.ReplayedRecords++
 		kind, body := decodeRecordBytes(payload)
@@ -148,7 +156,7 @@ func (s *Server) openPersistence() error {
 			// returning and interns the node name, so nothing retains it —
 			// and no per-record line copy is made. Benign lines report
 			// ok=false and simply don't re-enter the pipeline.
-			if _, perr := s.manager().ProcessLineBytes(body); perr != nil {
+			if _, perr := l.Manager().ProcessLineBytes(body); perr != nil {
 				// The line was malformed when first accepted too; it counted
 				// as a parse error then and does again now.
 				rec.ReplayErrors++
@@ -156,10 +164,10 @@ func (s *Server) openPersistence() error {
 		case recKindEpoch:
 			// A model hot-swap happened here: re-execute it so the rest of
 			// the journal replays against the model it was written under.
-			if s.registry == nil {
+			if l.registry == nil {
 				return fmt.Errorf("journal holds a model-epoch record at %d but the server has no model registry (Config.Model unset)", idx)
 			}
-			if err := s.replaySwap(string(body)); err != nil {
+			if err := l.replaySwap(string(body)); err != nil {
 				return fmt.Errorf("re-executing model swap at %d: %w", idx, err)
 			}
 			rec.ReplayedSwaps++
@@ -177,34 +185,22 @@ func (s *Server) openPersistence() error {
 	}
 	// Barrier: every replayed output is in the recovered buffer before the
 	// daemon reports ready.
-	if err := s.manager().Flush(); err != nil {
+	if err := l.Manager().Flush(); err != nil {
 		_ = wl.Close() // unwinding: the flush error is the one to surface
 		return fmt.Errorf("serve: flushing replay: %w", err)
 	}
-	s.recoveryActive.Store(false)
+	l.recoveryActive.Store(false)
 
-	// Journal wins: if the process died between a swap's epoch append and its
-	// manifest write, the manifest still names the pre-swap model — reconcile
-	// it to what replay actually converged on.
-	if s.registry != nil {
-		if cur := s.manager().FingerprintHex(); s.registry.Active() != cur {
-			s.cfg.Logf("serve: manifest names %s but the journal ends under %s; reconciling", s.registry.Active(), cur)
-			if err := s.registry.Activate(cur); err != nil {
-				s.cfg.Logf("serve: reconciling manifest: %v", err)
-			}
-		}
-	}
-
-	s.recMu.Lock()
-	rec.RecoveredOutputs = len(s.recovered)
-	s.recMu.Unlock()
+	l.recMu.Lock()
+	rec.RecoveredOutputs = len(l.recovered)
+	l.recMu.Unlock()
 	rec.DurationSeconds = time.Since(began).Seconds()
 
-	s.wlog = wl
-	s.recovery = &rec
-	s.lastSnapshotIdx.Store(off)
+	l.wlog = wl
+	l.recovery = &rec
+	l.lastSnapshotIdx.Store(off)
 	if rec.Performed {
-		s.cfg.Logf("serve: recovered from snapshot@%d + %d replayed lines (%d outputs) in %.3fs",
+		l.cfg.Logf("serve: recovered from snapshot@%d + %d replayed lines (%d outputs) in %.3fs",
 			rec.SnapshotIndex, rec.ReplayedRecords, rec.RecoveredOutputs, rec.DurationSeconds)
 	}
 	return nil
@@ -212,20 +208,20 @@ func (s *Server) openPersistence() error {
 
 // bootSwitchModel replaces the boot manager with one built from a stored
 // model version, before any state exists to migrate. Boot-time only: the
-// listeners are closed, the pump is not running, and the fan-out (if started)
-// hands over generationally when the old manager closes.
-func (s *Server) bootSwitchModel(fp string) error {
-	model, _, err := s.registry.Get(fp)
+// listeners are closed, no submitter is running, and the fan-out hands over
+// generationally when the old manager closes.
+func (l *Local) bootSwitchModel(fp string) error {
+	model, _, err := l.registry.Get(fp)
 	if err != nil {
 		return err
 	}
-	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, s.workers)
+	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, l.cfg.Workers)
 	if err != nil {
 		return fmt.Errorf("building model %s: %w", fp, err)
 	}
-	s.attachArbiter(next)
-	old := s.manager()
-	s.setManager(next)
+	l.attachArbiter(next)
+	old := l.Manager()
+	l.setManager(next)
 	old.Close()
 	return nil
 }
@@ -233,16 +229,16 @@ func (s *Server) bootSwitchModel(fp string) error {
 // replaySwap re-executes a journaled model swap during boot replay: the
 // current manager's state migrates into the epoch's model exactly as the
 // original swap migrated it (same AdoptState tiers).
-func (s *Server) replaySwap(fp string) error {
-	old := s.manager()
+func (l *Local) replaySwap(fp string) error {
+	old := l.Manager()
 	if fp == old.FingerprintHex() {
 		return nil
 	}
-	model, _, err := s.registry.Get(fp)
+	model, _, err := l.registry.Get(fp)
 	if err != nil {
 		return err
 	}
-	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, s.workers)
+	next, err := predictor.NewManager(model.Chains, model.Templates, model.Options, l.cfg.Workers)
 	if err != nil {
 		return fmt.Errorf("building model %s: %w", fp, err)
 	}
@@ -260,95 +256,72 @@ func (s *Server) replaySwap(fp string) error {
 		next.Close()
 		return fmt.Errorf("migrating state into %s: %w", fp, err)
 	}
-	s.attachArbiter(next)
-	s.setManager(next)
+	l.attachArbiter(next)
+	l.setManager(next)
 	old.Close()
 	return nil
 }
 
-// snapshot checkpoints the Manager's state, stamps it with the WAL offset it
+// Snapshot checkpoints the Manager's state, stamps it with the WAL offset it
 // covers, and truncates journal segments the snapshot made redundant. Safe
-// to call concurrently with live ingest: the pump is paused via snapMu for
-// the duration.
-func (s *Server) snapshot() error {
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	if s.wlog == nil {
+// to call concurrently with live ingest: the submitter is paused via snapMu
+// for the duration.
+func (l *Local) Snapshot() error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	if l.wlog == nil {
 		return fmt.Errorf("serve: persistence not enabled")
 	}
-	idx := s.wlog.LastIndex()
+	idx := l.wlog.LastIndex()
 	var buf bytes.Buffer
 	// Manager.Snapshot runs the Flush barrier first: every output for lines
 	// ≤ idx is published before the state is captured.
-	if err := s.manager().Snapshot(&buf); err != nil {
+	if err := l.Manager().Snapshot(&buf); err != nil {
 		return err
 	}
 	payload := buf.Bytes()
-	if s.arb != nil {
+	if l.arb != nil {
 		// The manager's Snapshot above ran the Flush barrier, so the fan-out
 		// has pushed every output for lines ≤ idx through arbObserve, and the
-		// pump (paused under snapMu) has fired every heartbeat ≤ idx: the
+		// submitter (paused under snapMu) has fired every heartbeat ≤ idx: the
 		// arbiter state captured here covers exactly the snapshot's offset.
 		var abuf bytes.Buffer
-		if err := s.arb.Snapshot(&abuf); err != nil {
+		if err := l.arb.Snapshot(&abuf); err != nil {
 			return err
 		}
 		payload = frameSnapshotPayload(payload, abuf.Bytes())
 	}
 	// The journal must be durable up to the snapshot's offset before old
 	// segments go away, whatever the fsync policy says.
-	if err := s.wlog.Sync(); err != nil {
+	if err := l.wlog.Sync(); err != nil {
 		return err
 	}
-	if _, err := wal.WriteSnapshotFile(s.snapDir(), idx, payload); err != nil {
+	if _, err := wal.WriteSnapshotFile(l.snapDir(), idx, payload); err != nil {
 		return err
 	}
-	if err := s.wlog.TruncateBefore(idx + 1); err != nil {
+	if err := l.wlog.TruncateBefore(idx + 1); err != nil {
 		return err
 	}
-	s.snapshots.Add(1)
-	s.lastSnapshotIdx.Store(idx)
+	l.snapshots.Add(1)
+	l.lastSnapshotIdx.Store(idx)
 	return nil
 }
 
-// snapshotLoop writes periodic snapshots until stopped.
-func (s *Server) snapshotLoop() {
-	defer close(s.snapLoopDone)
-	t := time.NewTicker(s.cfg.SnapshotInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			if err := s.snapshot(); err != nil {
-				s.cfg.Logf("serve: snapshot: %v", err)
-			}
-		case <-s.snapStop:
-			return
-		}
-	}
-}
-
-// walStatus assembles the /statusz journal block (nil when disabled).
-func (s *Server) walStatus() *WALStatus {
-	if s.wlog == nil {
+// WALStatus assembles the /statusz journal block (nil when disabled).
+func (l *Local) WALStatus() *WALStatus {
+	if l.wlog == nil {
 		return nil
 	}
 	return &WALStatus{
 		Enabled:           true,
-		Sync:              s.cfg.Fsync.String(),
-		FirstIndex:        s.wlog.FirstIndex(),
-		LastIndex:         s.wlog.LastIndex(),
-		Segments:          s.wlog.Segments(),
-		SnapshotsWritten:  s.snapshots.Load(),
-		LastSnapshotIndex: s.lastSnapshotIdx.Load(),
+		Sync:              l.cfg.Fsync.String(),
+		FirstIndex:        l.wlog.FirstIndex(),
+		LastIndex:         l.wlog.LastIndex(),
+		Segments:          l.wlog.Segments(),
+		SnapshotsWritten:  l.snapshots.Load(),
+		LastSnapshotIndex: l.lastSnapshotIdx.Load(),
 	}
 }
 
-// Recovered returns the outputs re-derived during boot-time replay, in
-// arrival order. HTTP subscribers can fetch them with
-// GET /predictions?replay=recovered; embedded callers use this accessor.
-func (s *Server) Recovered() []predictor.Output {
-	s.recMu.Lock()
-	defer s.recMu.Unlock()
-	return append([]predictor.Output(nil), s.recovered...)
-}
+// Recovery returns the boot-time recovery report (nil when none ran).
+func (l *Local) Recovery() *RecoveryStatus { return l.recovery }

@@ -1,0 +1,376 @@
+// Package shard is the daemon's unit of prediction state: one Shard bundles
+// a predictor.Manager with its write-ahead journal, snapshots, arbiter and
+// shadow evaluation — everything that must stay consistent for one partition
+// of the node space. The serve layer feeds a Shard through the Router (which
+// implements the pipeline's Sink over a consistent-hash ring) and the
+// lifecycle layer drives recovery, snapshots and model swaps across all
+// shards. Layering: shard sits below transport, pipeline and lifecycle and
+// must import none of them; it may import ring and the domain packages
+// (predictor, wal, arbiter, registry).
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arbiter"
+	"repro/internal/predictor"
+	"repro/internal/registry"
+	"repro/internal/wal"
+)
+
+// Shard is one partition of the prediction state. Local is the in-process
+// implementation; the interface is the seam a future network peer implements.
+// Lifecycle protocol: New → Start (fan-out) → Open (restore the newest
+// snapshot and replay the journal tail — Restore is boot-time only) →
+// SubmitLine/SubmitBatch from a single dispatcher goroutine → FinishIngest
+// (final snapshot, manager closed) → Close.
+type Shard interface {
+	// SubmitLine journals and parses one line (the per-line pump path).
+	SubmitLine(line string)
+	// SubmitBatch journals the batch as one WAL group-append and parses it as
+	// one Manager batch submit. The slice is the caller's scratch; it is not
+	// retained.
+	SubmitBatch(batch []string)
+	// Flush blocks until every submitted line's outputs are published.
+	Flush() error
+	// Snapshot checkpoints parse + arbiter state at the journal tip and
+	// truncates segments the checkpoint made redundant.
+	Snapshot() error
+	// SwapModel hot-swaps to an already-built model (zero-loss; the shard
+	// pauses at a batch boundary).
+	SwapModel(model registry.Model, fp string) (*SwapReport, error)
+	// Stats reports the shard's live counters.
+	Stats() Stats
+	// Close releases everything after FinishIngest: discards a running
+	// shadow, waits for the fan-out, closes the journal.
+	Close() error
+}
+
+// Stats is a Shard's live counter block.
+type Stats struct {
+	// Lines is the number of lines submitted to this shard.
+	Lines int64
+	// ParseErrors counts submitted lines the manager could not parse.
+	ParseErrors int64
+	// Manager is the predictor's counter snapshot.
+	Manager predictor.Stats
+}
+
+// Config parameterizes a Local shard. Callers pass already-defaulted values.
+type Config struct {
+	// Index is the shard's position in the daemon's shard list (0-based).
+	Index int
+	// Dir is the shard's private data directory (journal + snapshots live
+	// under it). Empty disables persistence.
+	Dir string
+	// Fsync is the journal sync policy.
+	Fsync wal.SyncPolicy
+	// WALSegmentSize overrides the journal segment size (0 = wal default).
+	WALSegmentSize int64
+	// Workers is the predictor worker count used when the shard builds a
+	// replacement Manager during swap or replay (0 = GOMAXPROCS).
+	Workers int
+	// Arbiter, when non-nil, gives the shard its own failure arbiter fed by
+	// the manager heartbeat hook and the fan-out.
+	Arbiter *arbiter.Config
+	// Logf receives operational messages; must be non-nil.
+	Logf func(format string, args ...any)
+	// Publish receives every live fan-out output (predictions and failures).
+	// Must be safe for concurrent use across shards; must be non-nil.
+	Publish func(out predictor.Output)
+}
+
+// Local is the in-process Shard: the Manager plus its durability and
+// arbitration state, exactly the bundle the serve monolith used to hold once
+// per process. Submit methods must be called from a single goroutine (the
+// pipeline pump or a Router worker).
+type Local struct {
+	cfg Config
+
+	// mgr is the active Manager; hot-swaps replace it, so all access goes
+	// through Manager()/setManager. Submitters read it under snapMu — which a
+	// swap holds for its whole critical section — so a paused submitter can
+	// never resume on a half-swapped manager.
+	mgrMu sync.RWMutex
+	mgr   *predictor.Manager
+
+	lines       atomic.Int64
+	parseErrors atomic.Int64
+
+	// Durability state (nil / zero when Dir is unset). snapMu pairs each
+	// (WAL append, ProcessLine) step against snapshots and swaps.
+	wlog            *wal.Log
+	snapMu          sync.Mutex
+	walBuf          []byte   // per-line framing scratch; Append copies out of it
+	walRecs         [][]byte // per-element capacity reused across batches
+	snapshots       atomic.Int64
+	lastSnapshotIdx atomic.Uint64
+	recovery        *RecoveryStatus
+
+	// registry resolves model fingerprints during boot replay; set by Open.
+	registry *registry.Registry
+
+	// recoveryActive routes fan-out outputs into the recovered buffer while
+	// boot-time replay runs (no listener is open yet, so nothing is lost).
+	recoveryActive atomic.Bool
+	recMu          sync.Mutex
+	recovered      []predictor.Output
+
+	// Shadow evaluation state: shadow is written under snapMu; tracker is the
+	// shared agreement tracker (one per daemon, set while a shadow runs).
+	shadow  *shadowRun
+	tracker atomic.Pointer[Tracker]
+
+	// arb fuses heartbeat phi with chain evidence into ranked alerts (nil
+	// when Config.Arbiter is unset). Internally synchronized.
+	arb *arbiter.Arbiter
+
+	fanDone chan struct{}
+}
+
+var _ Shard = (*Local)(nil)
+
+// New builds a Local shard over an already-constructed Manager. The shard
+// owns the Manager's lifecycle from Start onward.
+func New(m *predictor.Manager, cfg Config) *Local {
+	l := &Local{
+		cfg:     cfg,
+		mgr:     m,
+		fanDone: make(chan struct{}),
+	}
+	if cfg.Arbiter != nil {
+		l.arb = arbiter.New(*cfg.Arbiter)
+		l.attachArbiter(m)
+	}
+	return l
+}
+
+// Start launches the fan-out. Must run before Open: replayed outputs travel
+// through the fan-out into the recovered buffer, and snapshot barriers need
+// its acks.
+func (l *Local) Start() { go l.fanout() }
+
+// Manager returns the active Manager (hot-swaps replace it).
+func (l *Local) Manager() *predictor.Manager {
+	l.mgrMu.RLock()
+	defer l.mgrMu.RUnlock()
+	return l.mgr
+}
+
+func (l *Local) setManager(m *predictor.Manager) {
+	l.mgrMu.Lock()
+	l.mgr = m
+	l.mgrMu.Unlock()
+}
+
+// Arbiter returns the shard's arbiter (nil when disabled).
+func (l *Local) Arbiter() *arbiter.Arbiter { return l.arb }
+
+// Index returns the shard's position in the daemon's shard list.
+func (l *Local) Index() int { return l.cfg.Index }
+
+// Stats reports the shard's live counters.
+func (l *Local) Stats() Stats {
+	return Stats{
+		Lines:       l.lines.Load(),
+		ParseErrors: l.parseErrors.Load(),
+		Manager:     l.Manager().Stats(),
+	}
+}
+
+// Flush blocks until every output for already-submitted lines is published.
+func (l *Local) Flush() error { return l.Manager().Flush() }
+
+// SetTracker installs (or clears, with nil) the shared shadow agreement
+// tracker the fan-out records primary predictions into.
+func (l *Local) SetTracker(t *Tracker) { l.tracker.Store(t) }
+
+// SubmitLine journals and parses one line — the per-line pump path, kept as
+// the reference semantics the batched path reproduces exactly.
+//
+//aarohi:hotpath
+func (l *Local) SubmitLine(line string) {
+	l.snapMu.Lock()
+	if l.wlog != nil {
+		l.walBuf = encodeLineRecordInto(l.walBuf, line)
+		if _, err := l.wlog.Append(l.walBuf); err != nil {
+			// Journal failure is fatal for durability but not for
+			// prediction: log loudly and keep serving.
+			l.cfg.Logf("serve: wal append: %v", err)
+		}
+	}
+	// snapMu also pins the manager pointer: a hot-swap holds it for its
+	// whole critical section, so the submitter pauses at this line boundary
+	// and resumes on the fully swapped-in manager.
+	err := l.Manager().ProcessLine(line)
+	if sh := l.shadow; sh != nil {
+		// The shadow sees exactly the lines the primary does; its own
+		// parse errors mirror the primary's and are not double-counted.
+		sh.mgr.ProcessLine(line)
+	}
+	l.snapMu.Unlock()
+	l.lines.Add(1)
+	if err != nil {
+		l.parseErrors.Add(1)
+	}
+}
+
+// SubmitBatch journals and dispatches one batch under snapMu: every line is
+// framed into a reused record buffer, the group hits the WAL as one
+// AppendBatch, and the Manager receives it as one ProcessLineBatch — the
+// WAL-append-before-parse invariant, at batch granularity.
+//
+//aarohi:hotpath
+func (l *Local) SubmitBatch(batch []string) {
+	l.snapMu.Lock()
+	if l.wlog != nil {
+		if len(batch) > len(l.walRecs) {
+			l.walRecs = growRecs(l.walRecs, len(batch))
+		}
+		for i, line := range batch {
+			l.walRecs[i] = encodeLineRecordInto(l.walRecs[i][:0], line)
+		}
+		if _, err := l.wlog.AppendBatch(l.walRecs[:len(batch)]); err != nil {
+			// Journal failure is fatal for durability but not for
+			// prediction: log loudly and keep serving.
+			l.cfg.Logf("serve: wal append: %v", err)
+		}
+	}
+	// snapMu also pins the manager pointer: a hot-swap holds it for its
+	// whole critical section, so the submitter pauses at this batch boundary
+	// and resumes on the fully swapped-in manager.
+	perrs, err := l.Manager().ProcessLineBatch(batch)
+	if sh := l.shadow; sh != nil {
+		// The shadow sees exactly the lines the primary does; its own
+		// parse errors mirror the primary's and are not double-counted.
+		sh.mgr.ProcessLineBatch(batch)
+	}
+	l.snapMu.Unlock()
+	l.lines.Add(int64(len(batch)))
+	if perrs > 0 {
+		l.parseErrors.Add(int64(perrs))
+	}
+	if err != nil {
+		// ErrClosed cannot happen while the dispatcher owns the Manager
+		// lifecycle; surface anything else rather than losing it.
+		l.cfg.Logf("serve: batch submit: %v", err)
+	}
+}
+
+// growRecs is the cold growth path of SubmitBatch's framing scratch: the
+// slice reaches the high-water batch size once and is element-reused forever.
+func growRecs(recs [][]byte, n int) [][]byte {
+	for len(recs) < n {
+		recs = append(recs, nil)
+	}
+	return recs
+}
+
+// FinishIngest runs after the last Submit call: it checkpoints the final
+// state (unless skipped — crash-recovery tests emulate a kill) while the
+// Manager and the fan-out its barrier needs are still alive, then closes the
+// Manager, which ends the fan-out.
+func (l *Local) FinishIngest(skipFinalSnapshot bool) {
+	if l.wlog != nil && !skipFinalSnapshot {
+		if err := l.Snapshot(); err != nil {
+			l.cfg.Logf("serve: final snapshot: %v", err)
+		}
+	}
+	l.Manager().Close()
+}
+
+// Close tears the shard down after FinishIngest: a running shadow is
+// discarded (its manager closes, its consumer drains out), the fan-out is
+// awaited, and the journal closes — nothing appends after the dispatcher
+// stops.
+func (l *Local) Close() error {
+	l.snapMu.Lock()
+	sh := l.shadow
+	l.shadow = nil
+	l.tracker.Store(nil)
+	l.snapMu.Unlock()
+	if sh != nil {
+		sh.mgr.Close()
+		<-sh.done
+	}
+	<-l.fanDone
+	if l.wlog != nil {
+		if err := l.wlog.Close(); err != nil {
+			l.cfg.Logf("serve: wal close: %v", err)
+			return err
+		}
+	}
+	return nil
+}
+
+// fanout broadcasts Manager results through the Publish callback until the
+// final Results channel closes (which FinishIngest triggers via Close after
+// the last submit). It also acks Flush barrier markers (snapshots depend on
+// this) and, during boot-time recovery, records outputs into the recovered
+// buffer.
+//
+// Hot-swaps are handled generationally: a swap publishes the new manager
+// (setManager) before closing the old one, so when a Results channel closes
+// the loop re-reads the pointer — a changed manager means a swap, an
+// unchanged one means shutdown.
+func (l *Local) fanout() {
+	defer close(l.fanDone)
+	for {
+		mgr := l.Manager()
+		for out := range mgr.Results() {
+			if out.IsFlush() {
+				out.Ack()
+				continue
+			}
+			// The arbiter sees every output — recovered ones included, so a
+			// restored run accumulates the same chain evidence a live run did.
+			l.arbObserve(out)
+			if l.recoveryActive.Load() {
+				l.recMu.Lock()
+				l.recovered = append(l.recovered, out)
+				l.recMu.Unlock()
+				continue
+			}
+			if tr := l.tracker.Load(); tr != nil {
+				tr.Record(out, true)
+			}
+			l.cfg.Publish(out)
+		}
+		if l.Manager() == mgr {
+			break
+		}
+	}
+}
+
+// attachArbiter wires the arbiter's heartbeat feed into a manager. Called
+// for the boot manager and for every replacement built by hot-swap or
+// recovery — but never for shadow managers, which see the same lines as the
+// primary and would double-count every beat.
+func (l *Local) attachArbiter(m *predictor.Manager) {
+	if l.arb == nil || m == nil {
+		return
+	}
+	m.SetHeartbeat(l.arb.ObserveHeartbeat)
+}
+
+// arbObserve feeds one fan-out output into the arbiter's evidence ledger.
+func (l *Local) arbObserve(out predictor.Output) {
+	if l.arb == nil {
+		return
+	}
+	if p := out.Prediction; p != nil {
+		l.arb.ObservePrediction(p.Node, p.ChainName, p.MatchedAt)
+	}
+	if f := out.Failure; f != nil {
+		l.arb.ObserveFailure(f.Node, f.Time)
+	}
+}
+
+// Recovered returns the outputs re-derived during boot-time replay, in
+// arrival order.
+func (l *Local) Recovered() []predictor.Output {
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	return append([]predictor.Output(nil), l.recovered...)
+}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The TCP front end speaks the same protocol as cmd/aarohi's stdin: one raw
+// log line ("RFC3339-ms node message...") per newline-terminated frame.
+// There is no response stream — predictions are consumed over HTTP — so a
+// plain `loggen -stream` or `nc` can feed the daemon. Backpressure in Block
+// mode is the ingest queue: when it is full the reader stops pulling from
+// the socket and the kernel's flow control throttles the sender.
+
+// TCP is the line-protocol listener. Construct with NewTCP, bind with Start,
+// stop with StopAccepting (then SetDrainDeadline/ForceClose to bound the
+// drain of connections already open).
+type TCP struct {
+	cfg         Config
+	ing         Ingestor
+	readTimeout time.Duration
+
+	ln         net.Listener
+	acceptDone chan struct{}
+
+	connMu     sync.Mutex
+	conns      map[net.Conn]struct{}
+	openConns  atomic.Int64
+	totalConns atomic.Int64
+}
+
+// NewTCP builds a TCP front end over ing. readTimeout is the per-read idle
+// deadline applied to every connection.
+func NewTCP(cfg Config, ing Ingestor, readTimeout time.Duration) *TCP {
+	return &TCP{
+		cfg:         cfg,
+		ing:         ing,
+		readTimeout: readTimeout,
+		acceptDone:  make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+	}
+}
+
+// Start binds addr and launches the accept loop.
+func (t *TCP) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: tcp listen: %w", err)
+	}
+	t.ln = ln
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Start).
+func (t *TCP) Addr() net.Addr {
+	if t.ln == nil {
+		return nil
+	}
+	return t.ln.Addr()
+}
+
+// Open is the number of currently open connections.
+func (t *TCP) Open() int64 { return t.openConns.Load() }
+
+// Total is the number of connections accepted since Start.
+func (t *TCP) Total() int64 { return t.totalConns.Load() }
+
+// StopAccepting closes the listener and waits for the accept loop to exit.
+// Connections already open keep draining; no-op before Start.
+func (t *TCP) StopAccepting() {
+	if t.ln == nil {
+		return
+	}
+	t.ln.Close()
+	<-t.acceptDone
+}
+
+// SetDrainDeadline sets a read deadline on every open connection, bounding
+// how long a silent sender can hold up a drain.
+func (t *TCP) SetDrainDeadline(deadline time.Time) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	for c := range t.conns {
+		c.SetReadDeadline(deadline)
+	}
+}
+
+// ForceClose closes every open connection outright — the drain-grace
+// overrun path.
+func (t *TCP) ForceClose() {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	for c := range t.conns {
+		c.Close()
+	}
+}
+
+// acceptLoop accepts line-protocol connections until the listener closes.
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer close(t.acceptDone)
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if !t.ing.Draining() {
+				t.cfg.Logf("serve: tcp accept: %v", err)
+			}
+			return
+		}
+		if !t.ing.BeginProduce() {
+			c.Close() // raced with drain start
+			continue
+		}
+		t.connMu.Lock()
+		t.conns[c] = struct{}{}
+		t.connMu.Unlock()
+		t.openConns.Add(1)
+		t.totalConns.Add(1)
+		go t.handleConn(c)
+	}
+}
+
+// handleConn reads newline-framed log lines off one connection and enqueues
+// them. It exits on EOF, a read error, an over-long line, or the idle
+// deadline; the producer registration taken in acceptLoop is released on
+// return, which is what lets Shutdown know the connection's lines are all
+// in the queue.
+func (t *TCP) handleConn(c net.Conn) {
+	defer func() {
+		t.connMu.Lock()
+		delete(t.conns, c)
+		t.connMu.Unlock()
+		t.openConns.Add(-1)
+		c.Close()
+		t.ing.EndProduce()
+	}()
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 64<<10), t.cfg.MaxLineLen)
+	for {
+		// Per-read idle deadline — but never extend past a drain deadline
+		// already set by Shutdown.
+		if !t.ing.Draining() {
+			c.SetReadDeadline(time.Now().Add(t.readTimeout))
+		}
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil && !t.ing.Draining() {
+				t.cfg.Logf("serve: %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if line := sc.Text(); line != "" {
+			t.ing.Ingest(line)
+		}
+	}
+}

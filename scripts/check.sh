@@ -22,7 +22,7 @@ go build -o /dev/null ./cmd/aarohid
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> aarohilint ./... (repo invariants: hotpath, lockblock, mustclose, durable)"
+echo "==> aarohilint ./... (repo invariants: hotpath, lockblock, mustclose, durable, layering)"
 go run ./cmd/aarohilint ./...
 
 echo "==> go test -race ./..."
