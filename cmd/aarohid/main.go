@@ -6,7 +6,16 @@
 //
 //	aarohid -chains chains.json -templates templates.json \
 //	        [-tcp :7743] [-http :7780] [-queue 4096] [-overflow block|shed] \
-//	        [-shards 4]
+//	        [-shards 4] \
+//	        [-gossip-addr :7799 -peer-name smw-a -join host:7799]
+//
+// Cluster mode (-gossip-addr) joins the daemon to an aarohid peer group:
+// SWIM-style gossip membership tracks the fleet, every log line is placed on
+// exactly one owning peer (lines landing elsewhere make one forwarding hop),
+// each daemon WAL-ships its shards to its ring successor, and a confirmed
+// peer death promotes the successor to owner of the dead peer's node IDs with
+// its in-flight partial matches restored from the shipped journal. GET /peers
+// serves the membership view.
 //
 // Log lines arrive over the TCP line protocol (newline-framed, same format
 // as cmd/aarohi stdin — `loggen -stream` is a ready-made load source) or as
@@ -33,6 +42,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -87,6 +97,10 @@ func main() {
 	if o.Arbiter != nil {
 		log.Printf("aarohid: arbiter on: horizon=%s alert-threshold=%g tiers=%d",
 			o.Arbiter.Horizon, o.Arbiter.AlertThreshold, len(o.Arbiter.Criticality))
+	}
+	if o.Cluster != nil {
+		log.Printf("aarohid: cluster peer %q gossip on %s join=%s (/peers lists membership)",
+			o.Cluster.Name, srv.GossipAddr(), strings.Join(o.Cluster.Join, ","))
 	}
 	if o.DataDir != "" {
 		log.Printf("aarohid: durability on: data-dir=%s fsync=%s snapshot-interval=%s", o.DataDir, o.Fsync, o.SnapshotInterval)

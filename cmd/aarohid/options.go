@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"os"
+	"strings"
 	"time"
 
 	aarohi "repro"
@@ -42,6 +44,8 @@ type options struct {
 
 	Watch   time.Duration
 	Arbiter *arbiter.Config
+
+	Cluster *serve.ClusterConfig
 }
 
 // parseOptions parses args (os.Args[1:] shape) into a validated options
@@ -70,6 +74,16 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.DataDir, "data-dir", "", "durability directory (WAL + snapshots); empty disables persistence")
 	fs.DurationVar(&o.SnapshotInterval, "snapshot-interval", 0, "period between parse-state snapshots (0 = only on graceful shutdown)")
 	fs.DurationVar(&o.Watch, "watch", 0, "poll -chains/-templates for changes at this interval and hot-reload (0 = off)")
+
+	var (
+		gossipAddr      = fs.String("gossip-addr", "", "UDP bind address for cluster membership probes; enables cluster mode")
+		join            = fs.String("join", "", "comma-separated seed peers' gossip addresses to join")
+		peerName        = fs.String("peer-name", "", "cluster-unique peer name (default: hostname)")
+		gossipAdvertise = fs.String("gossip-advertise", "", "gossip address peers should probe back (default: the bound -gossip-addr)")
+		advertiseLine   = fs.String("advertise-line", "", "line-protocol address peers forward lines and ship WAL segments to (default: the bound -tcp address)")
+		probeInterval   = fs.Duration("probe-interval", 0, "gossip probe cadence (default 250ms)")
+		suspectTimeout  = fs.Duration("suspect-timeout", 0, "how long a suspected peer may stay silent before it is confirmed dead (default 8×probe interval)")
+	)
 
 	var (
 		overflow    = fs.String("overflow", "block", "queue-full policy: block (backpressure) or shed (drop+count)")
@@ -141,7 +155,51 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	} else if *criticality != "" || *tierWeights != "" {
 		return fail("-criticality/-tier-weights require -arbiter")
 	}
+
+	if *gossipAddr != "" {
+		name := *peerName
+		if name == "" {
+			host, err := os.Hostname()
+			if err != nil || host == "" {
+				return fail("-peer-name is required when the hostname is unavailable")
+			}
+			name = host
+		}
+		o.Cluster = &serve.ClusterConfig{
+			Name:           name,
+			GossipAddr:     *gossipAddr,
+			Advertise:      *gossipAdvertise,
+			AdvertiseLine:  *advertiseLine,
+			Join:           splitPeers(*join),
+			ProbeInterval:  *probeInterval,
+			SuspectTimeout: *suspectTimeout,
+		}
+	} else {
+		for flagName, v := range map[string]string{
+			"-join": *join, "-peer-name": *peerName,
+			"-gossip-advertise": *gossipAdvertise, "-advertise-line": *advertiseLine,
+		} {
+			if v != "" {
+				return fail("%s requires -gossip-addr (cluster mode)", flagName)
+			}
+		}
+		if *probeInterval != 0 || *suspectTimeout != 0 {
+			return fail("-probe-interval/-suspect-timeout require -gossip-addr (cluster mode)")
+		}
+	}
 	return &o, nil
+}
+
+// splitPeers parses a comma-separated peer address list, dropping empty
+// entries ("a,b," is sloppy shell interpolation, not an error).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // predictorOptions is the compile-time model configuration the flags select.
@@ -170,5 +228,6 @@ func (o *options) serveConfig(model *registry.Model) serve.Config {
 		Workers:          o.Workers,
 		Shards:           o.Shards,
 		Arbiter:          o.Arbiter,
+		Cluster:          o.Cluster,
 	}
 }

@@ -147,6 +147,45 @@ func TestParseOptions(t *testing.T) {
 			wantErr: "-criticality/-tier-weights require -arbiter",
 		},
 		{
+			name: "cluster mode",
+			args: append(base, "-gossip-addr", ":7799", "-join", "host1:7799, host2:7799,",
+				"-peer-name", "smw-a", "-probe-interval", "100ms"),
+			check: func(t *testing.T, o *options) {
+				c := o.Cluster
+				if c == nil {
+					t.Fatal("cluster config missing")
+				}
+				if c.Name != "smw-a" || c.GossipAddr != ":7799" {
+					t.Errorf("cluster = %+v", c)
+				}
+				if len(c.Join) != 2 || c.Join[0] != "host1:7799" || c.Join[1] != "host2:7799" {
+					t.Errorf("join = %v (empty entries and spaces must be dropped)", c.Join)
+				}
+				if c.ProbeInterval != 100*time.Millisecond {
+					t.Errorf("probe interval = %s", c.ProbeInterval)
+				}
+			},
+		},
+		{
+			name: "cluster peer name defaults to hostname",
+			args: append(base, "-gossip-addr", ":7799"),
+			check: func(t *testing.T, o *options) {
+				if o.Cluster == nil || o.Cluster.Name == "" {
+					t.Fatalf("cluster = %+v, want hostname peer name", o.Cluster)
+				}
+			},
+		},
+		{
+			name:    "join without gossip-addr",
+			args:    append(base, "-join", "host1:7799"),
+			wantErr: "-join requires -gossip-addr",
+		},
+		{
+			name:    "suspect-timeout without gossip-addr",
+			args:    append(base, "-suspect-timeout", "2s"),
+			wantErr: "-probe-interval/-suspect-timeout require -gossip-addr",
+		},
+		{
 			name:    "unknown flag",
 			args:    append(base, "-no-such-flag"),
 			wantErr: "flag provided but not defined",

@@ -17,6 +17,12 @@
 //
 //	loggen -dialect xc30 -nodes 32 -failures 4 -stream 127.0.0.1:7743 -rate 5000
 //
+// A comma-separated -stream list sprays lines across several daemons
+// round-robin — the multi-ingest shape of an aarohid cluster, where placement
+// forwards each line to its owning peer no matter where it entered:
+//
+//	loggen -nodes 32 -failures 4 -stream host1:7743,host2:7743,host3:7743
+//
 // With -heartbeat <interval> the generator instead emits a per-node liveness
 // cadence — jittered benign beats with optional random drops and injected
 // flap episodes — the workload that exercises aarohid's phi-accrual arbiter:
@@ -34,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -68,7 +75,7 @@ func main() {
 		truthPath   = flag.String("truth", "", "write injected ground truth JSON here")
 		chainsPath  = flag.String("chains", "", "write the dialect's failure chains JSON here")
 		tplPath     = flag.String("templates", "", "write the dialect's template inventory JSON here")
-		streamAddr  = flag.String("stream", "", "stream the log over TCP to this aarohid address instead of writing -out")
+		streamAddr  = flag.String("stream", "", "stream the log over TCP to these aarohid addresses (comma-separated: lines spray round-robin) instead of writing -out")
 		rate        = flag.Float64("rate", 0, "with -stream: target lines/sec (0 = unpaced)")
 		retries     = flag.Int("retries", 5, "with -stream: reconnect attempts after a refused or dropped connection")
 		backoff     = flag.Duration("retry-backoff", 500*time.Millisecond, "with -stream: initial reconnect delay, doubled per consecutive failure (capped at 30s)")
@@ -169,18 +176,64 @@ func main() {
 	}
 }
 
-// streamLog sends every line to a listening aarohid over the TCP line
-// protocol, paced at rate lines/sec. Refused and dropped connections are
-// retried with exponential backoff up to `retries` consecutive failures,
-// resuming from the first undelivered line; any delivered line resets the
-// failure budget. Ctrl-C aborts the stream cleanly.
-func streamLog(log *loggen.Log, addr string, rate float64, retries int, backoff time.Duration) {
+// streamLog sends every line over the TCP line protocol. addrSpec is a
+// comma-separated target list: one address streams the whole log to that
+// daemon; several spray lines across them round-robin (line i goes to target
+// i mod N, each target paced at rate/N so the aggregate hits -rate) — the
+// multi-ingest workload an aarohid cluster sees, where placement, not the
+// entry point, decides which peer predicts a node. Ctrl-C aborts cleanly.
+func streamLog(log *loggen.Log, addrSpec string, rate float64, retries int, backoff time.Duration) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	lines := log.Lines()
+	var addrs []string
+	for _, a := range strings.Split(addrSpec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatalf("-stream needs at least one address")
+	}
+	start := time.Now()
+	if len(addrs) == 1 {
+		if err := streamTo(ctx, addrs[0], lines, rate, retries, backoff); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		per := make([][]string, len(addrs))
+		for i, line := range lines {
+			per[i%len(addrs)] = append(per[i%len(addrs)], line)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(addrs))
+		for i := range addrs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = streamTo(ctx, addrs[i], per[i], rate/float64(len(addrs)), retries, backoff)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "loggen: streamed %d lines to %s in %s (%.0f lines/sec)\n",
+		len(lines), strings.Join(addrs, ","), elapsed.Round(time.Millisecond),
+		float64(len(lines))/elapsed.Seconds())
+}
+
+// streamTo delivers lines to one daemon, paced at rate lines/sec. Refused and
+// dropped connections are retried with exponential backoff up to `retries`
+// consecutive failures, resuming from the first undelivered line; any
+// delivered line resets the failure budget.
+func streamTo(ctx context.Context, addr string, lines []string, rate float64, retries int, backoff time.Duration) error {
 	left := lines
 	failures := 0
-	start := time.Now()
 	for {
 		conn, err := serve.DialLines(addr)
 		if err == nil {
@@ -196,14 +249,14 @@ func streamLog(log *loggen.Log, addr string, rate float64, retries int, backoff 
 				failures = 0
 			}
 			if err == nil {
-				break
+				return nil
 			}
 		}
 		if ctx.Err() != nil {
-			fatalf("interrupted: %d/%d lines delivered to %s", len(lines)-len(left), len(lines), addr)
+			return fmt.Errorf("interrupted: %d/%d lines delivered to %s", len(lines)-len(left), len(lines), addr)
 		}
 		if failures >= retries {
-			fatalf("streaming to %s: %v (gave up after %d consecutive failures, %d/%d lines delivered)",
+			return fmt.Errorf("streaming to %s: %v (gave up after %d consecutive failures, %d/%d lines delivered)",
 				addr, err, failures, len(lines)-len(left), len(lines))
 		}
 		delay := backoff << uint(min(failures, 16)) // shift cap avoids overflow
@@ -218,10 +271,6 @@ func streamLog(log *loggen.Log, addr string, rate float64, retries int, backoff 
 		case <-time.After(delay):
 		}
 	}
-	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "loggen: streamed %d lines to %s in %s (%.0f lines/sec)\n",
-		len(lines), addr, elapsed.Round(time.Millisecond),
-		float64(len(lines))/elapsed.Seconds())
 }
 
 func dialectNames() []string {

@@ -1,0 +1,318 @@
+package aarohi_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve/shard"
+)
+
+// clusterBlock mirrors the /statusz "cluster" object (served bare at /peers).
+type clusterBlock struct {
+	Self  string `json:"self"`
+	Peers []struct {
+		Name   string `json:"name"`
+		Shards int    `json:"shards"`
+		// State is the SWIM lifecycle ordinal: 0 alive, 1 suspect, 2 dead,
+		// 3 left.
+		State int     `json:"state"`
+		Phi   float64 `json:"phi"`
+	} `json:"peers"`
+	ForwardedIn   int64  `json:"forwarded_in"`
+	ForwardedOut  int64  `json:"forwarded_out"`
+	ForwardErrors int64  `json:"forward_errors"`
+	Misrouted     int64  `json:"misrouted"`
+	ShipTarget    string `json:"ship_target"`
+	Ship          []struct {
+		Shard int    `json:"shard"`
+		Last  uint64 `json:"last"`
+		Acked uint64 `json:"acked"`
+	} `json:"ship"`
+	Adopted []struct {
+		Peer      string `json:"peer"`
+		Shards    int    `json:"shards"`
+		Recovered int    `json:"recovered"`
+		Lines     int64  `json:"lines"`
+	} `json:"adopted"`
+}
+
+func peersz(t *testing.T, httpAddr string) *clusterBlock {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/peers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cl clusterBlock
+	if err := json.NewDecoder(resp.Body).Decode(&cl); err != nil {
+		t.Fatal(err)
+	}
+	return &cl
+}
+
+// waitState polls cond until it holds or the deadline passes.
+func waitState(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestAarohidClusterTakeover is the cluster harness: three real aarohid
+// processes gossiping over loopback, the corpus sprayed node-sticky at two
+// of them, the third (the victim) fed only through peer forwarding. After
+// 60% of the corpus has been placed and the victim's journals fully shipped
+// to its ring successor, the victim is SIGKILLed; the survivors must confirm
+// the death over gossip, the heir must adopt the victim's shards from the
+// shipped mirror, and the remaining 40% must keep flowing — with the merged
+// prediction set (survivors' live streams plus the heir's recovered replay)
+// exactly equal to an uninterrupted single-daemon run over the same corpus.
+func TestAarohidClusterTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries, kills processes")
+	}
+	dir := t.TempDir()
+	loggenBin := buildTestCmd(t, dir, "loggen")
+	aarohidBin := buildTestCmd(t, dir, "aarohid", testBuildRaceFlag()...)
+
+	templates := filepath.Join(dir, "templates.json")
+	chains := filepath.Join(dir, "chains.json")
+	refLog := filepath.Join(dir, "ref.log")
+	run(t, loggenBin, "-dialect", "xc30", "-nodes", "12", "-duration", "3h",
+		"-failures", "10", "-seed", "42", "-out", refLog, "-templates", templates, "-chains", chains)
+	raw, err := os.ReadFile(refLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	t.Logf("corpus: %d lines", len(lines))
+
+	modelArgs := []string{"-chains", chains, "-templates", templates,
+		"-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0", "-grace", "30s"}
+
+	// Uninterrupted single-daemon reference.
+	var refKeys []string
+	{
+		d := startAarohid(t, aarohidBin, modelArgs...)
+		col := subscribePredictions(t, d.httpAddr)
+		streamLines(t, d.tcpAddr, lines)
+		d.sigterm(t)
+		refKeys = col.wait()
+		if len(refKeys) == 0 {
+			t.Fatal("reference run produced no predictions")
+		}
+		sort.Strings(refKeys)
+		if dup := firstDuplicate(refKeys); dup != "" {
+			t.Fatalf("reference run delivered duplicate prediction %s", dup)
+		}
+	}
+
+	// The cluster: a and c take client streams, b (two shards, the widest
+	// ring slice) only ever sees forwarded lines. -snapshot-interval 0 keeps
+	// the shipped mirrors journal-only, so the heir's adoption replays the
+	// victim's entire stream and the merged set needs no dedup reasoning
+	// beyond the union.
+	newPeer := func(name string, shards int, join string) *daemonProc {
+		args := []string{"-peer-name", name, "-gossip-addr", "127.0.0.1:0",
+			"-shards", fmt.Sprint(shards),
+			"-data-dir", filepath.Join(dir, "data-"+name),
+			"-snapshot-interval", "0",
+			"-probe-interval", "50ms"}
+		if join != "" {
+			args = append(args, "-join", join)
+		}
+		return startAarohid(t, aarohidBin, append(args, modelArgs...)...)
+	}
+	a := newPeer("a", 1, "")
+	b := newPeer("b", 2, a.gossipAddr)
+	c := newPeer("c", 1, a.gossipAddr)
+	daemons := map[string]*daemonProc{"a": a, "b": b, "c": c}
+
+	waitState(t, "3-peer convergence", 15*time.Second, func() bool {
+		for _, d := range daemons {
+			alive := 0
+			for _, p := range peersz(t, d.httpAddr).Peers {
+				if p.State == 0 {
+					alive++
+				}
+			}
+			if alive != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Node-sticky spray: every node's lines go to one fixed ingest daemon so
+	// per-node order survives the two entry points; placement then moves
+	// each line to its ring owner.
+	target := map[string]string{}
+	next := 0
+	assign := func(ls []string) map[string][]string {
+		out := map[string][]string{}
+		for _, line := range ls {
+			key := shard.RouteKey(line)
+			tgt, ok := target[key]
+			if !ok {
+				tgt = []string{"a", "c"}[next%2]
+				next++
+				target[key] = tgt
+			}
+			out[tgt] = append(out[tgt], line)
+		}
+		return out
+	}
+	placedLines := func(ds ...*daemonProc) int64 {
+		var n int64
+		for _, d := range ds {
+			st := statusz(t, d.httpAddr)
+			for _, sh := range st.Shards {
+				n += sh.Lines
+			}
+			if st.Cluster != nil {
+				for _, ad := range st.Cluster.Adopted {
+					n += ad.Lines
+				}
+			}
+		}
+		return n
+	}
+
+	colA := subscribePredictions(t, a.httpAddr)
+	colC := subscribePredictions(t, c.httpAddr)
+
+	cut := len(lines) * 3 / 5
+	phase1, phase2 := lines[:cut], lines[cut:]
+	for tgt, ls := range assign(phase1) {
+		streamLines(t, daemons[tgt].tcpAddr, ls)
+	}
+	waitState(t, "phase-1 placement", 60*time.Second, func() bool {
+		return placedLines(a, b, c) == int64(len(phase1))
+	})
+
+	// The victim's journals must be fully mirrored at the heir before the
+	// kill — this test is about takeover, not about the (inherent) loss
+	// window of unshipped suffixes.
+	var shipped uint64
+	waitState(t, "victim journals shipped", 60*time.Second, func() bool {
+		cl := statusz(t, b.httpAddr).Cluster
+		if cl == nil || len(cl.Ship) == 0 {
+			return false
+		}
+		shipped = 0
+		for _, l := range cl.Ship {
+			if l.Acked != l.Last {
+				return false
+			}
+			shipped += l.Acked
+		}
+		return shipped > 0
+	})
+	t.Logf("phase 1: %d lines placed, %d on the victim (all shipped)", len(phase1), shipped)
+
+	for name, d := range daemons {
+		if cl := statusz(t, d.httpAddr).Cluster; cl.ForwardErrors > 0 || cl.Misrouted > 0 {
+			t.Fatalf("peer %s: %d forward errors, %d misrouted before the kill",
+				name, cl.ForwardErrors, cl.Misrouted)
+		}
+	}
+
+	// The heir is whoever the victim is shipping to: its ring successor.
+	shipTarget := statusz(t, b.httpAddr).Cluster.ShipTarget
+	var heir *daemonProc
+	heirName := ""
+	for name, d := range daemons {
+		if d.tcpAddr == shipTarget {
+			heir, heirName = d, name
+		}
+	}
+	if heir == nil || heir == b {
+		t.Fatalf("victim ships to %q which is no live peer", shipTarget)
+	}
+	t.Logf("killing victim b; heir is %s", heirName)
+	b.sigkill(t)
+
+	waitState(t, "death confirmation and takeover", 30*time.Second, func() bool {
+		for _, d := range []*daemonProc{a, c} {
+			bDead := false
+			for _, p := range peersz(t, d.httpAddr).Peers {
+				if p.Name == "b" && p.State >= 2 {
+					bDead = true
+				}
+			}
+			if !bDead {
+				return false
+			}
+		}
+		for _, ad := range peersz(t, heir.httpAddr).Adopted {
+			if ad.Peer == "b" && ad.Shards == 2 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// A post-takeover subscriber sees the adoption's recovered replay — the
+	// victim's whole output history, re-derived from the shipped mirror —
+	// before the live feed.
+	colRec := subscribePredictions(t, heir.httpAddr)
+
+	for tgt, ls := range assign(phase2) {
+		streamLines(t, daemons[tgt].tcpAddr, ls)
+	}
+	// Every line the cluster ever accepted is now either in a survivor's own
+	// shards, in the heir's adopted shards, or died with the victim's
+	// already-mirrored phase-1 slice.
+	waitState(t, "phase-2 placement", 60*time.Second, func() bool {
+		return placedLines(a, c) == int64(len(lines))-int64(shipped)
+	})
+
+	for _, d := range []*daemonProc{a, c} {
+		cl := statusz(t, d.httpAddr).Cluster
+		if cl.ForwardErrors > 0 || cl.Misrouted > 0 {
+			t.Errorf("peer %s: %d forward errors, %d misrouted after phase 2",
+				cl.Self, cl.ForwardErrors, cl.Misrouted)
+		}
+		if len(cl.Adopted) > 0 && d != heir {
+			t.Errorf("peer %s adopted %v; only the heir should have", cl.Self, cl.Adopted)
+		}
+	}
+
+	// Drain the heir last so the other survivor's leave cannot orphan any
+	// line still in flight toward the adopted shards.
+	if heir == a {
+		c.sigterm(t)
+		a.sigterm(t)
+	} else {
+		a.sigterm(t)
+		c.sigterm(t)
+	}
+
+	union := map[string]bool{}
+	for _, col := range []*predCollector{colA, colC, colRec} {
+		for _, k := range col.wait() {
+			union[k] = true
+		}
+	}
+	got := make([]string, 0, len(union))
+	for k := range union {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(refKeys, "\n") {
+		t.Fatalf("survivor-merged predictions diverge from uninterrupted single-daemon run:\n got %d: %v\nwant %d: %v",
+			len(got), got, len(refKeys), refKeys)
+	}
+	t.Logf("merged %d predictions across takeover == reference", len(got))
+}

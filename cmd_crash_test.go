@@ -184,16 +184,23 @@ func testBuildRaceFlag() []string {
 
 // daemonProc wraps a running aarohid with its scraped addresses.
 type daemonProc struct {
-	cmd      *exec.Cmd
-	stdout   *bytes.Buffer
-	tcpAddr  string
-	httpAddr string
+	cmd        *exec.Cmd
+	stdout     *bytes.Buffer
+	tcpAddr    string
+	httpAddr   string
+	gossipAddr string // set only when the daemon runs with -gossip-addr
 }
 
 var daemonAddrRe = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
 
 func startAarohid(t *testing.T, bin string, args ...string) *daemonProc {
 	t.Helper()
+	wantGossip := false
+	for _, a := range args {
+		if a == "-gossip-addr" {
+			wantGossip = true
+		}
+	}
 	cmd := exec.Command(bin, args...)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
@@ -209,7 +216,7 @@ func startAarohid(t *testing.T, bin string, args ...string) *daemonProc {
 	d := &daemonProc{cmd: cmd, stdout: &stdout}
 	var tail strings.Builder
 	sc := bufio.NewScanner(stderr)
-	for sc.Scan() && (d.tcpAddr == "" || d.httpAddr == "") {
+	for sc.Scan() && (d.tcpAddr == "" || d.httpAddr == "" || (wantGossip && d.gossipAddr == "")) {
 		line := sc.Text()
 		tail.WriteString(line + "\n")
 		if m := daemonAddrRe.FindStringSubmatch(line); m != nil {
@@ -218,10 +225,12 @@ func startAarohid(t *testing.T, bin string, args ...string) *daemonProc {
 				d.tcpAddr = m[1]
 			case strings.Contains(line, "http api"):
 				d.httpAddr = m[1]
+			case strings.Contains(line, "gossip on"):
+				d.gossipAddr = m[1]
 			}
 		}
 	}
-	if d.tcpAddr == "" || d.httpAddr == "" {
+	if d.tcpAddr == "" || d.httpAddr == "" || (wantGossip && d.gossipAddr == "") {
 		cmd.Process.Kill()
 		t.Fatalf("daemon never reported its addresses; stderr:\n%s", tail.String())
 	}
@@ -271,6 +280,11 @@ type daemonStatus struct {
 		Versions int    `json:"versions"`
 		Swaps    int64  `json:"swaps"`
 	} `json:"model"`
+	Shards []struct {
+		Index int   `json:"index"`
+		Lines int64 `json:"lines"`
+	} `json:"shards"`
+	Cluster *clusterBlock `json:"cluster"`
 }
 
 func statusz(t *testing.T, httpAddr string) daemonStatus {

@@ -1,0 +1,101 @@
+package arbiter
+
+import "time"
+
+// PhiEstimator is the phi-accrual failure detector factored out of the
+// arbiter's per-node heartbeat machinery so other subsystems can reuse it
+// over their own arrival streams — the gossip membership layer feeds it with
+// probe-ack inter-arrivals to detect dead aarohid peers with the same
+// statistics the arbiter applies to compute nodes. It is a plain value, not
+// internally synchronized: callers own the locking.
+//
+// The model matches the arbiter's: a sliding window of inter-arrival samples,
+// normal body with an exponential guard tail (see pLater), and a capped
+// φ = -log10(P(later)). Until MinSamples arrivals have been observed Phi
+// reports 0 — no verdicts from thin evidence.
+type PhiEstimator struct {
+	cfg      PhiConfig
+	window   ring
+	lastSeen time.Time
+	seen     bool
+}
+
+// PhiConfig parameterizes a PhiEstimator. The zero value selects the
+// arbiter's defaults scaled for sub-second probe cadences.
+type PhiConfig struct {
+	// WindowSize is the inter-arrival sample window (default 64).
+	WindowSize int
+	// MinSamples is the minimum number of samples before Phi reports a
+	// non-zero value (default 3).
+	MinSamples int
+	// MinSigma floors the standard deviation so a perfectly regular cadence
+	// cannot make φ explode on microscopic jitter (default 10ms).
+	MinSigma time.Duration
+	// PhiCap bounds the reported φ (default 16).
+	PhiCap float64
+}
+
+func (c PhiConfig) withDefaults() PhiConfig {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 64
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+	if c.MinSigma <= 0 {
+		c.MinSigma = 10 * time.Millisecond
+	}
+	if c.PhiCap <= 0 {
+		c.PhiCap = 16
+	}
+	return c
+}
+
+// NewPhiEstimator builds an estimator with the given configuration.
+func NewPhiEstimator(cfg PhiConfig) *PhiEstimator {
+	cfg = cfg.withDefaults()
+	return &PhiEstimator{
+		cfg:    cfg,
+		window: ring{buf: make([]float64, cfg.WindowSize)},
+	}
+}
+
+// Observe records one arrival at t. Out-of-order or duplicate timestamps
+// contribute no sample (a non-positive interval is not evidence of cadence);
+// the arrival still advances lastSeen when it is newer.
+func (e *PhiEstimator) Observe(t time.Time) {
+	if e.seen {
+		if dt := t.Sub(e.lastSeen).Seconds(); dt > 0 {
+			e.window.push(dt)
+		}
+	}
+	if !e.seen || t.After(e.lastSeen) {
+		e.lastSeen = t
+		e.seen = true
+	}
+}
+
+// Phi reports the current suspicion level at time now: 0 before MinSamples
+// arrivals, otherwise Hayashibara's φ of the silence since the last arrival,
+// capped at PhiCap.
+func (e *PhiEstimator) Phi(now time.Time) float64 {
+	if e.window.n < e.cfg.MinSamples {
+		return 0
+	}
+	mean, std := e.window.meanStd()
+	return phiValue(now.Sub(e.lastSeen).Seconds(), mean, std, e.cfg.MinSigma.Seconds(), e.cfg.PhiCap)
+}
+
+// Samples reports how many inter-arrival samples the window holds.
+func (e *PhiEstimator) Samples() int { return e.window.n }
+
+// LastSeen reports the newest observed arrival (zero before any Observe).
+func (e *PhiEstimator) LastSeen() time.Time { return e.lastSeen }
+
+// Reset clears the window and arrival state — a rejoining peer's cadence is
+// new data, exactly like the arbiter's cold-restart reset.
+func (e *PhiEstimator) Reset() {
+	e.window.reset()
+	e.lastSeen = time.Time{}
+	e.seen = false
+}

@@ -147,23 +147,30 @@ func pLater(elapsed, mean, std float64) float64 {
 //
 //aarohi:hotpath
 func (a *Arbiter) phiOf(elapsed, mean, std float64) float64 {
+	return phiValue(elapsed, mean, std, a.cfg.MinSigma.Seconds(), a.cfg.PhiCap)
+}
+
+// phiValue is the detector core shared by the arbiter's per-node states and
+// the standalone PhiEstimator: σ floored at sigmaFloor, φ capped at phiCap.
+//
+//aarohi:hotpath
+func phiValue(elapsed, mean, std, sigmaFloor, phiCap float64) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	floor := a.cfg.MinSigma.Seconds()
-	if std < floor {
-		std = floor
+	if std < sigmaFloor {
+		std = sigmaFloor
 	}
 	p := pLater(elapsed, mean, std)
 	if p <= 0 {
-		return a.cfg.PhiCap
+		return phiCap
 	}
 	phi := -math.Log10(p)
 	if phi < 0 {
 		phi = 0
 	}
-	if phi > a.cfg.PhiCap {
-		phi = a.cfg.PhiCap
+	if phi > phiCap {
+		phi = phiCap
 	}
 	return phi
 }

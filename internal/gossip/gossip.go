@@ -1,0 +1,764 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arbiter"
+)
+
+// Member is one peer's externally visible membership record.
+type Member struct {
+	// Name is the peer's unique cluster identity.
+	Name string `json:"name"`
+	// Addr is the peer's gossip (UDP) address.
+	Addr string `json:"addr"`
+	// LineAddr is the peer's TCP line-protocol address — where forwarded log
+	// lines for nodes it owns are sent.
+	LineAddr string `json:"line_addr"`
+	// Shards is the peer's local shard count.
+	Shards int `json:"shards"`
+	// Incarnation is the peer's refutation counter.
+	Incarnation uint64 `json:"incarnation"`
+	// State is the peer's SWIM lifecycle state.
+	State State `json:"state"`
+	// Phi is this daemon's current suspicion level for the peer (0 for self
+	// and for peers without enough probe history).
+	Phi float64 `json:"phi"`
+}
+
+// Config parameterizes a Gossip instance.
+type Config struct {
+	// Name is this peer's unique identity (required).
+	Name string
+	// LineAddr is the advertised TCP line-protocol address.
+	LineAddr string
+	// Shards is the local shard count advertised to peers.
+	Shards int
+	// Transport carries datagrams. Required (the daemon passes a bound
+	// UDPTransport; tests pass MemNetwork endpoints).
+	Transport Transport
+	// Advertise is the gossip address peers reach this daemon at (default:
+	// Transport.LocalAddr()).
+	Advertise string
+	// Seeds are gossip addresses of existing cluster members to join through.
+	Seeds []string
+	// ProbeInterval is the tick period: one peer is probed per tick
+	// (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout is how long a direct probe may stay unanswered before the
+	// indirect ping-req round fires (default ProbeInterval/3, min 10ms).
+	ProbeTimeout time.Duration
+	// SuspectTimeout is how long a suspect may stay unrefuted before it is
+	// confirmed dead (default 8×ProbeInterval).
+	SuspectTimeout time.Duration
+	// SyncInterval is the period of full-state anti-entropy pushes to a random
+	// peer (default 10×ProbeInterval).
+	SyncInterval time.Duration
+	// IndirectPeers is how many intermediaries an indirect probe round asks
+	// (default 2).
+	IndirectPeers int
+	// RetransmitMult scales how many packets each membership update rides
+	// before falling out of the piggyback queue (default 4; multiplied by
+	// log2(cluster size + 1)).
+	RetransmitMult int
+	// PhiThreshold is the phi-accrual suspicion level that marks a peer
+	// suspect (default 8 — the arbiter's scale: ~1e-8 chance the silence is
+	// benign under the observed ack cadence).
+	PhiThreshold float64
+	// Phi parameterizes the per-peer estimator (zero value = estimator
+	// defaults).
+	Phi arbiter.PhiConfig
+	// Logf receives operational messages; nil discards them.
+	Logf func(format string, args ...any)
+	// OnChange, when non-nil, runs (on a dedicated goroutine, serialized)
+	// after any membership view change. Read the new view with Members().
+	OnChange func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval / 3
+		if c.ProbeTimeout < 10*time.Millisecond {
+			c.ProbeTimeout = 10 * time.Millisecond
+		}
+	}
+	if c.SuspectTimeout <= 0 {
+		c.SuspectTimeout = 8 * c.ProbeInterval
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 10 * c.ProbeInterval
+	}
+	if c.IndirectPeers <= 0 {
+		c.IndirectPeers = 2
+	}
+	if c.RetransmitMult <= 0 {
+		c.RetransmitMult = 4
+	}
+	if c.PhiThreshold <= 0 {
+		c.PhiThreshold = 8
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// probeFailLimit is the consecutive-failed-probe fallback that marks a peer
+// suspect before its estimator has enough samples for a phi verdict.
+const probeFailLimit = 3
+
+// maxPiggyback is how many queued updates ride one probe packet.
+const maxPiggyback = 12
+
+// member is the internal per-peer state: the public record plus the probe
+// bookkeeping and the phi estimator over its ack inter-arrivals.
+type member struct {
+	Member
+	est *arbiter.PhiEstimator
+	// probeSeq is the outstanding direct probe (0 = none); probeAt its send
+	// time; indirect whether the ping-req round already fired for it.
+	probeSeq uint64
+	probeAt  time.Time
+	indirect bool
+	failures int
+	// suspectAt is when the member entered StateSuspect.
+	suspectAt time.Time
+}
+
+// queuedUpdate is one membership update awaiting dissemination, with its
+// remaining transmission budget.
+type queuedUpdate struct {
+	u         update
+	remaining int
+}
+
+// relayEntry remembers who asked for an indirect probe so the target's ack
+// can be forwarded back.
+type relayEntry struct {
+	addr string
+	at   time.Time
+}
+
+// Gossip is the membership instance. Construct with New, run with Start,
+// stop with Leave (graceful) and/or Close.
+type Gossip struct {
+	cfg Config
+	tr  Transport
+
+	mu      sync.Mutex
+	self    *member
+	members map[string]*member // every peer ever seen, self included
+	order   []string           // probe rotation (alive+suspect, no self)
+	orderI  int
+	bcast   []queuedUpdate
+	seq     uint64
+	relays  map[uint64]relayEntry
+	lastSyn time.Time
+	encBuf  []byte
+	rng     *rand.Rand
+	closed  bool
+
+	notify chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a Gossip instance over cfg.Transport. Call Start to join and
+// begin probing.
+func New(cfg Config) (*Gossip, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("gossip: Config.Name is required")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("gossip: Config.Transport is required")
+	}
+	if cfg.Advertise == "" {
+		cfg.Advertise = cfg.Transport.LocalAddr()
+	}
+	g := &Gossip{
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		members: make(map[string]*member),
+		relays:  make(map[uint64]relayEntry),
+		rng:     rand.New(rand.NewSource(int64(hashSeed(cfg.Name)))),
+		notify:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	g.self = &member{Member: Member{
+		Name:        cfg.Name,
+		Addr:        cfg.Advertise,
+		LineAddr:    cfg.LineAddr,
+		Shards:      cfg.Shards,
+		Incarnation: 1,
+		State:       StateAlive,
+	}}
+	g.members[cfg.Name] = g.self
+	return g, nil
+}
+
+// hashSeed derives a per-peer RNG seed so probe shuffles and intermediary
+// picks differ across a fleet without global randomness.
+func hashSeed(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Start launches the receive, probe and change-notification loops and sends
+// the initial join sync to every seed.
+func (g *Gossip) Start() {
+	g.wg.Add(3)
+	go g.recvLoop()
+	go g.tickLoop()
+	go g.notifyLoop()
+	g.mu.Lock()
+	g.queueUpdateLocked(g.self.record())
+	for _, seed := range g.cfg.Seeds {
+		g.sendSyncLocked(msgSync, seed)
+	}
+	g.lastSyn = time.Now()
+	g.mu.Unlock()
+}
+
+// Leave announces a graceful departure: self transitions to StateLeft and the
+// update is pushed directly to every known live peer (gossip would spread it
+// anyway; the direct push makes shutdown prompt). The instance keeps running
+// until Close so the announcement can be re-served.
+func (g *Gossip) Leave() {
+	g.mu.Lock()
+	if g.self.State == StateLeft {
+		g.mu.Unlock()
+		return
+	}
+	g.self.State = StateLeft
+	g.queueUpdateLocked(g.self.record())
+	var addrs []string
+	for _, m := range g.members {
+		if m != g.self && m.State == StateAlive {
+			addrs = append(addrs, m.Addr)
+		}
+	}
+	for _, addr := range addrs {
+		g.sendSyncLocked(msgSync, addr)
+	}
+	g.mu.Unlock()
+	g.changed()
+}
+
+// Close stops all loops and the transport.
+func (g *Gossip) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.stop)
+	g.tr.Close()
+	g.wg.Wait()
+}
+
+// Members returns the full known membership — every peer ever seen, self
+// included — sorted by name, with current phi readings attached.
+func (g *Gossip) Members() []Member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := time.Now()
+	out := make([]Member, 0, len(g.members))
+	for _, m := range g.members {
+		rec := m.Member
+		if m != g.self && m.est != nil && m.State == StateAlive {
+			rec.Phi = m.est.Phi(now)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Self returns this peer's own record.
+func (g *Gossip) Self() Member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.self.Member
+}
+
+// record is m's current dissemination form.
+func (m *member) record() update {
+	return update{
+		Name:     m.Name,
+		Addr:     m.Addr,
+		LineAddr: m.LineAddr,
+		Shards:   m.Shards,
+		Inc:      m.Incarnation,
+		State:    m.State,
+	}
+}
+
+// changed signals the notify loop (never blocks).
+func (g *Gossip) changed() {
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (g *Gossip) notifyLoop() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.notify:
+			if g.cfg.OnChange != nil {
+				g.cfg.OnChange()
+			}
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// recvLoop drains the transport and dispatches each decoded packet.
+func (g *Gossip) recvLoop() {
+	defer g.wg.Done()
+	for pkt := range g.tr.Packets() {
+		m, err := decodeMessage(pkt.Data)
+		if err != nil {
+			g.cfg.Logf("gossip: dropping packet from %s: %v", pkt.From, err)
+			continue
+		}
+		g.handle(m, pkt.From)
+	}
+}
+
+// tickLoop drives the probe rotation, probe timeouts, phi evaluation,
+// suspect expiry and periodic anti-entropy.
+func (g *Gossip) tickLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.tick(time.Now())
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+func (g *Gossip) tick(now time.Time) {
+	g.mu.Lock()
+	g.checkProbesLocked(now)
+	g.checkPhiLocked(now)
+	g.checkSuspectsLocked(now)
+	g.probeNextLocked(now)
+	g.pruneRelaysLocked(now)
+	if now.Sub(g.lastSyn) >= g.cfg.SyncInterval {
+		g.lastSyn = now
+		g.syncRandomLocked()
+	}
+	g.mu.Unlock()
+}
+
+// probeNextLocked sends the tick's direct probe to the next peer in the
+// rotation — a shuffled pass over all probeable peers, reshuffled once per
+// full round (SWIM's round-robin-with-random-order schedule, which bounds
+// the gap between probes of the same peer).
+func (g *Gossip) probeNextLocked(now time.Time) {
+	if g.orderI >= len(g.order) {
+		g.rebuildOrderLocked()
+		g.orderI = 0
+	}
+	if len(g.order) == 0 {
+		// Alone: keep knocking on the seeds in case the cluster appears.
+		for _, seed := range g.cfg.Seeds {
+			g.sendSyncLocked(msgSync, seed)
+		}
+		return
+	}
+	m := g.members[g.order[g.orderI]]
+	g.orderI++
+	if m == nil || m == g.self || (m.State != StateAlive && m.State != StateSuspect) {
+		return
+	}
+	g.seq++
+	m.probeSeq = g.seq
+	m.probeAt = now
+	m.indirect = false
+	g.sendLocked(m.Addr, &message{Type: msgPing, Seq: g.seq})
+}
+
+// rebuildOrderLocked refreshes the probe rotation: alive and suspect peers
+// (suspects keep receiving probes — each one carries the suspicion update
+// they need to hear in order to refute), shuffled per peer.
+func (g *Gossip) rebuildOrderLocked() {
+	g.order = g.order[:0]
+	for name, m := range g.members {
+		if m == g.self || (m.State != StateAlive && m.State != StateSuspect) {
+			continue
+		}
+		g.order = append(g.order, name)
+	}
+	sort.Strings(g.order)
+	g.rng.Shuffle(len(g.order), func(i, j int) { g.order[i], g.order[j] = g.order[j], g.order[i] })
+}
+
+// checkProbesLocked handles outstanding probes: after ProbeTimeout an
+// indirect ping-req round fires through IndirectPeers intermediaries; after a
+// second timeout the round counts as failed.
+func (g *Gossip) checkProbesLocked(now time.Time) {
+	for _, m := range g.members {
+		if m == g.self || m.probeSeq == 0 {
+			continue
+		}
+		elapsed := now.Sub(m.probeAt)
+		switch {
+		case !m.indirect && elapsed >= g.cfg.ProbeTimeout:
+			m.indirect = true
+			target := m.record()
+			for _, via := range g.pickIntermediariesLocked(m.Name) {
+				g.sendLocked(via, &message{Type: msgPingReq, Seq: m.probeSeq, Target: target})
+			}
+		case m.indirect && elapsed >= 3*g.cfg.ProbeTimeout:
+			m.probeSeq = 0
+			m.failures++
+		}
+	}
+}
+
+// pickIntermediariesLocked selects up to IndirectPeers random live peers
+// other than the probe target.
+func (g *Gossip) pickIntermediariesLocked(target string) []string {
+	var cands []string
+	for name, m := range g.members {
+		if m == g.self || name == target || m.State != StateAlive {
+			continue
+		}
+		cands = append(cands, m.Addr)
+	}
+	g.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > g.cfg.IndirectPeers {
+		cands = cands[:g.cfg.IndirectPeers]
+	}
+	return cands
+}
+
+// checkPhiLocked evaluates every live peer's suspicion level: phi over the
+// ack inter-arrival window once it has samples, the consecutive-failure
+// fallback before that.
+func (g *Gossip) checkPhiLocked(now time.Time) {
+	for _, m := range g.members {
+		if m == g.self || m.State != StateAlive {
+			continue
+		}
+		phiOver := m.est != nil && m.est.Phi(now) > g.cfg.PhiThreshold
+		if phiOver || m.failures >= probeFailLimit {
+			g.markSuspectLocked(m, now, phiOver)
+		}
+	}
+}
+
+func (g *Gossip) markSuspectLocked(m *member, now time.Time, byPhi bool) {
+	if m.State != StateAlive {
+		return
+	}
+	m.State = StateSuspect
+	m.suspectAt = now
+	reason := "probe failures"
+	if byPhi {
+		reason = "phi over threshold"
+	}
+	g.cfg.Logf("gossip: suspecting %s (inc %d): %s", m.Name, m.Incarnation, reason)
+	g.queueUpdateLocked(m.record())
+	g.changed()
+}
+
+// checkSuspectsLocked confirms unrefuted suspects dead after SuspectTimeout.
+func (g *Gossip) checkSuspectsLocked(now time.Time) {
+	for _, m := range g.members {
+		if m == g.self || m.State != StateSuspect {
+			continue
+		}
+		if now.Sub(m.suspectAt) >= g.cfg.SuspectTimeout {
+			m.State = StateDead
+			g.cfg.Logf("gossip: confirming %s dead (inc %d)", m.Name, m.Incarnation)
+			g.queueUpdateLocked(m.record())
+			g.changed()
+		}
+	}
+}
+
+// pruneRelaysLocked expires stale indirect-probe relay entries.
+func (g *Gossip) pruneRelaysLocked(now time.Time) {
+	for seq, e := range g.relays {
+		if now.Sub(e.at) > 4*g.cfg.ProbeTimeout {
+			delete(g.relays, seq)
+		}
+	}
+}
+
+// syncRandomLocked pushes full state to one random live peer (anti-entropy:
+// catches anything piggybacking missed).
+func (g *Gossip) syncRandomLocked() {
+	var cands []string
+	for _, m := range g.members {
+		if m != g.self && m.State == StateAlive {
+			cands = append(cands, m.Addr)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	g.sendSyncLocked(msgSync, cands[g.rng.Intn(len(cands))])
+}
+
+// queueUpdateLocked (re)queues one update for piggybacked dissemination.
+// Latest claim per peer wins; the budget scales with log2 of cluster size so
+// updates reach everyone with high probability.
+func (g *Gossip) queueUpdateLocked(u update) {
+	budget := g.cfg.RetransmitMult * log2ceil(len(g.members)+1)
+	for i := range g.bcast {
+		if g.bcast[i].u.Name == u.Name {
+			g.bcast[i] = queuedUpdate{u: u, remaining: budget}
+			return
+		}
+	}
+	g.bcast = append(g.bcast, queuedUpdate{u: u, remaining: budget})
+}
+
+func log2ceil(n int) int {
+	b := 1
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// takePiggybackLocked selects up to max updates to ride an outgoing packet,
+// consuming transmission budget and dropping exhausted entries.
+func (g *Gossip) takePiggybackLocked(max int) []update {
+	var out []update
+	w := 0
+	for _, q := range g.bcast {
+		if len(out) < max {
+			out = append(out, q.u)
+			q.remaining--
+		}
+		if q.remaining > 0 {
+			g.bcast[w] = q
+			w++
+		}
+	}
+	g.bcast = g.bcast[:w]
+	return out
+}
+
+// fullStateLocked is every known member as an update list (sync payload).
+func (g *Gossip) fullStateLocked() []update {
+	out := make([]update, 0, len(g.members))
+	for _, m := range g.members {
+		out = append(out, m.record())
+		if len(out) == maxWireUpdates {
+			break
+		}
+	}
+	return out
+}
+
+// sendLocked encodes and sends one message, attaching the sender record and
+// piggybacked updates. A pre-set From is preserved — the indirect-ack relay
+// forwards the target's own record, which the requester matches its
+// outstanding probe against.
+func (g *Gossip) sendLocked(addr string, m *message) {
+	if m.From.Name == "" {
+		m.From = g.self.record()
+	}
+	if m.Updates == nil {
+		m.Updates = g.takePiggybackLocked(maxPiggyback)
+	}
+	g.encBuf = encodeMessage(g.encBuf[:0], m)
+	buf := make([]byte, len(g.encBuf))
+	copy(buf, g.encBuf)
+	if err := g.tr.WriteTo(buf, addr); err != nil {
+		g.cfg.Logf("gossip: send to %s: %v", addr, err)
+	}
+}
+
+// sendSyncLocked sends a full-state sync (push or ack form) to addr.
+func (g *Gossip) sendSyncLocked(t msgType, addr string) {
+	g.sendLocked(addr, &message{Type: t, Updates: g.fullStateLocked()})
+}
+
+// handle processes one decoded packet.
+func (g *Gossip) handle(m *message, from string) {
+	g.mu.Lock()
+	// The sender's own record is an implicit alive/left claim, and any direct
+	// packet is liveness evidence for its estimator.
+	g.applyUpdateLocked(m.From, true)
+	for _, u := range m.Updates {
+		g.applyUpdateLocked(u, false)
+	}
+	switch m.Type {
+	case msgPing:
+		g.sendLocked(m.From.Addr, &message{Type: msgAck, Seq: m.Seq})
+	case msgAck:
+		if mem := g.members[m.From.Name]; mem != nil && mem.probeSeq == m.Seq && m.Seq != 0 {
+			mem.probeSeq = 0
+			mem.failures = 0
+		}
+		if rel, ok := g.relays[m.Seq]; ok {
+			delete(g.relays, m.Seq)
+			// Forward the target's ack to the peer that asked us to probe it.
+			g.sendLocked(rel.addr, &message{Type: msgAck, Seq: m.Seq, From: m.From, Updates: []update{}})
+		}
+	case msgPingReq:
+		if m.Target.Name != g.cfg.Name && m.Target.Addr != "" {
+			if len(g.relays) < 1024 {
+				g.relays[m.Seq] = relayEntry{addr: m.From.Addr, at: time.Now()}
+				g.sendLocked(m.Target.Addr, &message{Type: msgPing, Seq: m.Seq})
+			}
+		} else if m.Target.Name == g.cfg.Name {
+			// We are the target: answer directly.
+			g.sendLocked(m.From.Addr, &message{Type: msgAck, Seq: m.Seq})
+		}
+	case msgSync:
+		g.sendSyncLocked(msgSyncAck, m.From.Addr)
+	case msgSyncAck:
+		// State already applied above.
+	}
+	g.mu.Unlock()
+}
+
+// applyUpdateLocked merges one membership claim under SWIM's override rules:
+//
+//	alive(i)   overrides alive(j), suspect(j), dead(j), left(j)  iff i > j
+//	suspect(i) overrides alive(j) iff i >= j; suspect(j) iff i > j
+//	dead(i)    overrides alive(j), suspect(j) iff i >= j
+//	left(i)    overrides everything at i >= j (a voluntary goodbye is final)
+//
+// A suspect or dead claim about self is refuted immediately: self bumps its
+// incarnation past the claim and re-announces alive — the refutation path
+// that keeps a slow-but-live peer in the cluster.
+func (g *Gossip) applyUpdateLocked(u update, direct bool) {
+	if u.Name == "" {
+		return
+	}
+	if u.Name == g.cfg.Name {
+		g.refuteLocked(u)
+		return
+	}
+	m := g.members[u.Name]
+	if m == nil {
+		m = &member{Member: Member{
+			Name:        u.Name,
+			Addr:        u.Addr,
+			LineAddr:    u.LineAddr,
+			Shards:      u.Shards,
+			Incarnation: u.Inc,
+			State:       u.State,
+		}}
+		if u.Shards <= 0 {
+			m.Shards = 1
+		}
+		m.est = arbiter.NewPhiEstimator(g.cfg.Phi)
+		if u.State == StateSuspect {
+			m.suspectAt = time.Now()
+		}
+		g.members[u.Name] = m
+		g.cfg.Logf("gossip: learned about %s (%s, inc %d)", u.Name, u.State, u.Inc)
+		g.queueUpdateLocked(m.record())
+		g.changed()
+		if direct && u.State == StateAlive {
+			m.est.Observe(time.Now())
+		}
+		return
+	}
+	if direct && u.State == StateAlive {
+		// Any packet straight from the peer feeds its arrival estimator —
+		// acks and its own probes of us both prove it lives right now.
+		m.est.Observe(time.Now())
+	}
+	applied := false
+	switch u.State {
+	case StateAlive:
+		if u.Inc > m.Incarnation {
+			wasDown := m.State != StateAlive
+			m.State = StateAlive
+			m.Incarnation = u.Inc
+			m.Addr, m.LineAddr = u.Addr, u.LineAddr
+			if u.Shards > 0 {
+				m.Shards = u.Shards
+			}
+			m.failures = 0
+			m.probeSeq = 0
+			if wasDown {
+				// A rejoined peer's cadence is new data.
+				m.est.Reset()
+				g.cfg.Logf("gossip: %s rejoined (inc %d)", m.Name, u.Inc)
+			}
+			applied = true
+		}
+	case StateSuspect:
+		if (m.State == StateAlive && u.Inc >= m.Incarnation) ||
+			(m.State == StateSuspect && u.Inc > m.Incarnation) {
+			m.State = StateSuspect
+			m.Incarnation = u.Inc
+			m.suspectAt = time.Now()
+			applied = true
+		}
+	case StateDead:
+		if (m.State == StateAlive || m.State == StateSuspect) && u.Inc >= m.Incarnation {
+			m.State = StateDead
+			m.Incarnation = u.Inc
+			g.cfg.Logf("gossip: learned %s is dead (inc %d)", m.Name, u.Inc)
+			applied = true
+		}
+	case StateLeft:
+		if m.State != StateLeft && u.Inc >= m.Incarnation {
+			m.State = StateLeft
+			m.Incarnation = u.Inc
+			g.cfg.Logf("gossip: %s left the cluster (inc %d)", m.Name, u.Inc)
+			applied = true
+		}
+	}
+	if applied {
+		g.queueUpdateLocked(m.record())
+		g.changed()
+	}
+}
+
+// refuteLocked handles claims about self: adopt higher alive incarnations,
+// refute suspicion or death by bumping past the claim.
+func (g *Gossip) refuteLocked(u update) {
+	switch u.State {
+	case StateAlive:
+		if u.Inc > g.self.Incarnation {
+			g.self.Incarnation = u.Inc
+		}
+	case StateSuspect, StateDead:
+		if g.self.State != StateAlive || u.Inc < g.self.Incarnation {
+			return
+		}
+		g.self.Incarnation = u.Inc + 1
+		g.cfg.Logf("gossip: refuting %s claim about self, incarnation now %d", u.State, g.self.Incarnation)
+		g.queueUpdateLocked(g.self.record())
+		g.changed()
+	case StateLeft:
+		// Our own announced leave echoing back: nothing to do.
+	}
+}

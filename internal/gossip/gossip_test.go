@@ -1,0 +1,303 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+)
+
+// fastConfig is the test cadence: tens-of-milliseconds probes so convergence
+// rounds fit a unit-test budget while keeping every protocol phase real.
+func fastConfig(net *MemNetwork, name string, seeds ...string) Config {
+	return Config{
+		Name:           name,
+		LineAddr:       "line:" + name,
+		Shards:         2,
+		Transport:      net.Endpoint("mem:" + name),
+		Advertise:      "mem:" + name,
+		Seeds:          seeds,
+		ProbeInterval:  10 * time.Millisecond,
+		ProbeTimeout:   4 * time.Millisecond,
+		SuspectTimeout: 60 * time.Millisecond,
+		SyncInterval:   40 * time.Millisecond,
+	}
+}
+
+func startCluster(t *testing.T, net *MemNetwork, n int) []*Gossip {
+	t.Helper()
+	gs := make([]*Gossip, n)
+	for i := 0; i < n; i++ {
+		var seeds []string
+		if i > 0 {
+			seeds = []string{"mem:peer-0"}
+		}
+		g, err := New(fastConfig(net, fmt.Sprintf("peer-%d", i), seeds...))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		gs[i] = g
+	}
+	for _, g := range gs {
+		g.Start()
+	}
+	t.Cleanup(func() {
+		for _, g := range gs {
+			g.Close()
+		}
+	})
+	return gs
+}
+
+// viewOf summarizes one peer's membership view as "name=state" rows.
+func viewOf(g *Gossip) map[string]State {
+	out := make(map[string]State)
+	for _, m := range g.Members() {
+		out[m.Name] = m.State
+	}
+	return out
+}
+
+// waitViews polls until pred holds for every instance, or the deadline
+// passes — the "bounded rounds" clock for the convergence properties.
+func waitViews(t *testing.T, gs []*Gossip, within time.Duration, desc string, pred func(*Gossip) bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		ok := true
+		for _, g := range gs {
+			if !pred(g) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, g := range gs {
+				t.Logf("  %s view: %v", g.Self().Name, viewOf(g))
+			}
+			t.Fatalf("cluster did not reach %q within %v", desc, within)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGossipConverges: every peer learns every other peer (as alive) within a
+// bounded number of protocol rounds, seeded only through peer-0 — the basic
+// dissemination property.
+func TestGossipConverges(t *testing.T) {
+	const n = 5
+	gs := startCluster(t, NewMemNetwork(), n)
+	waitViews(t, gs, 3*time.Second, "full alive membership", func(g *Gossip) bool {
+		view := viewOf(g)
+		if len(view) != n {
+			return false
+		}
+		for _, st := range view {
+			if st != StateAlive {
+				return false
+			}
+		}
+		return true
+	})
+	// Advertised metadata must arrive with the membership.
+	for _, g := range gs {
+		for _, m := range g.Members() {
+			if m.LineAddr != "line:"+m.Name || m.Shards != 2 {
+				t.Fatalf("%s sees %s with LineAddr=%q Shards=%d", g.Self().Name, m.Name, m.LineAddr, m.Shards)
+			}
+		}
+	}
+}
+
+// TestGossipSuspectRefutation: a live peer that gets (falsely) suspected
+// refutes by bumping its incarnation, and every peer returns to an all-alive
+// view with the higher incarnation — suspicion of a healthy peer never
+// escalates to death while it can speak.
+func TestGossipSuspectRefutation(t *testing.T) {
+	gs := startCluster(t, NewMemNetwork(), 3)
+	waitViews(t, gs, 3*time.Second, "initial convergence", func(g *Gossip) bool {
+		return len(viewOf(g)) == 3
+	})
+
+	// Inject a false suspicion of peer-2 at its current incarnation into
+	// peer-0, as if a partitioned observer had timed it out.
+	victim := gs[2].Self()
+	gs[0].mu.Lock()
+	gs[0].applyUpdateLocked(update{
+		Name: victim.Name, Addr: victim.Addr, LineAddr: victim.LineAddr,
+		Shards: victim.Shards, Inc: victim.Incarnation, State: StateSuspect,
+	}, false)
+	gs[0].mu.Unlock()
+
+	// The suspicion must propagate to the victim, which must refute with a
+	// strictly higher incarnation that re-converges everyone to alive.
+	waitViews(t, gs, 3*time.Second, "refuted suspicion", func(g *Gossip) bool {
+		for _, m := range g.Members() {
+			if m.Name != victim.Name {
+				continue
+			}
+			return m.State == StateAlive && m.Incarnation > victim.Incarnation
+		}
+		return false
+	})
+	if got := gs[2].Self(); got.Incarnation <= victim.Incarnation {
+		t.Fatalf("victim incarnation %d did not bump past %d", got.Incarnation, victim.Incarnation)
+	}
+}
+
+// TestGossipDeadConfirmation: a peer that stops answering (endpoint closed)
+// is suspected and then confirmed dead by every survivor.
+func TestGossipDeadConfirmation(t *testing.T) {
+	net := NewMemNetwork()
+	gs := startCluster(t, net, 3)
+	waitViews(t, gs, 3*time.Second, "initial convergence", func(g *Gossip) bool {
+		return len(viewOf(g)) == 3
+	})
+	gs[2].Close() // SIGKILL stand-in: the transport goes silent
+	survivors := gs[:2]
+	waitViews(t, survivors, 5*time.Second, "peer-2 confirmed dead", func(g *Gossip) bool {
+		return viewOf(g)["peer-2"] == StateDead
+	})
+}
+
+// TestGossipPartitionRejoinSingleOwnership: partition a 3-peer cluster so the
+// minority side is confirmed dead, heal, and verify (a) the cluster
+// re-converges to all-alive and (b) at every point after heal-convergence, a
+// PeerMap built from each peer's view places every node ID on exactly one
+// owner — the no-double-ownership property takeover correctness rests on.
+func TestGossipPartitionRejoinSingleOwnership(t *testing.T) {
+	net := NewMemNetwork()
+	gs := startCluster(t, net, 3)
+	waitViews(t, gs, 3*time.Second, "initial convergence", func(g *Gossip) bool {
+		view := viewOf(g)
+		if len(view) != 3 {
+			return false
+		}
+		for _, st := range view {
+			if st != StateAlive {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Partition peer-2 away from the majority.
+	net.Partition([]string{"mem:peer-0", "mem:peer-1"}, []string{"mem:peer-2"})
+	waitViews(t, gs[:2], 5*time.Second, "majority sees peer-2 dead", func(g *Gossip) bool {
+		return viewOf(g)["peer-2"] == StateDead
+	})
+
+	// Heal. The isolated peer hears it was declared dead, refutes with a
+	// bumped incarnation, and rejoins; the majority flips it back to alive.
+	net.Heal()
+	waitViews(t, gs, 5*time.Second, "healed all-alive convergence", func(g *Gossip) bool {
+		view := viewOf(g)
+		if len(view) != 3 {
+			return false
+		}
+		for _, st := range view {
+			if st != StateAlive {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Converged views must induce identical single-owner placement.
+	maps := make([]*ring.PeerMap, len(gs))
+	for i, g := range gs {
+		maps[i] = peerMapOf(g)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("node-%04d", i)
+		owner := maps[0].Lookup(key).Owner
+		if owner == "" {
+			t.Fatalf("key %q has no owner after heal", key)
+		}
+		for pi, pm := range maps[1:] {
+			if got := pm.Lookup(key).Owner; got != owner {
+				t.Fatalf("key %q owned by %q per peer-0 but %q per peer-%d — double ownership", key, owner, got, pi+1)
+			}
+		}
+	}
+}
+
+// peerMapOf builds the placement table from one gossip view, the same way
+// the serve layer does.
+func peerMapOf(g *Gossip) *ring.PeerMap {
+	var peers []ring.Peer
+	for _, m := range g.Members() {
+		peers = append(peers, ring.Peer{Name: m.Name, Shards: m.Shards, Alive: m.State == StateAlive})
+	}
+	return ring.NewPeerMap(0, peers)
+}
+
+// TestGossipLeave: a graceful leave propagates as StateLeft (not dead) and
+// the leaver's keys move to a live owner.
+func TestGossipLeave(t *testing.T) {
+	gs := startCluster(t, NewMemNetwork(), 3)
+	waitViews(t, gs, 3*time.Second, "initial convergence", func(g *Gossip) bool {
+		return len(viewOf(g)) == 3
+	})
+	gs[1].Leave()
+	waitViews(t, []*Gossip{gs[0], gs[2]}, 3*time.Second, "peer-1 left", func(g *Gossip) bool {
+		return viewOf(g)["peer-1"] == StateLeft
+	})
+	pm := peerMapOf(gs[0])
+	for i := 0; i < 200; i++ {
+		p := pm.Lookup(fmt.Sprintf("node-%04d", i))
+		if p.Owner == "peer-1" || p.Owner == "" {
+			t.Fatalf("key owned by %q after peer-1 left", p.Owner)
+		}
+	}
+}
+
+// TestWireRoundTrip pins the codec: encode → decode is the identity on
+// representative messages of every type.
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []*message{
+		{Type: msgPing, Seq: 7, From: update{Name: "a", Addr: "mem:a", LineAddr: "l:a", Shards: 4, Inc: 3, State: StateAlive}},
+		{Type: msgAck, Seq: 1 << 40, From: update{Name: "b", Addr: "x", Inc: 1}},
+		{Type: msgPingReq, Seq: 9,
+			From:   update{Name: "a", Addr: "mem:a", Inc: 2, State: StateAlive},
+			Target: update{Name: "c", Addr: "mem:c", Inc: 5, State: StateSuspect}},
+		{Type: msgSync, From: update{Name: "a", Addr: "mem:a", Inc: 1}, Updates: []update{
+			{Name: "b", Addr: "mem:b", LineAddr: "l:b", Shards: 1, Inc: 4, State: StateDead},
+			{Name: "c", Addr: "mem:c", Inc: 6, State: StateLeft},
+		}},
+		{Type: msgSyncAck, From: update{Name: "z", Inc: 1}},
+	}
+	for _, m := range msgs {
+		b := encodeMessage(nil, m)
+		got, err := decodeMessage(b)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", m.Type, err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", &message{
+			Type: m.Type, Seq: m.Seq, From: m.From, Target: m.Target, Updates: m.Updates,
+		}) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+func TestWireDecodeRejectsHostileInput(t *testing.T) {
+	good := encodeMessage(nil, &message{Type: msgPing, Seq: 1, From: update{Name: "a", Addr: "b", Inc: 1}})
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad version":  {0x7f, byte(msgPing)},
+		"bad type":     {wireVersion, 0x7f},
+		"truncated":    good[:len(good)-2],
+		"trailing":     append(append([]byte{}, good...), 0xff),
+		"huge strings": {wireVersion, byte(msgPing), 0, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, b := range cases {
+		if _, err := decodeMessage(b); err == nil {
+			t.Errorf("%s: decode accepted hostile input", name)
+		}
+	}
+}

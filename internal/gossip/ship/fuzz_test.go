@@ -1,0 +1,72 @@
+package ship
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzShipHandshake: the handshake parser never panics on network input, and
+// any line it accepts round-trips exactly through Handshake — so a receiver
+// and shipper can never disagree about which mirror a session addresses.
+func FuzzShipHandshake(f *testing.F) {
+	f.Add("AAROHI-SHIP/1 peer-0 0")
+	f.Add("AAROHI-SHIP/1 some.peer_name-9 65536")
+	f.Add("AAROHI-SHIP/1 ../../../etc 1")
+	f.Add("AAROHI-SHIP/2 peer 1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		peer, shard, ok := ParseHandshake(line)
+		if !ok {
+			return
+		}
+		if peer == "" || shard < 0 || shard > 1<<16 {
+			t.Fatalf("accepted out-of-range handshake: peer=%q shard=%d", peer, shard)
+		}
+		p2, s2, ok2 := ParseHandshake(Handshake(peer, shard))
+		if !ok2 || p2 != peer || s2 != shard {
+			t.Fatalf("handshake round trip: (%q,%d) → (%q,%d,%v)", peer, shard, p2, s2, ok2)
+		}
+		// Whatever the peer field was, the mirror path it maps to must stay
+		// inside the receiver's directory.
+		safe := sanitizePeer(peer)
+		if strings.ContainsAny(safe, "/\\") || safe == "." || safe == ".." || safe == "" {
+			t.Fatalf("peer %q sanitized to unsafe path element %q", peer, safe)
+		}
+	})
+}
+
+// FuzzShipFrameDecode: the frame reader never panics and never trusts a
+// length prefix beyond the bytes actually present; any frame that decodes
+// re-encodes to bytes that decode identically.
+func FuzzShipFrameDecode(f *testing.F) {
+	var good bytes.Buffer
+	w := bufio.NewWriter(&good)
+	writeFrame(w, frameHello, []byte{0x05, 0x00})
+	writeFrame(w, frameRecord, append([]byte{0x07}, "record body"...))
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte{frameAck, 0x01, 0x09})
+	f.Add([]byte{frameSnapshot, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			typ, payload, err := readFrame(r, nil)
+			if err != nil {
+				return
+			}
+			var out bytes.Buffer
+			bw := bufio.NewWriter(&out)
+			if err := writeFrame(bw, typ, payload); err != nil {
+				t.Fatalf("re-encoding decoded frame: %v", err)
+			}
+			bw.Flush()
+			t2, p2, err := readFrame(bufio.NewReader(&out), nil)
+			if err != nil || t2 != typ || !bytes.Equal(p2, payload) {
+				t.Fatalf("frame round trip failed: err=%v typ=%#x/%#x", err, typ, t2)
+			}
+		}
+	})
+}

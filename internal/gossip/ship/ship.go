@@ -1,0 +1,795 @@
+// Package ship replicates a daemon's shard journals to its takeover heir.
+// Each peer continuously tails its own shards' write-ahead journals and
+// streams (snapshot, records...) to the next live peer on the membership
+// ring; the receiver stores an exact mirror — the same wal segment format,
+// the same snapshot container, the same indices — under its ship directory.
+// When gossip confirms the peer dead, the heir opens the mirror exactly like
+// a crashed daemon opens its own data dir (snapshot restore + journal
+// replay), resurrecting the dead peer's in-flight partial matches.
+//
+// Wire protocol: a ship session rides the daemon's TCP line listener. The
+// shipper sends one text handshake line ("AAROHI-SHIP/1 <peer> <shard>"),
+// then both directions switch to binary frames (type byte, uvarint length,
+// payload). The receiver opens with a hello frame stating what it already
+// has; the shipper resumes from there, sending its latest snapshot first
+// when the receiver is behind the journal's truncation horizon. Acks flow
+// back only after fsync, so an acked index is durable at the heir.
+//
+// Layering: ship sits beside gossip — it may import wal and core packages,
+// never any serve layer. The serve composition root adapts its shards into
+// the Source interface.
+package ship
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// HandshakePrefix is the first-line marker a ship session opens with. The
+// serve transport hijacks connections whose first line starts with it.
+const HandshakePrefix = "AAROHI-SHIP/1 "
+
+// Handshake renders the session's first line (no newline).
+func Handshake(peer string, shard int) string {
+	return HandshakePrefix + peer + " " + strconv.Itoa(shard)
+}
+
+// ParseHandshake splits a first line into (peer, shard). ok is false when the
+// line is not a ship handshake.
+func ParseHandshake(line string) (peer string, shard int, ok bool) {
+	if !strings.HasPrefix(line, HandshakePrefix) {
+		return "", 0, false
+	}
+	rest := line[len(HandshakePrefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(rest[sp+1:])
+	if err != nil || n < 0 || n > 1<<16 {
+		return "", 0, false
+	}
+	return rest[:sp], n, true
+}
+
+// Frame types. Every frame is: type byte, uvarint payload length, payload.
+const (
+	// frameHello (receiver → shipper): uvarint lastIndex the receiver's
+	// mirror journal holds (0 = empty), uvarint snapshot offset it holds
+	// (0 = none).
+	frameHello = 0x01
+	// frameSnapshot (shipper → receiver): uvarint walOffset, snapshot
+	// container payload. Resets the receiver's mirror to (snapshot, empty
+	// journal starting at walOffset+1).
+	frameSnapshot = 0x02
+	// frameRecord (shipper → receiver): uvarint index, raw journal record.
+	// Must be the receiver's next index; duplicates are ignored, gaps kill
+	// the session (the reconnect handshake resolves the divergence).
+	frameRecord = 0x03
+	// frameAck (receiver → shipper): uvarint index — everything up to it is
+	// fsynced at the receiver.
+	frameAck = 0x04
+)
+
+// maxFramePayload bounds one frame (snapshots dominate; journal records are
+// already capped far below this by the wal layer).
+const maxFramePayload = 256 << 20
+
+var errFrameTooLarge = errors.New("ship: frame exceeds size limit")
+
+// writeFrame appends one frame to w (caller flushes).
+func writeFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it is large enough.
+func readFrame(r *bufio.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	typ, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	payload, err = readFrameBody(r, buf)
+	return typ, payload, err
+}
+
+// readFrameBody reads the length + payload that follow an already-consumed
+// frame type byte.
+func readFrameBody(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFramePayload {
+		return nil, errFrameTooLarge
+	}
+	// Grow incrementally so a lying length prefix can't force a giant
+	// allocation before the stream runs dry.
+	buf = buf[:0]
+	for uint64(len(buf)) < n {
+		chunk := n - uint64(len(buf))
+		if chunk > 1<<20 {
+			chunk = 1 << 20
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// uvarint pulls one uvarint off the front of b.
+func uvarint(b []byte) (v uint64, rest []byte, err error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("ship: truncated uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// Source is the shipper's read-only view of one daemon's shards. The serve
+// layer implements it over its shard set; ship never touches a live journal
+// except through it.
+type Source interface {
+	// Shards is the local shard count.
+	Shards() int
+	// FirstIndex and LastIndex bound shard i's live journal (0,0 when the
+	// journal is empty or persistence is off).
+	FirstIndex(shard int) uint64
+	LastIndex(shard int) uint64
+	// Replay streams shard i's records with index >= from, in order. Safe
+	// to call concurrently with live appends.
+	Replay(shard int, from uint64, fn func(index uint64, rec []byte) error) error
+	// Snapshot returns shard i's newest snapshot (walOffset, container
+	// payload). ok is false when none exists.
+	Snapshot(shard int) (walOffset uint64, payload []byte, ok bool, err error)
+}
+
+// ShipperConfig parameterizes a Shipper.
+type ShipperConfig struct {
+	// Self is this peer's name (the handshake's peer field: the receiver
+	// stores the mirror under it).
+	Self string
+	// Source exposes the local shards.
+	Source Source
+	// Interval is the tail-poll period when the journal is idle
+	// (default 50ms).
+	Interval time.Duration
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Logf receives operational messages; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ShardLag is one shard's shipping progress for /statusz.
+type ShardLag struct {
+	Shard int `json:"shard"`
+	// Last is the live journal's last index; Acked is the highest index the
+	// heir has fsynced. Last == Acked means the mirror is current.
+	Last  uint64 `json:"last"`
+	Acked uint64 `json:"acked"`
+}
+
+// Shipper tails every local shard journal and mirrors it to the current
+// target (the peer's takeover heir). Retargeting is cheap: sessions to the
+// old heir close, sessions to the new one start from its hello.
+type Shipper struct {
+	cfg ShipperConfig
+
+	mu     sync.Mutex
+	target string // heir's line-protocol address ("" = nobody to ship to)
+	acked  []uint64
+	gen    int // bumped on retarget so sessions notice
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewShipper builds and starts a shipper (one session goroutine per shard).
+func NewShipper(cfg ShipperConfig) *Shipper {
+	cfg = cfg.withDefaults()
+	s := &Shipper{
+		cfg:   cfg,
+		acked: make([]uint64, cfg.Source.Shards()),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Source.Shards(); i++ {
+		s.wg.Add(1)
+		go s.run(i)
+	}
+	return s
+}
+
+// SetTarget points the shipper at the heir's line-protocol address ("" stops
+// shipping). Idempotent; sessions to a previous target close on their next
+// write or poll.
+func (s *Shipper) SetTarget(addr string) {
+	s.mu.Lock()
+	if s.target != addr {
+		s.target = addr
+		s.gen++
+		// The watermark describes the current heir; a new heir starts over.
+		for i := range s.acked {
+			s.acked[i] = 0
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Target returns the current ship target.
+func (s *Shipper) Target() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
+
+// Lag reports per-shard shipping progress.
+func (s *Shipper) Lag() []ShardLag {
+	s.mu.Lock()
+	acked := append([]uint64(nil), s.acked...)
+	s.mu.Unlock()
+	out := make([]ShardLag, len(acked))
+	for i := range out {
+		out[i] = ShardLag{Shard: i, Last: s.cfg.Source.LastIndex(i), Acked: acked[i]}
+	}
+	return out
+}
+
+// Close stops every session.
+func (s *Shipper) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+func (s *Shipper) sleep(d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+func (s *Shipper) snapshotTarget() (string, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target, s.gen
+}
+
+// run is shard i's session loop: connect to the current target, resume from
+// its hello, tail the journal until the target changes or the connection
+// drops, back off, repeat.
+func (s *Shipper) run(shard int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		target, gen := s.snapshotTarget()
+		if target == "" {
+			if !s.sleep(s.cfg.Interval) {
+				return
+			}
+			continue
+		}
+		if err := s.session(shard, target, gen); err != nil {
+			s.cfg.Logf("ship: shard %d session to %s: %v", shard, target, err)
+			if !s.sleep(s.cfg.Interval * 4) {
+				return
+			}
+		}
+	}
+}
+
+// session runs one connection's lifetime. Returns nil on a deliberate close
+// (retarget or shutdown), an error otherwise.
+func (s *Shipper) session(shard int, target string, gen int) error {
+	conn, err := net.DialTimeout("tcp", target, s.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := bufio.NewWriterSize(conn, 64<<10)
+	r := bufio.NewReaderSize(conn, 16<<10)
+	if _, err := w.WriteString(Handshake(s.cfg.Self, shard) + "\n"); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(r, nil)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if typ != frameHello {
+		return fmt.Errorf("expected hello, got frame %#x", typ)
+	}
+	have, rest, err := uvarint(payload)
+	if err != nil {
+		return err
+	}
+	haveSnap, _, err := uvarint(rest)
+	if err != nil {
+		return err
+	}
+	s.ackTo(shard, have, gen)
+
+	// Ack reader: updates the lag watermark until the connection dies.
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 0, 64)
+		for {
+			typ, payload, err := readFrame(r, buf)
+			if err != nil {
+				readDone <- err
+				return
+			}
+			if typ == frameAck {
+				if idx, _, err := uvarint(payload); err == nil {
+					s.ackTo(shard, idx, gen)
+				}
+			}
+		}
+	}()
+
+	cursor := have
+	if haveSnap > cursor {
+		cursor = haveSnap
+	}
+	var scratch []byte
+	first := true
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		case err := <-readDone:
+			return fmt.Errorf("receiver closed: %w", err)
+		default:
+		}
+		if t, g := s.snapshotTarget(); t != target || g != gen {
+			return nil // retargeted: this session is over
+		}
+		// When the receiver's position predates the journal's truncation
+		// horizon (or it has nothing and the journal doesn't start at its
+		// beginning), bootstrap with the newest snapshot.
+		firstIdx := s.cfg.Source.FirstIndex(shard)
+		if first && firstIdx > 0 && cursor+1 < firstIdx {
+			off, payload, ok, err := s.cfg.Source.Snapshot(shard)
+			if err != nil {
+				return fmt.Errorf("reading snapshot: %w", err)
+			}
+			if !ok || off+1 < firstIdx {
+				return fmt.Errorf("journal starts at %d, receiver at %d, no covering snapshot", firstIdx, cursor)
+			}
+			if off > cursor {
+				scratch = binary.AppendUvarint(scratch[:0], off)
+				scratch = append(scratch, payload...)
+				if err := writeFrame(w, frameSnapshot, scratch); err != nil {
+					return err
+				}
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				cursor = off
+			}
+		}
+		first = false
+
+		last := s.cfg.Source.LastIndex(shard)
+		if cursor >= last {
+			if !s.sleep(s.cfg.Interval) {
+				return nil
+			}
+			continue
+		}
+		sent := 0
+		err := s.cfg.Source.Replay(shard, cursor+1, func(idx uint64, rec []byte) error {
+			scratch = binary.AppendUvarint(scratch[:0], idx)
+			scratch = append(scratch, rec...)
+			if err := writeFrame(w, frameRecord, scratch); err != nil {
+				return err
+			}
+			cursor = idx
+			sent++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("tailing journal: %w", err)
+		}
+		if sent > 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ackTo records a durable watermark from the session of generation gen;
+// acks from a session whose target was since replaced are discarded.
+func (s *Shipper) ackTo(shard int, idx uint64, gen int) {
+	s.mu.Lock()
+	if gen == s.gen && idx > s.acked[shard] {
+		s.acked[shard] = idx
+	}
+	s.mu.Unlock()
+}
+
+// ReceiverConfig parameterizes a Receiver.
+type ReceiverConfig struct {
+	// Dir is the mirror root: mirrors live at Dir/<peer>/shard-<i>/{wal,snapshots}.
+	Dir string
+	// Logf receives operational messages; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Receiver accepts ship sessions and maintains the mirrors. One Receiver per
+// daemon; HandleConn is invoked by the transport hijack with an
+// already-parsed handshake.
+type Receiver struct {
+	cfg ReceiverConfig
+
+	mu       sync.Mutex
+	stores   map[string]*store // "<peer>/shard-<i>"
+	released map[string]bool   // peers whose mirrors were adopted: no new sessions
+	closed   bool
+}
+
+// store is one mirrored shard journal.
+type store struct {
+	mu   sync.Mutex
+	log  *wal.Log
+	dir  string
+	snap uint64 // walOffset of the mirror's snapshot (0 = none)
+	busy bool   // one session per mirror at a time
+}
+
+// NewReceiver builds a receiver storing mirrors under dir.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Receiver{
+		cfg:      cfg,
+		stores:   make(map[string]*store),
+		released: make(map[string]bool),
+	}
+}
+
+// Dir returns the mirror directory for one peer's shard — where an adopting
+// shard opens its data dir.
+func (r *Receiver) Dir(peer string, shard int) string {
+	return r.cfg.Dir + "/" + sanitizePeer(peer) + "/shard-" + strconv.Itoa(shard)
+}
+
+// sanitizePeer keeps peer names path-safe: anything outside [A-Za-z0-9._-]
+// becomes '_' (peer names are ours, but the handshake field is network input).
+func sanitizePeer(peer string) string {
+	out := []byte(peer)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 || string(out) == "." || string(out) == ".." {
+		return "_"
+	}
+	return string(out)
+}
+
+// Release closes the mirrors for peer and refuses future sessions for it —
+// called at takeover, immediately before the mirror directories are opened
+// as live shard data dirs (two writers on one journal would corrupt it).
+func (r *Receiver) Release(peer string) {
+	r.mu.Lock()
+	r.released[peer] = true
+	var victims []*store
+	prefix := peer + "/"
+	for key, st := range r.stores {
+		if strings.HasPrefix(key, prefix) {
+			victims = append(victims, st)
+			delete(r.stores, key)
+		}
+	}
+	r.mu.Unlock()
+	for _, st := range victims {
+		st.mu.Lock()
+		if st.log != nil {
+			if err := st.log.Close(); err != nil {
+				// The adopter is about to open this journal; an unsynced tail
+				// surfaces there as a shorter mirror, so log and move on.
+				r.cfg.Logf("ship: closing released mirror %s: %v", st.dir, err)
+			}
+			st.log = nil
+		}
+		st.mu.Unlock()
+	}
+}
+
+// Close closes every mirror.
+func (r *Receiver) Close() {
+	r.mu.Lock()
+	r.closed = true
+	stores := make([]*store, 0, len(r.stores))
+	for _, st := range r.stores {
+		stores = append(stores, st)
+	}
+	r.stores = make(map[string]*store)
+	r.mu.Unlock()
+	for _, st := range stores {
+		st.mu.Lock()
+		if st.log != nil {
+			if err := st.log.Close(); err != nil {
+				r.cfg.Logf("ship: closing mirror %s: %v", st.dir, err)
+			}
+			st.log = nil
+		}
+		st.mu.Unlock()
+	}
+}
+
+// HandleConn runs one ship session on conn (whose handshake line named peer
+// and shard and has already been consumed; rd wraps conn with whatever the
+// hijack already buffered). Blocks until the session ends.
+func (r *Receiver) HandleConn(conn net.Conn, rd *bufio.Reader, peer string, shard int) {
+	st, err := r.store(peer, shard)
+	if err != nil {
+		r.cfg.Logf("ship: refusing session %s/shard-%d: %v", peer, shard, err)
+		return
+	}
+	defer r.releaseStore(st)
+	if err := r.session(conn, rd, st, peer, shard); err != nil && !errors.Is(err, io.EOF) {
+		r.cfg.Logf("ship: session %s/shard-%d: %v", peer, shard, err)
+	}
+}
+
+// store opens (or returns) the mirror for peer/shard and marks it busy.
+func (r *Receiver) store(peer string, shard int) (*store, error) {
+	key := peer + "/shard-" + strconv.Itoa(shard)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errors.New("receiver closed")
+	}
+	if r.released[peer] {
+		r.mu.Unlock()
+		return nil, errors.New("peer mirror was adopted")
+	}
+	st, ok := r.stores[key]
+	if !ok {
+		st = &store{dir: r.Dir(peer, shard)}
+		r.stores[key] = st
+	}
+	r.mu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.busy {
+		return nil, errors.New("mirror already has a session")
+	}
+	if st.log == nil {
+		lg, err := wal.Open(st.dir+"/wal", wal.Options{Sync: wal.SyncBatch})
+		if err != nil {
+			return nil, err
+		}
+		st.log = lg
+		if off, _, ok, err := wal.LatestSnapshot(st.dir + "/snapshots"); err == nil && ok {
+			st.snap = off
+		}
+	}
+	st.busy = true
+	return st, nil
+}
+
+func (r *Receiver) releaseStore(st *store) {
+	st.mu.Lock()
+	st.busy = false
+	st.mu.Unlock()
+}
+
+// session speaks the receiver side: hello, then apply snapshot/record frames,
+// acking after fsync.
+func (r *Receiver) session(conn net.Conn, rd *bufio.Reader, st *store, peer string, shard int) error {
+	w := bufio.NewWriterSize(conn, 16<<10)
+	sendAck := func(idx uint64) error {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], idx)
+		if err := writeFrame(w, frameAck, b[:n]); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	st.mu.Lock()
+	last := mirrorLast(st)
+	hello := binary.AppendUvarint(nil, last)
+	hello = binary.AppendUvarint(hello, st.snap)
+	st.mu.Unlock()
+	if err := writeFrame(w, frameHello, hello); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	var buf []byte
+	pendingAck := 0
+	for {
+		// A quiet shipper is normal (idle journal); a short deadline on the
+		// frame's first byte doubles as the ack flush tick. The timeout is
+		// only an idle tick when it fires between frames — the first byte
+		// read consumes nothing on error, so the stream stays in sync.
+		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		typ, err := rd.ReadByte()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if pendingAck > 0 {
+					if err := r.flushAck(st, sendAck); err != nil {
+						return err
+					}
+					pendingAck = 0
+				}
+				continue
+			}
+			return err
+		}
+		// Mid-frame, a stall is an error, not idleness.
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		payload, err := readFrameBody(rd, buf)
+		if err != nil {
+			return err
+		}
+		buf = payload[:0]
+		switch typ {
+		case frameSnapshot:
+			if err := r.applySnapshot(st, peer, shard, payload); err != nil {
+				return err
+			}
+			if err := r.flushAck(st, sendAck); err != nil {
+				return err
+			}
+			pendingAck = 0
+		case frameRecord:
+			idx, rec, err := uvarint(payload)
+			if err != nil {
+				return err
+			}
+			st.mu.Lock()
+			next := mirrorLast(st) + 1
+			if st.log == nil {
+				st.mu.Unlock()
+				return errors.New("mirror released mid-session")
+			}
+			switch {
+			case idx == next:
+				_, err = st.log.Append(rec)
+			case idx < next:
+				// Duplicate (shipper resumed behind our ack): ignore.
+			default:
+				err = fmt.Errorf("gap: record %d but mirror at %d", idx, next-1)
+			}
+			st.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			pendingAck++
+			if pendingAck >= 256 {
+				if err := r.flushAck(st, sendAck); err != nil {
+					return err
+				}
+				pendingAck = 0
+			}
+		default:
+			return fmt.Errorf("unexpected frame %#x", typ)
+		}
+	}
+}
+
+// mirrorLast is the mirror's replication position: the journal tail, or the
+// snapshot offset while the journal is empty (a post-snapshot journal opens
+// at FirstIndex = offset+1, so its LastIndex already reports the offset).
+// st.mu held.
+func mirrorLast(st *store) uint64 {
+	if st.log == nil {
+		return st.snap
+	}
+	if last := st.log.LastIndex(); last > st.snap {
+		return last
+	}
+	return st.snap
+}
+
+// applySnapshot resets the mirror to (snapshot, empty journal at offset+1).
+func (r *Receiver) applySnapshot(st *store, peer string, shard int, payload []byte) error {
+	off, body, err := uvarint(payload)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.log != nil {
+		// The journal is wiped right below either way; a close error cannot
+		// make the reset worse.
+		_ = st.log.Close()
+		st.log = nil
+	}
+	// Rebuild the mirror directory from scratch: stale segments from an
+	// older lineage must not survive next to the new snapshot.
+	if err := resetDir(st.dir + "/wal"); err != nil {
+		return err
+	}
+	if err := resetDir(st.dir + "/snapshots"); err != nil {
+		return err
+	}
+	if _, err := wal.WriteSnapshotFile(st.dir+"/snapshots", off, body); err != nil {
+		return err
+	}
+	lg, err := wal.Open(st.dir+"/wal", wal.Options{Sync: wal.SyncBatch, FirstIndex: off + 1})
+	if err != nil {
+		return err
+	}
+	st.log = lg
+	st.snap = off
+	r.cfg.Logf("ship: mirror %s/shard-%d reset to snapshot@%d", peer, shard, off)
+	return nil
+}
+
+// resetDir wipes and recreates one mirror subdirectory.
+func resetDir(dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// flushAck fsyncs the mirror and acks its durable tail.
+func (r *Receiver) flushAck(st *store, sendAck func(uint64) error) error {
+	st.mu.Lock()
+	var err error
+	if st.log != nil {
+		err = st.log.Sync()
+	}
+	last := mirrorLast(st)
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return sendAck(last)
+}

@@ -1,0 +1,370 @@
+package ship
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// walSource adapts real journals in a temp dir into the Source interface —
+// the same shape the serve layer exposes over its live shards.
+type walSource struct {
+	mu    sync.Mutex
+	logs  []*wal.Log
+	snaps []struct {
+		off     uint64
+		payload []byte
+		ok      bool
+	}
+}
+
+func newWalSource(t *testing.T, shards int, firstIndex uint64) *walSource {
+	t.Helper()
+	s := &walSource{}
+	for i := 0; i < shards; i++ {
+		dir := t.TempDir()
+		lg, err := wal.Open(dir, wal.Options{Sync: wal.SyncOff, FirstIndex: firstIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lg.Close() })
+		s.logs = append(s.logs, lg)
+		s.snaps = append(s.snaps, struct {
+			off     uint64
+			payload []byte
+			ok      bool
+		}{})
+	}
+	return s
+}
+
+func (s *walSource) Shards() int                 { return len(s.logs) }
+func (s *walSource) FirstIndex(shard int) uint64 { return s.logs[shard].FirstIndex() }
+func (s *walSource) LastIndex(shard int) uint64  { return s.logs[shard].LastIndex() }
+func (s *walSource) Replay(shard int, from uint64, fn func(uint64, []byte) error) error {
+	return s.logs[shard].Replay(from, fn)
+}
+func (s *walSource) Snapshot(shard int) (uint64, []byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn := s.snaps[shard]
+	return sn.off, sn.payload, sn.ok, nil
+}
+
+func (s *walSource) setSnapshot(shard int, off uint64, payload []byte) {
+	s.mu.Lock()
+	s.snaps[shard] = struct {
+		off     uint64
+		payload []byte
+		ok      bool
+	}{off, payload, true}
+	s.mu.Unlock()
+}
+
+// serveShip runs a minimal line listener that hijacks ship handshakes into
+// recv — the transport-side plumbing the daemon provides.
+func serveShip(t *testing.T, recv *Receiver) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				rd := bufio.NewReader(c)
+				line, err := rd.ReadString('\n')
+				if err != nil {
+					return
+				}
+				peer, shard, ok := ParseHandshake(strings.TrimSuffix(line, "\n"))
+				if !ok {
+					return
+				}
+				recv.HandleConn(c, rd, peer, shard)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func waitShipped(t *testing.T, s *Shipper, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		done := true
+		for _, lag := range s.Lag() {
+			if lag.Acked < lag.Last {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ship lag never drained: %+v", s.Lag())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// mirrorRecords replays one mirror journal into a map.
+func mirrorRecords(t *testing.T, dir string) map[uint64]string {
+	t.Helper()
+	lg, err := wal.Open(dir+"/wal", wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatalf("opening mirror: %v", err)
+	}
+	defer lg.Close()
+	got := map[uint64]string{}
+	if err := lg.Replay(0, func(idx uint64, p []byte) error {
+		got[idx] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatalf("replaying mirror: %v", err)
+	}
+	return got
+}
+
+// TestShipMirrorTailsJournal: records appended to a live source journal show
+// up, in order and byte-identical, in the receiver's mirror — including
+// appends made after the session is already tailing.
+func TestShipMirrorTailsJournal(t *testing.T) {
+	src := newWalSource(t, 2, 0)
+	recv := NewReceiver(ReceiverConfig{Dir: t.TempDir(), Logf: t.Logf})
+	defer recv.Close()
+	addr := serveShip(t, recv)
+
+	for shard := 0; shard < 2; shard++ {
+		for i := 0; i < 20; i++ {
+			if _, err := src.logs[shard].Append([]byte(fmt.Sprintf("s%d rec %d", shard, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sh := NewShipper(ShipperConfig{Self: "peer-a", Source: src, Interval: 5 * time.Millisecond, Logf: t.Logf})
+	defer sh.Close()
+	sh.SetTarget(addr)
+	waitShipped(t, sh, 5*time.Second)
+
+	// Late appends must flow through the already-open session.
+	for shard := 0; shard < 2; shard++ {
+		for i := 20; i < 30; i++ {
+			if _, err := src.logs[shard].Append([]byte(fmt.Sprintf("s%d rec %d", shard, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitShipped(t, sh, 5*time.Second)
+
+	for shard := 0; shard < 2; shard++ {
+		got := mirrorRecords(t, recv.Dir("peer-a", shard))
+		if len(got) != 30 {
+			t.Fatalf("shard %d mirror holds %d records, want 30", shard, len(got))
+		}
+		for i := 0; i < 30; i++ {
+			want := fmt.Sprintf("s%d rec %d", shard, i)
+			if got[uint64(i+1)] != want {
+				t.Fatalf("shard %d record %d = %q, want %q", shard, i+1, got[uint64(i+1)], want)
+			}
+		}
+	}
+}
+
+// TestShipSnapshotBootstrap: when the receiver's position predates the
+// source journal's first retained index, the session bootstraps with the
+// source's snapshot and the mirror's journal lines up index-for-index.
+func TestShipSnapshotBootstrap(t *testing.T) {
+	// Source journal starts at 101 — records 1..100 were truncated away
+	// behind a snapshot at offset 100.
+	src := newWalSource(t, 1, 101)
+	src.setSnapshot(0, 100, []byte("snapshot-state-at-100"))
+	for i := 101; i <= 120; i++ {
+		if _, err := src.logs[0].Append([]byte(fmt.Sprintf("rec %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recv := NewReceiver(ReceiverConfig{Dir: t.TempDir(), Logf: t.Logf})
+	defer recv.Close()
+	addr := serveShip(t, recv)
+	sh := NewShipper(ShipperConfig{Self: "peer-b", Source: src, Interval: 5 * time.Millisecond, Logf: t.Logf})
+	defer sh.Close()
+	sh.SetTarget(addr)
+	waitShipped(t, sh, 5*time.Second)
+
+	dir := recv.Dir("peer-b", 0)
+	off, payload, ok, err := wal.LatestSnapshot(dir + "/snapshots")
+	if err != nil || !ok {
+		t.Fatalf("mirror snapshot: ok=%v err=%v", ok, err)
+	}
+	if off != 100 || string(payload) != "snapshot-state-at-100" {
+		t.Fatalf("mirror snapshot = (%d, %q)", off, payload)
+	}
+	got := mirrorRecords(t, dir)
+	if len(got) != 20 {
+		t.Fatalf("mirror holds %d records, want 20", len(got))
+	}
+	for i := 101; i <= 120; i++ {
+		if got[uint64(i)] != fmt.Sprintf("rec %d", i) {
+			t.Fatalf("record %d = %q", i, got[uint64(i)])
+		}
+	}
+}
+
+// TestShipResumeAfterDisconnect: a dropped session resumes from the
+// receiver's hello — no duplicates, no gaps — even with more records
+// appended while disconnected.
+func TestShipResumeAfterDisconnect(t *testing.T) {
+	src := newWalSource(t, 1, 0)
+	dir := t.TempDir()
+	recv := NewReceiver(ReceiverConfig{Dir: dir, Logf: t.Logf})
+	addr := serveShip(t, recv)
+
+	for i := 0; i < 10; i++ {
+		if _, err := src.logs[0].Append([]byte(fmt.Sprintf("rec %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := NewShipper(ShipperConfig{Self: "peer-c", Source: src, Interval: 5 * time.Millisecond, Logf: t.Logf})
+	sh.SetTarget(addr)
+	waitShipped(t, sh, 5*time.Second)
+
+	// Sever: shipper down, receiver's stores closed (daemon restart shape).
+	sh.Close()
+	recv.Close()
+
+	for i := 10; i < 25; i++ {
+		if _, err := src.logs[0].Append([]byte(fmt.Sprintf("rec %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv2 := NewReceiver(ReceiverConfig{Dir: dir, Logf: t.Logf})
+	defer recv2.Close()
+	addr2 := serveShip(t, recv2)
+	sh2 := NewShipper(ShipperConfig{Self: "peer-c", Source: src, Interval: 5 * time.Millisecond, Logf: t.Logf})
+	defer sh2.Close()
+	sh2.SetTarget(addr2)
+	waitShipped(t, sh2, 5*time.Second)
+
+	got := mirrorRecords(t, recv2.Dir("peer-c", 0))
+	if len(got) != 25 {
+		t.Fatalf("mirror holds %d records, want 25", len(got))
+	}
+	for i := 0; i < 25; i++ {
+		if got[uint64(i+1)] != fmt.Sprintf("rec %d", i) {
+			t.Fatalf("record %d = %q", i+1, got[uint64(i+1)])
+		}
+	}
+}
+
+// TestShipRetarget: pointing the shipper at a new heir starts a fresh mirror
+// there from scratch (snapshotless source ships the whole journal again).
+func TestShipRetarget(t *testing.T) {
+	src := newWalSource(t, 1, 0)
+	for i := 0; i < 15; i++ {
+		if _, err := src.logs[0].Append([]byte(fmt.Sprintf("rec %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvA := NewReceiver(ReceiverConfig{Dir: t.TempDir(), Logf: t.Logf})
+	defer recvA.Close()
+	recvB := NewReceiver(ReceiverConfig{Dir: t.TempDir(), Logf: t.Logf})
+	defer recvB.Close()
+	addrA, addrB := serveShip(t, recvA), serveShip(t, recvB)
+
+	sh := NewShipper(ShipperConfig{Self: "peer-d", Source: src, Interval: 5 * time.Millisecond, Logf: t.Logf})
+	defer sh.Close()
+	sh.SetTarget(addrA)
+	waitShipped(t, sh, 5*time.Second)
+	sh.SetTarget(addrB)
+	waitShipped(t, sh, 5*time.Second)
+
+	got := mirrorRecords(t, recvB.Dir("peer-d", 0))
+	if len(got) != 15 {
+		t.Fatalf("new heir mirror holds %d records, want 15", len(got))
+	}
+}
+
+// TestReceiverRelease: after Release (takeover), the mirror journal is
+// closed — openable by the adopting shard — and new sessions for that peer
+// are refused.
+func TestReceiverRelease(t *testing.T) {
+	src := newWalSource(t, 1, 0)
+	recv := NewReceiver(ReceiverConfig{Dir: t.TempDir(), Logf: t.Logf})
+	defer recv.Close()
+	addr := serveShip(t, recv)
+	for i := 0; i < 5; i++ {
+		if _, err := src.logs[0].Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := NewShipper(ShipperConfig{Self: "peer-e", Source: src, Interval: 5 * time.Millisecond, Logf: t.Logf})
+	sh.SetTarget(addr)
+	waitShipped(t, sh, 5*time.Second)
+	sh.Close()
+	recv.Release("peer-e")
+
+	// The adopting side can now open the journal exclusively.
+	lg, err := wal.Open(recv.Dir("peer-e", 0)+"/wal", wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatalf("adopting the released mirror: %v", err)
+	}
+	if lg.LastIndex() != 5 {
+		t.Fatalf("released mirror LastIndex = %d, want 5", lg.LastIndex())
+	}
+	lg.Close()
+
+	// A straggler session for the released peer must be refused.
+	if _, err := recv.store("peer-e", 0); err == nil {
+		t.Fatal("store for released peer succeeded")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	peer, shard, ok := ParseHandshake(Handshake("peer-7", 3))
+	if !ok || peer != "peer-7" || shard != 3 {
+		t.Fatalf("round trip = (%q, %d, %v)", peer, shard, ok)
+	}
+	for _, bad := range []string{
+		"", "AAROHI-SHIP/1 ", "AAROHI-SHIP/1 peer", "AAROHI-SHIP/1 peer x",
+		"AAROHI-SHIP/1  3", "AAROHI-SHIP/2 peer 3", "AAROHI-SHIP/1 peer -1",
+		"AAROHI-SHIP/1 peer 99999999",
+	} {
+		if _, _, ok := ParseHandshake(bad); ok {
+			t.Errorf("ParseHandshake(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSanitizePeer(t *testing.T) {
+	cases := map[string]string{
+		"peer-0":      "peer-0",
+		"../escape":   ".._escape",
+		"..":          "_",
+		"":            "_",
+		"a/b\\c d":    "a_b_c_d",
+		"ok_name.9-x": "ok_name.9-x",
+	}
+	for in, want := range cases {
+		if got := sanitizePeer(in); got != want {
+			t.Errorf("sanitizePeer(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if strings.ContainsAny(sanitizePeer("evil/../../../root"), "/\\") {
+		t.Fatal("sanitized name still contains path separators")
+	}
+}

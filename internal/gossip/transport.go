@@ -1,0 +1,224 @@
+package gossip
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Packet is one received datagram.
+type Packet struct {
+	Data []byte
+	From string // sender's network address (diagnostic; routing trusts updates)
+}
+
+// Transport carries gossip datagrams. Implementations are UDPTransport (the
+// real daemon) and MemNetwork endpoints (deterministic multi-node tests with
+// partition control). Semantics are UDP's: best-effort, unordered, bounded
+// size; the protocol tolerates loss by design, so a Transport may drop under
+// pressure but must never block the sender indefinitely.
+type Transport interface {
+	// WriteTo sends one datagram to addr (best effort).
+	WriteTo(data []byte, addr string) error
+	// Packets delivers received datagrams. Closed by Close.
+	Packets() <-chan Packet
+	// LocalAddr is the address peers can reach this transport at.
+	LocalAddr() string
+	// Close stops delivery and closes the Packets channel.
+	Close() error
+}
+
+// packetBuffer is the delivery channel depth for both transports. A slow
+// consumer drops packets rather than stalling the network — gossip retries
+// by construction.
+const packetBuffer = 256
+
+// UDPTransport is the production Transport: one bound UDP socket.
+type UDPTransport struct {
+	conn net.PacketConn
+	pkts chan Packet
+
+	mu    sync.Mutex
+	addrs map[string]*net.UDPAddr // resolved destination cache
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// ListenUDP binds a UDP transport on addr (e.g. "127.0.0.1:7946",
+// "127.0.0.1:0" for ephemeral).
+func ListenUDP(addr string) (*UDPTransport, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: udp listen: %w", err)
+	}
+	t := &UDPTransport{
+		conn:  conn,
+		pkts:  make(chan Packet, packetBuffer),
+		addrs: make(map[string]*net.UDPAddr),
+		done:  make(chan struct{}),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+func (t *UDPTransport) readLoop() {
+	defer close(t.pkts)
+	buf := make([]byte, maxPacket)
+	for {
+		n, from, err := t.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed socket (or a fatal error: either way delivery ends)
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.pkts <- Packet{Data: data, From: from.String()}:
+		default:
+			// Consumer lagging: drop, exactly as the network would.
+		}
+	}
+}
+
+// WriteTo sends one datagram, caching address resolution per destination.
+func (t *UDPTransport) WriteTo(data []byte, addr string) error {
+	t.mu.Lock()
+	ua, ok := t.addrs[addr]
+	t.mu.Unlock()
+	if !ok {
+		var err error
+		ua, err = net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return fmt.Errorf("gossip: resolve %s: %w", addr, err)
+		}
+		t.mu.Lock()
+		t.addrs[addr] = ua
+		t.mu.Unlock()
+	}
+	_, err := t.conn.WriteTo(data, ua)
+	return err
+}
+
+// Packets delivers received datagrams.
+func (t *UDPTransport) Packets() <-chan Packet { return t.pkts }
+
+// LocalAddr is the bound socket address.
+func (t *UDPTransport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// Close stops the read loop and closes the Packets channel.
+func (t *UDPTransport) Close() error {
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.done)
+		err = t.conn.Close()
+	})
+	return err
+}
+
+// MemNetwork is an in-memory datagram fabric for tests: named endpoints,
+// loss-free delivery within a partition, total loss across one — the
+// deterministic substrate the membership property tests run on.
+type MemNetwork struct {
+	mu     sync.Mutex
+	eps    map[string]*MemTransport
+	groups map[string]int // partition group per address; empty = fully connected
+}
+
+// NewMemNetwork builds an empty fabric.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{eps: make(map[string]*MemTransport), groups: make(map[string]int)}
+}
+
+// Endpoint creates (or returns) the transport bound at addr.
+func (n *MemNetwork) Endpoint(addr string) *MemTransport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[addr]; ok {
+		return ep
+	}
+	ep := &MemTransport{
+		net:  n,
+		addr: addr,
+		pkts: make(chan Packet, packetBuffer),
+	}
+	n.eps[addr] = ep
+	return ep
+}
+
+// Partition splits the fabric: addresses in the same group still reach each
+// other, cross-group datagrams vanish. Addresses not listed in any group drop
+// everything (both directions).
+func (n *MemNetwork) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[string]int)
+	for gi, g := range groups {
+		for _, addr := range g {
+			n.groups[addr] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *MemNetwork) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[string]int)
+}
+
+// deliver routes one datagram from src to dst under the partition map. The
+// send happens under n.mu — it is non-blocking, and holding the lock makes it
+// mutually exclusive with Close closing the destination channel.
+func (n *MemNetwork) deliver(src, dst string, data []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.eps[dst]
+	if len(n.groups) > 0 {
+		gs, gd := n.groups[src], n.groups[dst]
+		if gs == 0 || gd == 0 || gs != gd {
+			ok = false
+		}
+	}
+	if !ok || ep.closed {
+		return // unreachable: dropped on the floor, like UDP
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	select {
+	case ep.pkts <- Packet{Data: cp, From: src}:
+	default:
+	}
+}
+
+// MemTransport is one MemNetwork endpoint.
+type MemTransport struct {
+	net    *MemNetwork
+	addr   string
+	pkts   chan Packet
+	closed bool
+}
+
+// WriteTo sends one datagram through the fabric.
+func (t *MemTransport) WriteTo(data []byte, addr string) error {
+	t.net.deliver(t.addr, addr, data)
+	return nil
+}
+
+// Packets delivers received datagrams.
+func (t *MemTransport) Packets() <-chan Packet { return t.pkts }
+
+// LocalAddr is the endpoint's fabric address.
+func (t *MemTransport) LocalAddr() string { return t.addr }
+
+// Close detaches the endpoint and closes the Packets channel.
+func (t *MemTransport) Close() error {
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	delete(t.net.eps, t.addr)
+	close(t.pkts) // under net.mu: excludes in-flight deliver sends
+	return nil
+}

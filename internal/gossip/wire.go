@@ -1,0 +1,274 @@
+// Package gossip is a SWIM-style membership layer for a fleet of aarohid
+// peers: each daemon probes the others over a tiny UDP protocol (ping,
+// indirect ping-req, ack), piggybacks membership updates on every packet
+// (anti-entropy dissemination), and detects peer death with the same
+// phi-accrual estimator the arbiter applies to compute nodes — fed here with
+// probe-ack inter-arrivals instead of log-line heartbeats. A suspected peer
+// refutes by bumping its incarnation number; a confirmed-dead peer stays dead
+// until it rejoins with a higher incarnation.
+//
+// Layering: gossip sits beside the core domain packages — it may import
+// arbiter and ring, never any serve layer. The serve composition root owns
+// all wiring (membership changes → placement rebuild → shard takeover).
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// State is a member's position in the SWIM lifecycle.
+type State uint8
+
+const (
+	// StateAlive: the member answers probes (or someone vouches it does).
+	StateAlive State = iota
+	// StateSuspect: probes are failing; the member has SuspectTimeout to
+	// refute with a higher incarnation before it is confirmed dead.
+	StateSuspect
+	// StateDead: confirmed dead. Sticky until an alive announcement with a
+	// strictly higher incarnation (a restart) rejoins the member.
+	StateDead
+	// StateLeft: the member announced a graceful leave. Treated like dead for
+	// placement (its shards are taken over), but never re-suspected.
+	StateLeft
+)
+
+// String names the state for logs and /peers.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// msgType discriminates wire messages.
+type msgType byte
+
+const (
+	msgPing    msgType = 1 // direct probe; answer with msgAck echoing Seq
+	msgAck     msgType = 2 // probe answer (direct, or relayed by an intermediary)
+	msgPingReq msgType = 3 // indirect probe request: "ping Target for me"
+	msgSync    msgType = 4 // full-state push (join, periodic anti-entropy)
+	msgSyncAck msgType = 5 // full-state reply
+)
+
+// update is the unit of dissemination: one member's identity and lifecycle
+// claim. Every packet carries the sender's own record plus a bounded list of
+// piggybacked updates.
+type update struct {
+	Name     string // peer identity (unique cluster-wide)
+	Addr     string // advertised gossip address
+	LineAddr string // advertised TCP line-protocol address (forwarding target)
+	Shards   int    // peer's local shard count (peer-aware placement needs it)
+	Inc      uint64 // incarnation number: refutation currency
+	State    State
+}
+
+// message is one decoded packet.
+type message struct {
+	Type    msgType
+	Seq     uint64
+	From    update // the sender's own record (always an alive claim)
+	Target  update // msgPingReq only: who to probe (Name + Addr meaningful)
+	Updates []update
+}
+
+// Wire format: version byte, type byte, uvarint seq, sender update,
+// [target update when type == msgPingReq], uvarint count, updates. Strings
+// are uvarint-length-prefixed and capped; counts are capped; decode never
+// trusts a length field further than the buffer it has.
+const (
+	wireVersion = 0x01
+
+	// maxWireStr caps every encoded string (names and addresses).
+	maxWireStr = 256
+	// maxWireUpdates caps the piggyback/sync list in one packet.
+	maxWireUpdates = 512
+	// maxPacket bounds an encoded packet; sized so a full sync of
+	// maxWireUpdates tiny updates still fits a UDP datagram path with room.
+	maxPacket = 64 << 10
+)
+
+var (
+	errWireTruncated = errors.New("gossip: truncated packet")
+	errWireVersion   = errors.New("gossip: unknown wire version")
+	errWireType      = errors.New("gossip: unknown message type")
+	errWireField     = errors.New("gossip: field exceeds wire bounds")
+	errWireTrailing  = errors.New("gossip: trailing bytes after message")
+)
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > maxWireStr {
+		s = s[:maxWireStr]
+	}
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendUpdate(b []byte, u update) []byte {
+	b = appendString(b, u.Name)
+	b = appendString(b, u.Addr)
+	b = appendString(b, u.LineAddr)
+	b = binary.AppendUvarint(b, uint64(u.Shards))
+	b = binary.AppendUvarint(b, u.Inc)
+	return append(b, byte(u.State))
+}
+
+// encodeMessage appends m's wire form to b (reuse the slice across sends).
+func encodeMessage(b []byte, m *message) []byte {
+	b = append(b, wireVersion, byte(m.Type))
+	b = binary.AppendUvarint(b, m.Seq)
+	b = appendUpdate(b, m.From)
+	if m.Type == msgPingReq {
+		b = appendUpdate(b, m.Target)
+	}
+	n := len(m.Updates)
+	if n > maxWireUpdates {
+		n = maxWireUpdates
+	}
+	b = binary.AppendUvarint(b, uint64(n))
+	for _, u := range m.Updates[:n] {
+		b = appendUpdate(b, u)
+	}
+	return b
+}
+
+// wireReader walks a packet buffer with bounds checking everywhere.
+type wireReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *wireReader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, errWireTruncated
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, errWireTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *wireReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxWireStr {
+		return "", errWireField
+	}
+	if r.pos+int(n) > len(r.b) {
+		return "", errWireTruncated
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *wireReader) update() (update, error) {
+	var u update
+	var err error
+	if u.Name, err = r.string(); err != nil {
+		return u, err
+	}
+	if u.Addr, err = r.string(); err != nil {
+		return u, err
+	}
+	if u.LineAddr, err = r.string(); err != nil {
+		return u, err
+	}
+	shards, err := r.uvarint()
+	if err != nil {
+		return u, err
+	}
+	if shards > 1<<16 {
+		return u, errWireField
+	}
+	u.Shards = int(shards)
+	if u.Inc, err = r.uvarint(); err != nil {
+		return u, err
+	}
+	st, err := r.byte()
+	if err != nil {
+		return u, err
+	}
+	if st > byte(StateLeft) {
+		return u, errWireField
+	}
+	u.State = State(st)
+	return u, nil
+}
+
+// decodeMessage parses one packet. It is the fuzzed hostile-input surface:
+// every length is bounds-checked, every count capped, and a valid decode
+// re-encodes to an equivalent message (see FuzzGossipDecode).
+func decodeMessage(b []byte) (*message, error) {
+	if len(b) > maxPacket {
+		return nil, errWireField
+	}
+	r := wireReader{b: b}
+	v, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != wireVersion {
+		return nil, errWireVersion
+	}
+	t, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	m := &message{Type: msgType(t)}
+	switch m.Type {
+	case msgPing, msgAck, msgPingReq, msgSync, msgSyncAck:
+	default:
+		return nil, errWireType
+	}
+	if m.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.From, err = r.update(); err != nil {
+		return nil, err
+	}
+	if m.Type == msgPingReq {
+		if m.Target, err = r.update(); err != nil {
+			return nil, err
+		}
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWireUpdates {
+		return nil, errWireField
+	}
+	if n > 0 {
+		m.Updates = make([]update, n)
+		for i := range m.Updates {
+			if m.Updates[i], err = r.update(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.pos != len(b) {
+		return nil, errWireTrailing
+	}
+	return m, nil
+}

@@ -13,6 +13,8 @@ import (
 //	lifecycle ──▶ shard
 //	serve     ──▶ everything (composition root)
 //	ring      ──▶ nothing above internal/core
+//	gossip    ──▶ ring + domain packages, never a serve layer
+//	ship      ──▶ same: the WAL-shipping peer of gossip
 //
 // The decomposition of internal/serve only holds its value while the arrows
 // stay one-way: the moment transport reaches into pipeline internals or a
@@ -42,6 +44,8 @@ var layerNames = map[string]bool{
 	"serve":     true,
 	"ring":      true,
 	"core":      true,
+	"gossip":    true,
+	"ship":      true,
 }
 
 // layerRules lists, per importing layer, the layers it must never import and
@@ -67,6 +71,17 @@ var layerRules = map[string]struct {
 	"lifecycle": {
 		deny:   map[string]bool{"transport": true, "pipeline": true, "serve": true},
 		reason: "lifecycle coordinates shards and must not reach the ingest path",
+	},
+	// The cluster plane sits beside the daemon, not above it: the serve layer
+	// composes gossip and ship, so neither may reach back into any serve
+	// layer (membership must stay usable without a daemon around it).
+	"gossip": {
+		deny:   map[string]bool{"transport": true, "pipeline": true, "shard": true, "lifecycle": true, "serve": true},
+		reason: "gossip is membership only — the serve layers compose it, never the reverse",
+	},
+	"ship": {
+		deny:   map[string]bool{"transport": true, "pipeline": true, "shard": true, "lifecycle": true, "serve": true},
+		reason: "WAL shipping moves journal bytes between peers and must not know the daemon that owns them",
 	},
 }
 

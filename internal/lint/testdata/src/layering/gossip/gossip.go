@@ -1,0 +1,13 @@
+// Package gossip is the fixture for the gossip rules: membership may sit on
+// the ring and domain packages but never reach a serve layer, with
+// //aarohi:allow as the escape hatch.
+package gossip
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/core"
+	_ "repro/internal/lint/testdata/src/layering/ring"
+	_ "repro/internal/lint/testdata/src/layering/serve"     // want "gossip must not import serve package"
+	_ "repro/internal/lint/testdata/src/layering/transport" // want "gossip must not import transport package"
+	//aarohi:allow layering fixture: prove the suppression silences the edge
+	_ "repro/internal/lint/testdata/src/layering/lifecycle"
+)

@@ -1,0 +1,8 @@
+// Package serve is the fixture composition root: unrestricted, it may import
+// every layer — its role here is to be a denied target for the others.
+package serve
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/core"
+	_ "repro/internal/lint/testdata/src/layering/shard"
+)

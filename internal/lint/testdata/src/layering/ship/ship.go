@@ -1,0 +1,9 @@
+// Package ship is the fixture for the ship rules: WAL shipping moves journal
+// bytes between peers and must not know the daemon that owns them.
+package ship
+
+import (
+	_ "repro/internal/lint/testdata/src/layering/core"
+	_ "repro/internal/lint/testdata/src/layering/pipeline" // want "ship must not import pipeline package"
+	_ "repro/internal/lint/testdata/src/layering/shard"    // want "ship must not import shard package"
+)

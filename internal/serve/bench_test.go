@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"io"
+	"net"
 	"testing"
 	"time"
 
@@ -107,4 +109,91 @@ func BenchmarkServeIngest(b *testing.B) {
 	b.Run("shards4", func(b *testing.B) {
 		run(b, Config{Shards: 4, Model: model})
 	})
+	// Forwarded hop: cluster mode with a static table that omits this
+	// daemon, so every line makes the one cross-daemon hop — placement
+	// lookup, per-owner batching, buffered write, one flush per batch. The
+	// peer is a discard sink; this measures the sender's side of the hop,
+	// which must stay allocation-free in steady state.
+	b.Run("fwd", func(b *testing.B) {
+		benchForwardedHop(b, lines, avg)
+	})
+}
+
+// benchForwardedHop is BenchmarkServeIngest/fwd: a daemon that owns no slice
+// of the ring spraying every line at one static peer. It cannot share run()
+// above because cluster mode requires the TCP line listener (the forwarding
+// plane rides it) and the barrier is the forwarded-out counter, not a shard
+// flush — nothing ever reaches a local shard.
+func benchForwardedHop(b *testing.B, lines []string, avg int64) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_, _ = io.Copy(io.Discard, conn)
+				conn.Close()
+			}()
+		}
+	}()
+
+	mgr, err := predictor.NewManager(
+		loggen.DialectXC30.Chains(), loggen.DialectXC30.Inventory(),
+		predictor.Options{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(mgr, Config{
+		TCPAddr: "127.0.0.1:0", HTTPAddr: "off", Overflow: Block,
+		Cluster: &ClusterConfig{
+			Name:   "bench",
+			Static: []StaticPeer{{Name: "peer", LineAddr: ln.Addr().String()}},
+		},
+	})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	if !s.beginProduce() {
+		b.Fatal("server already draining")
+	}
+	defer s.endProduce()
+
+	b.SetBytes(avg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ingest(lines[i%len(lines)])
+	}
+	// Barrier: every enqueued line counted out the forwarding client before
+	// the clock stops. The discard peer never pushes back, so the only
+	// acceptable terminal states are forwarded or failed — and a failure
+	// fails the benchmark.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.cluster.forwardedOut.Load() < int64(b.N) {
+		if n := s.cluster.forwardErrs.Load(); n > 0 {
+			b.Fatalf("forward errors: %d", n)
+		}
+		if n := s.cluster.misrouted.Load(); n > 0 {
+			b.Fatalf("misrouted lines: %d", n)
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("forwarded %d of %d lines after 30s",
+				s.cluster.forwardedOut.Load(), b.N)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	b.StopTimer()
 }

@@ -111,3 +111,10 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Status())
 }
+
+// handlePeers serves GET /peers: the cluster membership view — every peer
+// this daemon knows with state, incarnation and addresses — plus the local
+// forwarding/shipping counters. Mounted only in cluster mode.
+func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.cluster.status())
+}

@@ -72,6 +72,11 @@ type Group struct {
 	cfg    Config
 	shards []*shard.Local
 
+	// adopted holds shards taken over from dead peers (see takeover.go).
+	// Guarded by adoptMu; g.shards itself stays immutable after NewGroup.
+	adoptMu sync.Mutex
+	adopted []*shard.Local
+
 	// reg is the admitted-model store (nil when the daemon has no model).
 	// swapMu serializes swaps, shadow starts/stops and reloads.
 	reg      *registry.Registry
@@ -194,12 +199,18 @@ func (g *Group) StopSnapshots() {
 	g.snapStop = nil
 }
 
-// SnapshotAll checkpoints every shard, logging (not aborting on) per-shard
-// failures — a shard that misses a snapshot just replays a longer tail.
+// SnapshotAll checkpoints every shard — boot shards and adopted ones —
+// logging (not aborting on) per-shard failures — a shard that misses a
+// snapshot just replays a longer tail.
 func (g *Group) SnapshotAll() {
 	for _, sh := range g.shards {
 		if err := sh.Snapshot(); err != nil {
 			g.cfg.Logf("serve: snapshot: %v", err)
+		}
+	}
+	for _, sh := range g.Adopted() {
+		if err := sh.Snapshot(); err != nil {
+			g.cfg.Logf("serve: snapshot (adopted): %v", err)
 		}
 	}
 }

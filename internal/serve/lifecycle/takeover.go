@@ -1,0 +1,39 @@
+package lifecycle
+
+import (
+	"fmt"
+
+	"repro/internal/serve/shard"
+)
+
+// Takeover: when the cluster layer confirms a peer dead, the heir daemon
+// adopts the dead peer's shards — each one rebuilt from the WAL-shipped
+// mirror exactly the way Boot rebuilds a local shard after a crash
+// (snapshot restore + journal tail replay). Adopted shards join the Group's
+// snapshot loop and shutdown path, but stay outside the swap/shadow set: a
+// mirror's journal is replayed against the model lineage it was written
+// under, and custody is temporary (the shard dies with the process; a
+// rejoining peer re-ingests from its own journal).
+
+// Adopt recovers one orphaned shard: its fan-out starts, its mirror data dir
+// is opened (snapshot restore, then journal replay — recovered outputs land
+// in the shard's Recovered buffer), and the shard joins the periodic
+// snapshot set. The caller wires the shard's ingest afterwards.
+func (g *Group) Adopt(sh *shard.Local) error {
+	sh.Start()
+	if err := sh.Open(g.reg); err != nil {
+		sh.Close()
+		return fmt.Errorf("serve: adopting shard %d: %w", sh.Index(), err)
+	}
+	g.adoptMu.Lock()
+	g.adopted = append(g.adopted, sh)
+	g.adoptMu.Unlock()
+	return nil
+}
+
+// Adopted returns the shards taken over so far (adoption order).
+func (g *Group) Adopted() []*shard.Local {
+	g.adoptMu.Lock()
+	defer g.adoptMu.Unlock()
+	return append([]*shard.Local(nil), g.adopted...)
+}

@@ -38,6 +38,15 @@ type Sink interface {
 	ProcessBatch(batch []string)
 }
 
+// item is one queued line plus its provenance. fwd marks a line that already
+// made one cross-daemon hop (it arrived over a peer-forwarded connection):
+// the pump routes those to the forward sink, which must process them locally
+// no matter what the placement table says — a line never travels twice.
+type item struct {
+	line string
+	fwd  bool
+}
+
 // Config parameterizes a Pipeline. Callers pass already-defaulted values
 // (the serve layer owns configuration policy); New only guards against
 // outright invalid ones.
@@ -59,18 +68,24 @@ type Config struct {
 	// has closed and the final batch has reached the Sink, before Done
 	// closes — the hook the serve layer uses for the final checkpoint.
 	OnDrained func()
+	// Forward, when non-nil, receives lines enqueued via IngestForwarded
+	// (lines that already made their one cross-daemon hop). Nil routes them
+	// to the primary Sink. Single-daemon deployments never set it.
+	Forward Sink
 }
 
 // Pipeline is the bounded ingest queue plus its single-consumer pump.
 // Construct with New, start the pump with Start, stop by StartDrain +
 // CloseQueue once producers are gone.
 type Pipeline struct {
-	cfg   Config
-	sink  Sink
-	queue chan string
+	cfg     Config
+	sink    Sink
+	fwdSink Sink
+	queue   chan item
 
-	accepted atomic.Int64
-	dropped  atomic.Int64
+	accepted  atomic.Int64
+	dropped   atomic.Int64
+	forwarded atomic.Int64
 
 	// prodMu serializes producer registration against drain start, so the
 	// queue can be closed with no writer left behind.
@@ -101,11 +116,16 @@ func New(cfg Config, sink Sink) *Pipeline {
 	if cfg.Overflow == "" {
 		cfg.Overflow = Block
 	}
+	fwd := cfg.Forward
+	if fwd == nil {
+		fwd = sink
+	}
 	return &Pipeline{
-		cfg:   cfg,
-		sink:  sink,
-		queue: make(chan string, cfg.QueueSize),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		sink:    sink,
+		fwdSink: fwd,
+		queue:   make(chan item, cfg.QueueSize),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -132,9 +152,25 @@ func (p *Pipeline) EndProduce() { p.prodWG.Done() }
 // The caller must hold a producer registration. Reports whether the line
 // was accepted.
 func (p *Pipeline) Ingest(line string) bool {
+	return p.enqueue(item{line: line})
+}
+
+// IngestForwarded enqueues a line that arrived over a peer-forwarded
+// connection. It flows through the same bounded queue (one backpressure
+// domain) but is dispatched to the Forward sink, which processes it locally —
+// forwarded lines never hop again.
+func (p *Pipeline) IngestForwarded(line string) bool {
+	if p.enqueue(item{line: line, fwd: true}) {
+		p.forwarded.Add(1)
+		return true
+	}
+	return false
+}
+
+func (p *Pipeline) enqueue(it item) bool {
 	if p.cfg.Overflow == Shed {
 		select {
-		case p.queue <- line:
+		case p.queue <- it:
 			p.accepted.Add(1)
 			return true
 		default:
@@ -142,7 +178,7 @@ func (p *Pipeline) Ingest(line string) bool {
 			return false
 		}
 	}
-	p.queue <- line
+	p.queue <- it
 	p.accepted.Add(1)
 	return true
 }
@@ -190,6 +226,9 @@ func (p *Pipeline) Accepted() int64 { return p.accepted.Load() }
 // Dropped is the number of lines shed at a full queue.
 func (p *Pipeline) Dropped() int64 { return p.dropped.Load() }
 
+// Forwarded is the number of peer-forwarded lines accepted so far.
+func (p *Pipeline) Forwarded() int64 { return p.forwarded.Load() }
+
 // pump is the single consumer of the ingest queue: every accepted line flows
 // through it into the Sink, so "queue drained + pump exited" means every
 // accepted line reached the Sink. BatchMax > 1 selects the batched pump:
@@ -214,11 +253,15 @@ func (p *Pipeline) pump() {
 //
 //aarohi:hotpath
 func (p *Pipeline) pumpLines() {
-	for line := range p.queue {
+	for it := range p.queue {
 		if p.TestHookDelay != nil {
 			p.TestHookDelay()
 		}
-		p.sink.ProcessLine(line)
+		if it.fwd {
+			p.fwdSink.ProcessLine(it.line)
+		} else {
+			p.sink.ProcessLine(it.line)
+		}
 	}
 }
 
@@ -231,8 +274,10 @@ func (p *Pipeline) pumpLines() {
 //aarohi:hotpath
 func (p *Pipeline) pumpBatches() {
 	var (
-		batch  []string
-		closed bool
+		batch   []string
+		closed  bool
+		carry   item // first line of the next batch when provenance flips
+		carried bool
 	)
 	// The age timer starts stopped and is armed per batch. go.mod pins the
 	// go 1.22 language version, so classic timer rules apply: Stop and drain
@@ -241,9 +286,15 @@ func (p *Pipeline) pumpBatches() {
 	stopTimer(timer)
 	defer timer.Stop()
 	for !closed {
-		line, ok := <-p.queue
-		if !ok {
-			return
+		var it item
+		if carried {
+			it, carried = carry, false
+		} else {
+			var ok bool
+			it, ok = <-p.queue
+			if !ok {
+				return
+			}
 		}
 		// The test hook sits where the per-line pump had it — after the first
 		// dequeue, before any further draining — so queue-overflow tests can
@@ -251,33 +302,45 @@ func (p *Pipeline) pumpBatches() {
 		if p.TestHookDelay != nil {
 			p.TestHookDelay()
 		}
-		batch = append(batch[:0], line)
-		nbytes := len(line)
+		batch = append(batch[:0], it.line)
+		fwd := it.fwd
+		nbytes := len(it.line)
 		if p.cfg.BatchAge > 0 {
 			timer.Reset(p.cfg.BatchAge)
 		}
 	collect:
+		// Each batch is provenance-uniform: a line whose fwd flag differs
+		// from the batch head's closes the batch and seeds the next one, so
+		// arrival order is preserved across the two sinks.
 		for len(batch) < p.cfg.BatchMax && nbytes < p.cfg.BatchMaxBytes {
 			select {
-			case line, ok := <-p.queue:
+			case it, ok := <-p.queue:
 				if !ok {
 					closed = true
 					break collect
 				}
-				batch = append(batch, line)
-				nbytes += len(line)
+				if it.fwd != fwd {
+					carry, carried = it, true
+					break collect
+				}
+				batch = append(batch, it.line)
+				nbytes += len(it.line)
 			default:
 				if p.cfg.BatchAge <= 0 {
 					break collect // opportunistic only: queue is empty, go
 				}
 				select {
-				case line, ok := <-p.queue:
+				case it, ok := <-p.queue:
 					if !ok {
 						closed = true
 						break collect
 					}
-					batch = append(batch, line)
-					nbytes += len(line)
+					if it.fwd != fwd {
+						carry, carried = it, true
+						break collect
+					}
+					batch = append(batch, it.line)
+					nbytes += len(it.line)
 				case <-timer.C:
 					break collect // the partial batch is old enough
 				}
@@ -286,7 +349,11 @@ func (p *Pipeline) pumpBatches() {
 		if p.cfg.BatchAge > 0 {
 			stopTimer(timer)
 		}
-		p.sink.ProcessBatch(batch)
+		if fwd {
+			p.fwdSink.ProcessBatch(batch)
+		} else {
+			p.sink.ProcessBatch(batch)
+		}
 	}
 }
 

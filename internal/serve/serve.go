@@ -158,6 +158,11 @@ type Config struct {
 	// recovery path alongside the parse state when DataDir is set. Each
 	// shard runs its own arbiter over the nodes it owns.
 	Arbiter *arbiter.Config
+
+	// Cluster, when non-nil, joins this daemon to an aarohid cluster: gossip
+	// membership, cross-daemon line forwarding, WAL shipping to the ring
+	// successor and shard takeover on confirmed peer death (see cluster.go).
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +221,21 @@ func (c Config) Validate() error {
 	if c.SnapshotInterval > 0 && c.DataDir == "" {
 		return fmt.Errorf("serve: SnapshotInterval requires DataDir (snapshots need somewhere to live)")
 	}
+	if c.Cluster != nil {
+		if c.Cluster.Name == "" {
+			return fmt.Errorf("serve: Cluster requires Name (the daemon's cluster-unique peer name)")
+		}
+		if c.TCPAddr == "off" {
+			return fmt.Errorf("serve: Cluster requires the TCP line listener (forwarding and shipping ride it)")
+		}
+		gossipMode := c.Cluster.GossipAddr != ""
+		if gossipMode == (len(c.Cluster.Static) > 0) {
+			return fmt.Errorf("serve: Cluster requires exactly one of GossipAddr (live membership) or Static (fixed table)")
+		}
+		if gossipMode && c.Model == nil {
+			return fmt.Errorf("serve: Cluster with gossip requires Model (takeover rebuilds shard managers from it)")
+		}
+	}
 	return nil
 }
 
@@ -253,6 +273,9 @@ type Status struct {
 	// chain precision ledger); nil when Config.Arbiter is unset or
 	// Shards > 1 (per-shard summaries live in Shards).
 	Arbiter *arbiter.Status `json:"arbiter,omitempty"`
+	// Cluster is the peer membership / forwarding / shipping block; nil when
+	// Config.Cluster is unset.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // ShardStatus is one partition's row in the /statusz per-shard block.
@@ -308,6 +331,9 @@ type Server struct {
 	// arb is shard 0's arbiter — the whole daemon's in single-shard mode
 	// (nil when Config.Arbiter is unset).
 	arb *arbiter.Arbiter
+
+	// cluster is the peer plane (nil when Config.Cluster is unset).
+	cluster *cluster
 
 	started      bool
 	shutdownOnce sync.Once
@@ -421,7 +447,7 @@ func (s *Server) Start() error {
 	}
 
 	s.router = shard.NewRouter(s.shards)
-	s.pipe = pipeline.New(pipeline.Config{
+	pcfg := pipeline.Config{
 		QueueSize:     s.cfg.QueueSize,
 		Overflow:      s.cfg.Overflow,
 		BatchMax:      s.cfg.BatchMax,
@@ -431,7 +457,22 @@ func (s *Server) Start() error {
 		// final checkpoint and manager close, while the fan-outs the snapshot
 		// barriers need are still alive.
 		OnDrained: func() { s.router.FinishIngest(s.testSkipFinalSnapshot) },
-	}, s.router)
+	}
+	var sink pipeline.Sink = s.router
+	if s.cfg.Cluster != nil {
+		// Cluster mode interposes placement between the pump and the Router:
+		// the primary sink may forward lines to peers, the Forward sink
+		// handles lines that already hopped, and adopted shards join the
+		// final checkpoint.
+		s.cluster = newCluster(s, *s.cfg.Cluster)
+		sink = newClusterSink(s.cluster, false)
+		pcfg.Forward = newClusterSink(s.cluster, true)
+		pcfg.OnDrained = func() {
+			s.router.FinishIngest(s.testSkipFinalSnapshot)
+			s.cluster.finishIngest(s.testSkipFinalSnapshot)
+		}
+	}
+	s.pipe = pipeline.New(pcfg, sink)
 	s.pipe.TestHookDelay = s.testHookPumpDelay
 
 	// On listener failure, unwind what Start already spun up so no
@@ -451,7 +492,19 @@ func (s *Server) Start() error {
 	tcfg := transport.Config{MaxLineLen: s.cfg.MaxLineLen, Logf: s.cfg.Logf}
 	if s.cfg.TCPAddr != "off" {
 		s.tcp = transport.NewTCP(tcfg, s.pipe, s.cfg.ReadTimeout)
+		if s.cluster != nil {
+			s.tcp.SetHijacker(s.cluster.hijack)
+		}
 		if err := s.tcp.Start(s.cfg.TCPAddr); err != nil {
+			return fail(err)
+		}
+	}
+	// The cluster plane starts once the line listener is bound (its address
+	// is what gossip advertises) and before the pump runs (the sinks read
+	// the placement view).
+	if s.cluster != nil {
+		if err := s.cluster.start(); err != nil {
+			s.cluster.close()
 			return fail(err)
 		}
 	}
@@ -459,6 +512,9 @@ func (s *Server) Start() error {
 		s.http = transport.NewHTTP(tcfg, s.pipe)
 		s.http.Handle("GET /predictions", s.handlePredictions)
 		s.http.Handle("GET /statusz", s.handleStatusz)
+		if s.cluster != nil {
+			s.http.Handle("GET /peers", s.handlePeers)
+		}
 		s.http.Handle("POST /model", s.handleModelUpload)
 		s.http.Handle("GET /models", s.handleModels)
 		s.http.Handle("POST /model/activate", s.handleModelActivate)
@@ -527,6 +583,13 @@ func (s *Server) Recovered() []predictor.Output {
 	for _, sh := range s.shards {
 		out = append(out, sh.Recovered()...)
 	}
+	if s.cluster != nil {
+		// Adopted shards replayed a dead peer's shipped journal; their
+		// recovered outputs are part of this daemon's answer now.
+		for _, sh := range s.cluster.adoptedShards() {
+			out = append(out, sh.Recovered()...)
+		}
+	}
 	return out
 }
 
@@ -586,6 +649,9 @@ func (s *Server) Status() Status {
 			lifecycle.SumManagerStats(&st.Manager, stats.Manager)
 		}
 	}
+	if s.cluster != nil {
+		st.Cluster = s.cluster.status()
+	}
 	return st
 }
 
@@ -636,7 +702,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) shutdown(ctx context.Context) error {
-	// 1. Refuse new producers; nothing else registers from here on.
+	// 1. Refuse new producers; nothing else registers from here on. In
+	// cluster mode, announce departure first so peers stop forwarding here
+	// (left is terminal — no takeover fires for a graceful leave).
+	if s.cluster != nil {
+		s.cluster.leave()
+	}
 	s.pipe.StartDrain()
 
 	// 2. Stop accepting TCP connections.
@@ -669,6 +740,9 @@ func (s *Server) shutdown(ctx context.Context) error {
 	<-s.pipe.Done()
 	for _, sh := range s.shards {
 		sh.Close()
+	}
+	if s.cluster != nil {
+		s.cluster.close()
 	}
 	s.hub.close()
 

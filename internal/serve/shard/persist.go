@@ -325,3 +325,45 @@ func (l *Local) WALStatus() *WALStatus {
 
 // Recovery returns the boot-time recovery report (nil when none ran).
 func (l *Local) Recovery() *RecoveryStatus { return l.recovery }
+
+// The accessors below expose the journal read-side for shard shipping (the
+// serve layer adapts them into the ship Source interface). All are safe
+// against concurrent ingest: the wal layer serializes appends internally and
+// Replay works from a stable segment listing; LatestSnapshot races only with
+// the atomic snapshot rename.
+
+// WALFirstIndex is the journal's first retained index (0 when persistence is
+// off or the journal has never held a record).
+func (l *Local) WALFirstIndex() uint64 {
+	if l.wlog == nil {
+		return 0
+	}
+	return l.wlog.FirstIndex()
+}
+
+// WALLastIndex is the journal's last appended index (0 when persistence is
+// off).
+func (l *Local) WALLastIndex() uint64 {
+	if l.wlog == nil {
+		return 0
+	}
+	return l.wlog.LastIndex()
+}
+
+// WALReplay streams journal records with index ≥ from (no-op when
+// persistence is off).
+func (l *Local) WALReplay(from uint64, fn func(index uint64, rec []byte) error) error {
+	if l.wlog == nil {
+		return nil
+	}
+	return l.wlog.Replay(from, fn)
+}
+
+// LatestSnapshot returns the newest on-disk snapshot container (the full
+// framed payload, opaque to callers) and the journal offset it covers.
+func (l *Local) LatestSnapshot() (walOffset uint64, payload []byte, ok bool, err error) {
+	if l.cfg.Dir == "" {
+		return 0, nil, false, nil
+	}
+	return wal.LatestSnapshot(l.snapDir())
+}

@@ -77,6 +77,12 @@ func NewRouter(shards []*Local) *Router {
 // they still route deterministically, and the shard's parser rejects them
 // exactly as a single-shard daemon would.
 //
+// RouteKey exposes the routing key to the cluster layer, which places lines
+// on peers with the same key the Router uses to place them on shards.
+//
+//aarohi:hotpath
+func RouteKey(line string) string { return routeKey(line) }
+
 //aarohi:hotpath
 func routeKey(line string) string {
 	sp := strings.IndexByte(line, ' ')

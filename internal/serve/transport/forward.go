@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// ForwardPreamble opens a peer-forwarded line stream: the dialing daemon
+// sends "AAROHI-FWD/1 <name>" as the connection's first line, then raw log
+// lines. The receiving daemon's Hijacker routes such connections into its
+// forwarded-ingest lane, so a forwarded line never hops again.
+const ForwardPreamble = "AAROHI-FWD/1"
+
+// Forwarder is the cross-daemon ingest client: one persistent connection per
+// peer line address, batched newline-framed writes, one Flush per batch.
+// Backpressure is the TCP send buffer — when the peer's ingest queue blocks
+// its reader, Forward blocks here, and the stall propagates to this daemon's
+// own pump. Forward is not safe for concurrent use (it runs on the single
+// pump goroutine); Close may race it.
+type Forwarder struct {
+	cfg  Config
+	self string
+
+	mu     sync.Mutex
+	conns  map[string]*fwdConn
+	closed bool
+}
+
+type fwdConn struct {
+	c net.Conn
+	w *bufio.Writer
+}
+
+// forwardDialTimeout bounds one connection attempt to a peer.
+const forwardDialTimeout = 2 * time.Second
+
+// NewForwarder builds a forwarding client announcing itself as self.
+func NewForwarder(cfg Config, self string) *Forwarder {
+	return &Forwarder{cfg: cfg, self: self, conns: make(map[string]*fwdConn)}
+}
+
+// Forward sends batch to the peer line listener at addr. The write path is
+// allocation-free in steady state: a map hit, buffered WriteString per line,
+// one Flush. A dead connection is redialed once with the whole batch
+// replayed (line streams are idempotent at most once per batch here because
+// nothing has been flushed when the first write fails; a flush failure can
+// duplicate a partial batch at the peer, which the prediction layer absorbs
+// the same way it absorbs duplicate journal replays).
+//
+//aarohi:hotpath
+func (f *Forwarder) Forward(addr string, batch []string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return net.ErrClosed
+	}
+	fc := f.conns[addr]
+	if fc == nil {
+		var err error
+		if fc, err = f.dial(addr); err != nil {
+			return err
+		}
+		f.conns[addr] = fc
+	}
+	if err := writeBatch(fc.w, batch); err == nil {
+		return nil
+	}
+	// Cold path: the connection died (peer restart, takeover churn). Redial
+	// once and replay the batch; a second failure surfaces to the caller.
+	fc.c.Close()
+	delete(f.conns, addr)
+	fc, err := f.dial(addr)
+	if err != nil {
+		return err
+	}
+	if err := writeBatch(fc.w, batch); err != nil {
+		fc.c.Close()
+		return err
+	}
+	f.conns[addr] = fc
+	return nil
+}
+
+func writeBatch(w *bufio.Writer, batch []string) error {
+	for _, line := range batch {
+		if _, err := w.WriteString(line); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func (f *Forwarder) dial(addr string) (*fwdConn, error) {
+	c, err := net.DialTimeout("tcp", addr, forwardDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(c, 64<<10)
+	if _, err := w.WriteString(ForwardPreamble + " " + f.self + "\n"); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &fwdConn{c: c, w: w}, nil
+}
+
+// Drop closes the connection to addr (peer confirmed dead); the next Forward
+// to that address would redial.
+func (f *Forwarder) Drop(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fc := f.conns[addr]; fc != nil {
+		fc.c.Close()
+		delete(f.conns, addr)
+	}
+}
+
+// Flush pushes out any buffered bytes on every peer connection.
+func (f *Forwarder) Flush() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fc := range f.conns {
+		fc.w.Flush()
+	}
+}
+
+// Close closes every peer connection.
+func (f *Forwarder) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	for addr, fc := range f.conns {
+		fc.w.Flush()
+		fc.c.Close()
+		delete(f.conns, addr)
+	}
+}

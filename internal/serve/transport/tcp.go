@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -19,10 +21,26 @@ import (
 // TCP is the line-protocol listener. Construct with NewTCP, bind with Start,
 // stop with StopAccepting (then SetDrainDeadline/ForceClose to bound the
 // drain of connections already open).
+// Hijacker inspects a connection's first line before normal line ingest
+// begins. A non-nil return takes over the connection: the handler owns it
+// for the rest of its life (the transport still tracks it for drain
+// deadlines and force-close, and still releases the producer registration
+// when the handler returns). A nil return means "not mine" and the first
+// line is ingested normally. The serve layer uses this to multiplex peer
+// protocols — forwarded-line streams and shard-shipping sessions — onto the
+// one line listener, without the transport knowing either protocol.
+type Hijacker func(first string) HijackHandler
+
+// HijackHandler runs a hijacked connection's session. rd wraps c and holds
+// whatever the transport buffered past the first line; read through rd, not
+// c. The connection arrives with no read deadline set.
+type HijackHandler func(c net.Conn, rd *bufio.Reader)
+
 type TCP struct {
 	cfg         Config
 	ing         Ingestor
 	readTimeout time.Duration
+	hijack      Hijacker
 
 	ln         net.Listener
 	acceptDone chan struct{}
@@ -44,6 +62,10 @@ func NewTCP(cfg Config, ing Ingestor, readTimeout time.Duration) *TCP {
 		conns:       make(map[net.Conn]struct{}),
 	}
 }
+
+// SetHijacker installs the first-line protocol multiplexer. Call before
+// Start; nil (the default) keeps the pure line-protocol path.
+func (t *TCP) SetHijacker(h Hijacker) { t.hijack = h }
 
 // Start binds addr and launches the accept loop.
 func (t *TCP) Start(addr string) error {
@@ -139,7 +161,33 @@ func (t *TCP) handleConn(c net.Conn) {
 		t.ing.EndProduce()
 	}()
 
-	sc := bufio.NewScanner(c)
+	var src io.Reader = c
+	if t.hijack != nil {
+		// Peel the first line off ourselves so a peer protocol can claim the
+		// connection; everything read past it stays in br for whoever wins.
+		br := bufio.NewReaderSize(c, 64<<10)
+		if !t.ing.Draining() {
+			c.SetReadDeadline(time.Now().Add(t.readTimeout))
+		}
+		first, err := readFirstLine(br, t.cfg.MaxLineLen)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !t.ing.Draining() {
+				t.cfg.Logf("serve: %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if h := t.hijack(first); h != nil {
+			c.SetReadDeadline(time.Time{}) // the session owns its deadlines
+			h(c, br)
+			return
+		}
+		if first != "" {
+			t.ing.Ingest(first)
+		}
+		src = br
+	}
+
+	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 64<<10), t.cfg.MaxLineLen)
 	for {
 		// Per-read idle deadline — but never extend past a drain deadline
@@ -157,4 +205,34 @@ func (t *TCP) handleConn(c net.Conn) {
 			t.ing.Ingest(line)
 		}
 	}
+}
+
+// readFirstLine reads one newline-terminated line (stripping "\r\n" like the
+// scanner does) with a hard length cap.
+func readFirstLine(br *bufio.Reader, max int) (string, error) {
+	var acc []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		acc = append(acc, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(acc) > max {
+				return "", fmt.Errorf("first line exceeds %d bytes", max)
+			}
+			continue
+		}
+		return "", err
+	}
+	if len(acc) > max+1 {
+		return "", fmt.Errorf("first line exceeds %d bytes", max)
+	}
+	if n := len(acc); n > 0 && acc[n-1] == '\n' {
+		acc = acc[:n-1]
+		if n := len(acc); n > 0 && acc[n-1] == '\r' {
+			acc = acc[:n-1]
+		}
+	}
+	return string(acc), nil
 }

@@ -81,6 +81,11 @@ type Options struct {
 	// BatchInterval is the background fsync period under SyncBatch
 	// (default 50ms).
 	BatchInterval time.Duration
+	// FirstIndex is the index the first record of a freshly created journal
+	// receives (default 1). Ignored when segments already exist. A journal
+	// that mirrors a remote one (shipped shard takeover) starts at the
+	// source's snapshot index so replayed indices line up across machines.
+	FirstIndex uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchInterval <= 0 {
 		o.BatchInterval = 50 * time.Millisecond
+	}
+	if o.FirstIndex == 0 {
+		o.FirstIndex = 1
 	}
 	return o
 }
@@ -163,11 +171,11 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	if len(bases) == 0 {
-		if err := l.startSegment(1); err != nil {
+		if err := l.startSegment(opts.FirstIndex); err != nil {
 			return nil, err
 		}
-		l.segs = []uint64{1}
-		l.next = 1
+		l.segs = []uint64{opts.FirstIndex}
+		l.next = opts.FirstIndex
 	} else {
 		// Verify every header cheaply; scan only the final segment for the
 		// tail position (earlier segments are immutable once rolled).

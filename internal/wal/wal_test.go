@@ -394,3 +394,46 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Fatalf("second Close: %v", err)
 	}
 }
+
+// TestFirstIndexOption: a fresh journal opened with FirstIndex = N numbers
+// its first record N — the shipped-shard mirror case, where the mirror's
+// journal must line up with the source's indices after a snapshot bootstrap.
+func TestFirstIndexOption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, FirstIndex: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastIndex(); got != 499 {
+		t.Fatalf("empty LastIndex = %d, want 499", got)
+	}
+	idx, err := l.Append([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 500 {
+		t.Fatalf("first Append: index %d, want 500", idx)
+	}
+	if _, err := l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen ignores FirstIndex once segments exist and continues numbering.
+	l, err = Open(dir, Options{Sync: SyncOff, FirstIndex: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.FirstIndex(); got != 500 {
+		t.Fatalf("FirstIndex after reopen = %d, want 500", got)
+	}
+	if idx, err := l.Append([]byte("third")); err != nil || idx != 502 {
+		t.Fatalf("Append after reopen: index %d err %v, want 502", idx, err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != 3 || got[500] != "first" || got[502] != "third" {
+		t.Fatalf("replay = %v", got)
+	}
+}

@@ -45,7 +45,7 @@ fi
 # trajectory file for the record; the CPU-bound variants gate the code.
 SERVE_PAT='^BenchmarkServeIngest$'
 if [ "$MODE" = check ]; then
-    SERVE_PAT='^BenchmarkServeIngest$/^(nowal|wal|wal-perline|wal-off|shards1|shards4)$'
+    SERVE_PAT='^BenchmarkServeIngest$/^(nowal|wal|wal-perline|wal-off|shards1|shards4|fwd)$'
 fi
 
 # bench_suite RAWFILE — run every trajectory benchmark, appending the raw

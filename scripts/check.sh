@@ -28,8 +28,8 @@ go run ./cmd/aarohilint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> serve integration (race): loopback daemon end-to-end"
-go test -race -run 'TestServe|TestAarohid' ./internal/serve .
+echo "==> serve integration (race): loopback daemon and cluster end-to-end"
+go test -race -run 'TestServe|TestAarohid|TestCluster' ./internal/serve .
 
 echo "==> bench gate self-test (comparison logic on canned numbers)"
 scripts/bench.sh -selftest
@@ -51,6 +51,9 @@ if [ "$FUZZTIME" != "0" ]; then
         ./internal/registry:FuzzManifestDecode
         ./internal/serve:FuzzModelUploadDecode
         ./internal/arbiter:FuzzStateDecode
+        ./internal/gossip:FuzzGossipDecode
+        ./internal/gossip/ship:FuzzShipHandshake
+        ./internal/gossip/ship:FuzzShipFrameDecode
     "
     echo "==> fuzz smoke (${FUZZTIME} per target)"
     for entry in $FUZZ_TARGETS; do
